@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the figure/table benchmarks.
+
+Every benchmark prints the same rows/series its paper figure reports,
+records paper-vs-measured deltas, and asserts the qualitative *shape*
+(who wins, by roughly what factor). Simulations are deterministic, so
+each benchmark runs its workload once (``benchmark.pedantic`` with one
+round) — wall-clock variance of the simulator itself is not the point.
+
+Scale: microbenchmarks use an 8192×8192 double matrix (the paper's is
+32768×32768 — same structure, 1/16 the page count); end-to-end runs use
+the workload defaults documented in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.cpu import HostCpu
+from repro.nvm import PAPER_PROTOTYPE
+from repro.systems import (BaselineSystem, HardwareNdsSystem, OracleSystem,
+                           SoftwareNdsSystem)
+
+#: microbenchmark matrix dimension (paper: 32768; scaled 1/4 per axis)
+MICRO_N = 4096
+MICRO_ELEM = 8
+#: the paper's §7.1 prototype picks 256×256 blocks for doubles
+MICRO_BB = (256, 256)
+
+
+def fresh_baseline(store_data: bool = False) -> BaselineSystem:
+    return BaselineSystem(PAPER_PROTOTYPE, store_data=store_data)
+
+
+def fresh_software(store_data: bool = False,
+                   bb_override=MICRO_BB) -> SoftwareNdsSystem:
+    return SoftwareNdsSystem(PAPER_PROTOTYPE, store_data=store_data,
+                             bb_override=bb_override)
+
+
+def fresh_hardware(store_data: bool = False,
+                   bb_override=MICRO_BB) -> HardwareNdsSystem:
+    return HardwareNdsSystem(PAPER_PROTOTYPE, store_data=store_data,
+                             bb_override=bb_override)
+
+
+def fresh_oracle(store_data: bool = False) -> OracleSystem:
+    return OracleSystem(PAPER_PROTOTYPE, store_data=store_data)
+
+
+@pytest.fixture
+def micro_systems():
+    """Baseline + software NDS + hardware NDS with the §7.1 microbench
+    matrix ingested (row-store on the baseline)."""
+    base = fresh_baseline()
+    software = fresh_software()
+    hardware = fresh_hardware()
+    for system in (base, software, hardware):
+        system.ingest("m", (MICRO_N, MICRO_N), MICRO_ELEM)
+        system.reset_time()
+    return {"baseline": base, "software": software, "hardware": hardware}
+
+
+def once(benchmark, fn):
+    """Run a deterministic simulation once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,115 @@
+"""Figure 2 — motivation: matrix multiplication with row-store
+(sequential) vs sub-block storage formats (§2.1).
+
+(a) Data already in main memory: the row-store pipeline needs an extra
+CPU restructuring stage and takes ~2.11× the sub-block configuration.
+(b) Data from the SSD: on top of the CPU overhead the row-store fetch
+takes ~1.92× longer than an optimal sub-block layout, and the breakdown
+splits into SSD / CPU / compute-kernel time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_baseline, fresh_oracle, once
+from repro.accelerator import KernelModel, RTX2080
+from repro.analysis import PAPER, comparison_row, format_table
+from repro.host import MemoryModel, run_pipeline
+
+#: scaled geometry: the paper multiplies 32768² matrices in 8192² blocks
+#: (1/4 ratio); we use 4096² data in 1024² blocks
+N = 4096
+TILE = 1024
+ELEM = 4
+
+
+def _kernel_time():
+    return KernelModel(RTX2080).gemm(TILE, TILE, TILE, use_tensor_cores=True)
+
+
+def _restructure_time():
+    """CPU time to gather one TILE×TILE sub-block out of row-store rows
+    already in main memory: one memcpy per row segment."""
+    memory = MemoryModel()
+    return memory.copy_time(TILE * TILE * ELEM, chunk_bytes=TILE * ELEM)
+
+
+def test_fig2a_in_memory(benchmark):
+    def run():
+        kernel = _kernel_time()
+        h2d = RTX2080.h2d_time(TILE * TILE * ELEM)
+        restructure = _restructure_time()
+        tiles = 16
+        seq = run_pipeline([[restructure, h2d, kernel]] * tiles,
+                           ["cpu", "h2d", "kernel"])
+        sub = run_pipeline([[0.0, h2d, kernel]] * tiles,
+                           ["cpu", "h2d", "kernel"])
+        return seq.total_time, sub.total_time
+
+    seq_time, sub_time = once(benchmark, run)
+    ratio = seq_time / sub_time
+    print()
+    print(format_table(
+        ["configuration", "relative time"],
+        [["sub-block", "1.00"], ["row-store/sequential", f"{ratio:.2f}"]],
+        title="Fig 2(a) MM from main memory"))
+    print(format_table(["anchor", "paper", "measured", "delta"],
+                       [comparison_row("row-store slowdown",
+                                       PAPER.fig2a_row_store_slowdown,
+                                       ratio)]))
+    # Shape: restructuring the row-store costs roughly 2x end to end.
+    assert 1.4 < ratio < 3.2
+
+
+def test_fig2b_from_ssd(benchmark):
+    def run():
+        baseline = fresh_baseline()
+        baseline.ingest("A", (N, N), ELEM)
+        oracle = fresh_oracle()
+        oracle.ingest("A", (N, N), ELEM, tile=(TILE, TILE))
+
+        baseline.reset_time()
+        seq_fetch = baseline.read_tile("A", (0, 0), (TILE, TILE)).elapsed
+        oracle.reset_time()
+        sub_fetch = oracle.read_tile("A", (0, 0), (TILE, TILE)).elapsed
+
+        kernel = _kernel_time()
+        h2d = RTX2080.h2d_time(TILE * TILE * ELEM)
+        tiles = 16
+        seq = run_pipeline([[seq_fetch, h2d, kernel]] * tiles,
+                           ["ssd", "h2d", "kernel"])
+        sub = run_pipeline([[sub_fetch, h2d, kernel]] * tiles,
+                           ["ssd", "h2d", "kernel"])
+        return seq_fetch, sub_fetch, seq, sub
+
+    seq_fetch, sub_fetch, seq, sub = once(benchmark, run)
+    fetch_ratio = seq_fetch / sub_fetch
+    total_ratio = seq.total_time / sub.total_time
+    breakdown = [
+        ["row-store/sequential",
+         f"{seq.busy_of('ssd') / seq.total_time:.0%}",
+         f"{seq.busy_of('h2d') / seq.total_time:.0%}",
+         f"{seq.busy_of('kernel') / seq.total_time:.0%}",
+         f"{total_ratio:.2f}"],
+        ["sub-block",
+         f"{sub.busy_of('ssd') / sub.total_time:.0%}",
+         f"{sub.busy_of('h2d') / sub.total_time:.0%}",
+         f"{sub.busy_of('kernel') / sub.total_time:.0%}",
+         "1.00"],
+    ]
+    print()
+    print(format_table(
+        ["configuration", "SSD share", "CPU/H2D share", "kernel share",
+         "relative time"], breakdown, title="Fig 2(b) MM from the SSD"))
+    print(format_table(["anchor", "paper", "measured", "delta"],
+                       [comparison_row("fetch slowdown",
+                                       PAPER.fig2b_fetch_slowdown,
+                                       fetch_ratio)]))
+    # Shape: fetching a sub-block from row-store data takes a multiple of
+    # the optimal-layout fetch (the paper measures 1.92x at its scale;
+    # at our shorter run lengths the penalty is larger), and the
+    # end-to-end pipeline is SSD-bound in the sequential configuration.
+    assert fetch_ratio > 1.5
+    assert total_ratio > 1.3
+    assert seq.busy_of("ssd") > seq.busy_of("kernel")

@@ -1,0 +1,85 @@
+"""Figure 3 — effective data processing rates / I/O bandwidth of system
+components across matrix sizes (§2.2).
+
+Five series: CUDA cores, Tensor Cores, the NVMe-oF link, the 32-channel
+datacenter SSD's internal bandwidth, and the 8-channel consumer SSD's
+external bandwidth. Shape anchors: CUDA peaks at 2048², Tensor Cores at
+512² with a large lead; each storage series saturates at a different
+size ([C1]/[C3]).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.accelerator import RTX2080
+from repro.analysis import PAPER, format_table
+from repro.interconnect import saturation_curve
+from repro.nvm import CONSUMER_SSD, PAPER_PROTOTYPE
+
+DIMS = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+
+
+def _series():
+    cuda = {d: RTX2080.processing_rate(d, use_tensor_cores=False)
+            for d in DIMS}
+    tensor = {d: RTX2080.processing_rate(d, use_tensor_cores=True)
+              for d in DIMS}
+    # matrix of dim d = d*d*4 bytes moved per request
+    sizes = [d * d * 4 for d in DIMS]
+    nvmeof = dict(zip(DIMS, [r for _s, r in saturation_curve(
+        PAPER_PROTOTYPE.link_bandwidth,
+        PAPER_PROTOTYPE.link_command_overhead, sizes)]))
+    internal = {
+        d: min(PAPER_PROTOTYPE.internal_read_bandwidth,
+               size / (PAPER_PROTOTYPE.timing.t_read
+                       + size / PAPER_PROTOTYPE.internal_read_bandwidth))
+        for d, size in zip(DIMS, sizes)}
+    consumer = dict(zip(DIMS, [r for _s, r in saturation_curve(
+        CONSUMER_SSD.link_bandwidth,
+        CONSUMER_SSD.link_command_overhead, sizes)]))
+    return {"cuda": cuda, "tensor": tensor, "nvmeof": nvmeof,
+            "internal_32ch": internal, "consumer_8ch": consumer}
+
+
+def test_fig3_processing_rates(benchmark):
+    series = once(benchmark, _series)
+    rows = []
+    for d in DIMS:
+        rows.append([f"{d}x{d}"]
+                    + [f"{series[k][d] / 1e9:.2f}"
+                       for k in ("cuda", "tensor", "nvmeof",
+                                 "internal_32ch", "consumer_8ch")])
+    print()
+    print(format_table(
+        ["matrix", "CUDA GB/s", "TCU GB/s", "NVMe-oF GB/s",
+         "32ch internal GB/s", "8ch external GB/s"], rows,
+        title="Fig 3: effective processing rate / IO bandwidth"))
+
+    cuda, tensor = series["cuda"], series["tensor"]
+    # [C2]: engine optima differ — CUDA at 2048, TCU at 512
+    assert max(cuda, key=cuda.get) == PAPER.cuda_optimal_dim
+    assert max(tensor, key=tensor.get) == PAPER.tensor_optimal_dim
+    # Fig 3: significant Tensor-Core lead everywhere in the sweet range
+    for d in (256, 512, 1024, 2048):
+        assert tensor[d] > 3 * cuda[d]
+    # storage series saturate monotonically, at device-specific sizes
+    for key in ("nvmeof", "internal_32ch", "consumer_8ch"):
+        values = [series[key][d] for d in DIMS]
+        assert values == sorted(values)
+    # [C1]: the 32-channel device needs larger requests than it takes to
+    # saturate the consumer device's slower link — different optima
+    internal = series["internal_32ch"]
+    consumer = series["consumer_8ch"]
+    sat_internal = min(d for d in DIMS
+                       if internal[d] > 0.95 * internal[DIMS[-1]])
+    sat_consumer = min(d for d in DIMS
+                       if consumer[d] > 0.95 * consumer[DIMS[-1]])
+    assert sat_internal >= sat_consumer
+    # the datacenter device's internal bandwidth tops every I/O series
+    assert internal[DIMS[-1]] > series["nvmeof"][DIMS[-1]]
+    assert internal[DIMS[-1]] > consumer[DIMS[-1]]
+    # [C3]: neither storage optimum matches either compute optimum
+    assert sat_internal != PAPER.tensor_optimal_dim or \
+        sat_consumer != PAPER.cuda_optimal_dim

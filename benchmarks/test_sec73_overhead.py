@@ -1,0 +1,110 @@
+"""§7.3 — the overhead of NDS.
+
+Worst case: a request for a single page. The paper measures 41 µs of
+additional latency for the software NDS and 17 µs for the hardware NDS
+over the baseline — both shorter than (or the same order as) a NAND
+page read (30–100 µs). A leaf node points at up to 512 pages, so larger
+requests amortize one B-tree walk; and the whole STL lookup structure
+occupies ~0.1 % of the stored capacity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (MICRO_ELEM, MICRO_N, fresh_baseline,
+                                 fresh_hardware, fresh_software, once)
+from repro.analysis import PAPER, comparison_row, format_table
+from repro.core.btree import BTreeIndex
+
+
+def _single_page_latency(system, extents):
+    system.reset_time()
+    return system.read_tile("m", tuple(0 for _ in extents), extents).elapsed
+
+
+def test_sec73_stl_latency_adders(benchmark):
+    def run():
+        base = fresh_baseline()
+        software = fresh_software()
+        hardware = fresh_hardware()
+        for system in (base, software, hardware):
+            system.ingest("m", (MICRO_N, MICRO_N), MICRO_ELEM)
+        # worst case: one page of data — 512 doubles = one page-aligned
+        # row segment (no transformation, per the paper's setup)
+        extents = (1, 512)
+        return {
+            "baseline": _single_page_latency(base, extents),
+            "software": _single_page_latency(software, extents),
+            "hardware": _single_page_latency(hardware, extents),
+        }
+
+    latency = once(benchmark, run)
+    software_adder = (latency["software"] - latency["baseline"]) * 1e6
+    hardware_adder = (latency["hardware"] - latency["baseline"]) * 1e6
+    print()
+    print(format_table(
+        ["system", "single-page latency (us)"],
+        [[k, f"{v * 1e6:.1f}"] for k, v in latency.items()],
+        title="Sec 7.3 worst-case single-page request latency"))
+    print(format_table(
+        ["anchor", "paper", "measured", "delta"],
+        [comparison_row("software adder (us)",
+                        PAPER.software_stl_latency_us, software_adder),
+         comparison_row("hardware adder (us)",
+                        PAPER.hardware_stl_latency_us, hardware_adder)]))
+    # Shape: software pays more than hardware; both adders are positive
+    # and below a NAND page read's upper bound (100 us).
+    assert software_adder > hardware_adder > 0
+    assert software_adder == pytest.approx(PAPER.software_stl_latency_us,
+                                           rel=0.5)
+    assert hardware_adder == pytest.approx(PAPER.hardware_stl_latency_us,
+                                           rel=0.6)
+    assert software_adder < PAPER.nand_page_read_us_range[1]
+
+
+def test_sec73_amortization_over_large_requests(benchmark):
+    """One B-tree traversal serves many pages: the per-byte adder of a
+    large request is far below the single-page adder."""
+    def run():
+        base = fresh_baseline()
+        hardware = fresh_hardware()
+        for system in (base, hardware):
+            system.ingest("m", (MICRO_N, MICRO_N), MICRO_ELEM)
+        small_adder = (_single_page_latency(hardware, (1, 512))
+                       - _single_page_latency(base, (1, 512)))
+        base.reset_time()
+        hardware.reset_time()
+        big_base = base.read_tile("m", (0, 0), (256, MICRO_N)).elapsed
+        hardware.reset_time()
+        big_hw = hardware.read_tile("m", (0, 0), (256, MICRO_N)).elapsed
+        return small_adder, big_base, big_hw
+
+    small_adder, big_base, big_hw = once(benchmark, run)
+    pages = 256 * MICRO_N * MICRO_ELEM // 4096
+    per_page_adder = (big_hw - big_base) / pages
+    print(f"\nsingle-page adder {small_adder * 1e6:.1f} us; "
+          f"large-request per-page adder {per_page_adder * 1e9:.0f} ns")
+    assert per_page_adder < small_adder / 10
+
+
+def test_sec73_space_overhead(benchmark):
+    """The STL lookup structures stay around 0.1 % of stored bytes."""
+    def run():
+        system = fresh_hardware()
+        system.ingest("m", (MICRO_N, MICRO_N), MICRO_ELEM)
+        structures = system.stl.lookup_structure_bytes()
+        reverse = system.stl.gc.reverse_table_bytes()
+        stored = MICRO_N * MICRO_N * MICRO_ELEM
+        return structures, reverse, stored
+
+    structures, reverse, stored = once(benchmark, run)
+    overhead = structures / stored
+    print(f"\nSTL DRAM structures: {structures / 1024:.0f} KiB "
+          f"({overhead:.3%} of stored data); "
+          f"OOB reverse table: {reverse / 1024:.0f} KiB")
+    print(format_table(
+        ["anchor", "paper", "measured", "delta"],
+        [comparison_row("space overhead",
+                        PAPER.stl_space_overhead_fraction, overhead)]))
+    assert overhead < 0.005

@@ -1,0 +1,44 @@
+"""Table 1 — the workload inventory.
+
+Regenerates the table's rows (category, data/kernel dimensionality,
+dataset shape, kernel sub-dimension, shared inputs) from the workload
+registry at the documented down-scale.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once
+from repro.analysis import format_table
+from repro.workloads import SCALE_NOTE, all_workloads
+
+
+def test_table1_inventory(benchmark):
+    workloads = once(benchmark, all_workloads)
+    rows = []
+    for wl in workloads:
+        datasets = wl.datasets()
+        plan = wl.tile_plan()
+        data_shape = " + ".join("x".join(map(str, ds.dims))
+                                for ds in datasets)
+        sub_dims = sorted({fetch.extents for fetch in plan})
+        sub = " / ".join("x".join(map(str, s)) for s in sub_dims)
+        rows.append([wl.name, wl.category, wl.data_dim_label,
+                     wl.kernel_dim_label, data_shape, sub,
+                     wl.shared_input_group() or "-"])
+    print()
+    print(format_table(
+        ["workload", "category", "data", "kernel", "dataset (scaled)",
+         "kernel sub-dimension (scaled)", "shared input"], rows,
+        title="Table 1 (at the documented down-scale)"))
+    print(f"\nScaling note: {SCALE_NOTE}")
+
+    names = [wl.name for wl in workloads]
+    assert names == ["BFS", "SSSP", "GEMM", "Hotspot", "KMeans", "KNN",
+                     "PageRank", "Conv2D", "TTV", "TC"]
+    # three shared-input pairs (§6.2)
+    groups = {}
+    for wl in workloads:
+        group = wl.shared_input_group()
+        if group:
+            groups.setdefault(group, []).append(wl.name)
+    assert sorted(len(v) for v in groups.values()) == [2, 2, 2]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Graph analytics: BFS and SSSP sharing one stored dataset.
+
+Table 1's first pair: BFS consumes the adjacency matrix row-
+sequentially (the baseline's best case — "BFS receives almost no
+benefit from the software-only NDS", §7.2), while Bellman-Ford relaxes
+square edge blocks that cross the serialized layout. The same stored
+bytes serve both — NDS's core pitch.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+from repro.nvm import PAPER_PROTOTYPE, TINY_TEST
+from repro.systems import BaselineSystem, HardwareNdsSystem, SoftwareNdsSystem
+from repro.workloads import BfsWorkload, SsspWorkload, run_workload, speedup
+
+
+def functional_demo() -> None:
+    print("== functional check (64-node graph) ==")
+    rng = np.random.default_rng(3)
+    bfs = BfsWorkload(nodes=64, batch_rows=16)
+    adjacency = bfs.generate(rng)["graph"]
+    levels = bfs.reference({"graph": adjacency})
+    print(f"  BFS reference: {int((levels >= 0).sum())}/64 nodes reachable, "
+          f"max depth {int(levels.max())}")
+
+    # store once, traverse through the device
+    system = HardwareNdsSystem(TINY_TEST, store_data=True)
+    system.ingest("graph", adjacency.shape, 4, data=adjacency)
+    # BFS via per-batch row fetches from the device
+    frontier = np.zeros(64, dtype=bool)
+    frontier[0] = True
+    device_levels = np.full(64, -1, dtype=np.int64)
+    device_levels[0] = 0
+    depth = 0
+    while frontier.any():
+        depth += 1
+        reachable = np.zeros(64, dtype=bool)
+        for row in np.flatnonzero(frontier):
+            fetched = system.read_tile("graph", (int(row), 0), (1, 64),
+                                       with_data=True, dtype=np.int32)
+            reachable |= fetched.data[0] > 0
+        frontier = reachable & (device_levels < 0)
+        device_levels[frontier] = depth
+    assert np.array_equal(device_levels, levels)
+    print("  BFS over device-fetched rows matches the in-memory reference")
+
+    sssp = SsspWorkload(nodes=64, segment=16)
+    weights = sssp.generate(rng)["graph"]
+    dist = sssp.reference({"graph": weights})
+    print(f"  SSSP reference: {int(np.isfinite(dist).sum())}/64 nodes "
+          f"reachable, mean distance {np.mean(dist[np.isfinite(dist)]):.2f}")
+
+
+def timing_demo() -> None:
+    print("\n== end-to-end timing (4096-node graphs, Fig. 10 pipeline) ==")
+    for workload in (BfsWorkload(), SsspWorkload()):
+        results = {}
+        for factory in (BaselineSystem, SoftwareNdsSystem,
+                        HardwareNdsSystem):
+            system = factory(PAPER_PROTOTYPE)
+            results[system.name] = run_workload(workload, system)
+        base = results["baseline"]
+        line = "  ".join(
+            f"{name} {speedup(base, result):.2f}x"
+            for name, result in results.items())
+        print(f"  {workload.name:5s}: {line}")
+    print("BFS ~1x (row-sequential suits the baseline), SSSP gains: the "
+          "same NDS dataset serves both access patterns (paper §7.2).")
+
+
+def main() -> None:
+    functional_demo()
+    timing_demo()
+
+
+if __name__ == "__main__":
+    main()

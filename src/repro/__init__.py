@@ -1,0 +1,34 @@
+"""repro — a from-scratch reproduction of *NDS: N-Dimensional Storage*
+(Liu & Tseng, MICRO 2021).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's contribution: multi-dimensional
+  spaces, building blocks, the space translation layer (STL), the NDS
+  API, and the NDS controller model;
+* substrates — :mod:`repro.nvm` (flash array), :mod:`repro.ftl`
+  (baseline SSD), :mod:`repro.interconnect`, :mod:`repro.host`,
+  :mod:`repro.accelerator`, all on a small simulation kernel
+  (:mod:`repro.sim`);
+* :mod:`repro.systems` — the end-to-end architectures of Fig. 7
+  (baseline, software NDS, hardware NDS) plus the software oracle;
+* :mod:`repro.workloads` — the ten Table 1 applications and the
+  pipelined runner;
+* :mod:`repro.analysis` — paper-number calibration and reporting.
+
+Quick start::
+
+    from repro.nvm import PAPER_PROTOTYPE, FlashArray
+    from repro.core import SpaceTranslationLayer, NdsApi
+
+    flash = FlashArray(PAPER_PROTOTYPE.geometry, PAPER_PROTOTYPE.timing)
+    api = NdsApi(SpaceTranslationLayer(flash))
+    sid = api.create_space((4096, 4096), element_size=4)
+    handle = api.open_space(sid)
+    api.write(handle, (0, 0), (4096, 4096), my_matrix)
+    tile, timing = api.read(handle, (1, 2), (512, 512), dtype="float32")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,6 @@
+"""Hardware-accelerator substrate: GPU rate curves and kernel timing."""
+
+from repro.accelerator.gpu import RTX2080, EngineCurve, GpuModel
+from repro.accelerator.kernels import KernelModel
+
+__all__ = ["GpuModel", "EngineCurve", "RTX2080", "KernelModel"]

@@ -1,0 +1,84 @@
+"""Per-workload compute-kernel time models.
+
+The end-to-end experiments (Fig. 10) pipeline storage I/O against GPU
+kernels; the kernels themselves are unchanged between the baseline and
+NDS configurations (§6), so each workload only needs a *time* for its
+kernel on one tile. Dense tensor kernels (GEMM, TC) ride the Tensor-
+Core curve; stencils and vector passes are memory-bandwidth bound on
+the CUDA engine; graph/data-mining passes are modelled as streaming
+passes over their tile bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accelerator.gpu import GpuModel
+
+__all__ = ["KernelModel"]
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Kernel-time helpers bound to one GPU model.
+
+    ``stream_bandwidth`` is the effective device-memory streaming rate
+    of bandwidth-bound kernels (stencils, reductions, traversal passes);
+    an RTX 2080 streams ~400 GB/s from GDDR6.
+    """
+
+    gpu: GpuModel
+    stream_bandwidth: float = 400e9
+
+    def _stream(self, num_bytes: int, passes: float = 1.0) -> float:
+        return (self.gpu.kernel_launch_overhead
+                + passes * num_bytes / self.stream_bandwidth)
+
+    # -- dense linear/tensor algebra ----------------------------------
+    def gemm(self, m: int, n: int, k: int, element_size: int = 4,
+             use_tensor_cores: bool = True) -> float:
+        """Blocked GEMM on an (m×k)·(k×n) tile pair."""
+        data = (m * k + k * n + m * n) * element_size
+        tile_dim = max(8, round((m * n) ** 0.5))
+        return self.gpu.kernel_time(data, tile_dim, use_tensor_cores)
+
+    def tensor_contraction(self, dim: int, depth: int,
+                           element_size: int = 4) -> float:
+        """TC: contraction over ``depth`` slabs of dim×dim tiles."""
+        per_slab = self.gemm(dim, dim, dim, element_size, use_tensor_cores=True)
+        return per_slab * max(1, depth)
+
+    def tensor_times_vector(self, rows: int, cols: int,
+                            element_size: int = 4) -> float:
+        """TTV: one streaming pass over the tile plus the vector."""
+        return self._stream((rows * cols + cols) * element_size)
+
+    # -- stencils ------------------------------------------------------
+    def stencil(self, rows: int, cols: int, element_size: int = 4,
+                iterations: int = 1, points: int = 5) -> float:
+        """Hotspot / Conv2D-style stencil: read + write per iteration,
+        ``points`` neighbours served from cache."""
+        num_bytes = rows * cols * element_size
+        return self._stream(num_bytes, passes=2.0 * iterations)
+
+    # -- graph ----------------------------------------------------------
+    def traversal_pass(self, rows: int, cols: int,
+                       element_size: int = 4) -> float:
+        """BFS/SSSP frontier expansion over an adjacency sub-block."""
+        return self._stream(rows * cols * element_size)
+
+    def spmv_pass(self, rows: int, cols: int, element_size: int = 4) -> float:
+        """PageRank-style rank propagation over a sub-block."""
+        return self._stream(rows * cols * element_size, passes=1.5)
+
+    # -- data mining -----------------------------------------------------
+    def kmeans_assign(self, points: int, attributes: int, clusters: int,
+                      element_size: int = 4) -> float:
+        """Distance computation: each point reads all cluster centres."""
+        num_bytes = points * attributes * element_size
+        work_factor = max(1.0, clusters / 16.0)
+        return self._stream(num_bytes, passes=work_factor)
+
+    def knn_distances(self, points: int, attributes: int,
+                      element_size: int = 4) -> float:
+        return self._stream(points * attributes * element_size, passes=1.0)

@@ -1,0 +1,14 @@
+"""Reporting and paper-number calibration."""
+
+from repro.analysis.calibration import PAPER, PaperNumbers
+from repro.analysis.report import (comparison_row, format_bandwidth,
+                                   format_ratio, format_table)
+
+__all__ = [
+    "PAPER",
+    "PaperNumbers",
+    "format_table",
+    "format_bandwidth",
+    "format_ratio",
+    "comparison_row",
+]

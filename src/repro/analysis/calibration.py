@@ -1,0 +1,64 @@
+"""Every number the paper reports, in one place.
+
+Benchmarks compare their measurements against these anchors and
+EXPERIMENTS.md records the deltas. Values are quoted from the paper's
+text (sections noted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperNumbers", "PAPER"]
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    # §1 / §7.2 — headline results
+    software_nds_speedup: float = 5.07
+    hardware_nds_speedup: float = 5.73
+    hardware_over_software: float = 1.13
+    software_idle_reduction: float = 0.74
+    hardware_idle_reduction: float = 0.76
+    object_build_speedup: float = 1.52
+
+    # §2.1 — motivation
+    fig2a_row_store_slowdown: float = 2.11
+    fig2b_fetch_slowdown: float = 1.92
+    link_efficiency_at_32k: float = 0.66
+    link_saturation_bytes: int = 2 * 2**20
+
+    # §2.2 — optimal tile dims (Fig. 3)
+    cuda_optimal_dim: int = 2048
+    tensor_optimal_dim: int = 512
+
+    # §7.1 — microbenchmarks (Fig. 9)
+    baseline_row_read_gbs: float = 4.3
+    software_row_read_gbs: float = 3.8
+    baseline_column_read_mbs_max: float = 600.0
+    baseline_write_mbs: float = 281.0
+    software_write_penalty: float = 0.30
+    hardware_write_penalty: float = 0.17
+    micro_matrix_dim: int = 32768
+    micro_block_dim: int = 256
+
+    # §7.2 — architecture
+    internal_to_external_ratio: float = 8.0 / 5.0
+
+    # §7.3 — overhead
+    software_stl_latency_us: float = 41.0
+    hardware_stl_latency_us: float = 17.0
+    nand_page_read_us_range: tuple = (30.0, 100.0)
+    stl_space_overhead_fraction: float = 0.001
+    btree_leaf_max_pages: int = 512
+
+    # §6.1 — platform
+    channels: int = 32
+    banks: int = 8
+    page_bytes: int = 4096
+    capacity_tb: float = 2.0
+    overprovisioning: float = 0.10
+    device_dram_gb: float = 4.0
+
+
+PAPER = PaperNumbers()

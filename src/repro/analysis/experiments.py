@@ -1,0 +1,133 @@
+"""Reusable experiment drivers shared by the CLI and the benchmarks.
+
+Each function performs one of the paper's experiments end to end and
+returns plain data structures (dicts of numbers) that callers format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerator import RTX2080
+from repro.interconnect import saturation_curve
+from repro.nvm import CONSUMER_SSD, PAPER_PROTOTYPE, DeviceProfile
+from repro.systems import (BaselineSystem, HardwareNdsSystem, OracleSystem,
+                           SoftwareNdsSystem)
+from repro.workloads import all_workloads, run_workload, speedup
+
+__all__ = ["micro_read_bandwidths", "micro_write_bandwidths",
+           "fig3_series", "endtoend_sweep", "overhead_latencies"]
+
+MICRO_BB = (256, 256)
+
+
+def _micro_systems(n: int, elem: int,
+                   profile: DeviceProfile) -> Dict[str, object]:
+    systems = {
+        "baseline": BaselineSystem(profile),
+        "software": SoftwareNdsSystem(profile, bb_override=MICRO_BB),
+        "hardware": HardwareNdsSystem(profile, bb_override=MICRO_BB),
+    }
+    for system in systems.values():
+        system.ingest("m", (n, n), elem)
+        system.reset_time()
+    return systems
+
+
+def micro_read_bandwidths(n: int = 4096, elem: int = 8,
+                          profile: DeviceProfile = PAPER_PROTOTYPE,
+                          ) -> Dict[str, Dict[str, float]]:
+    """Fig. 9(a–c): effective bandwidth per access pattern per system."""
+    systems = _micro_systems(n, elem, profile)
+    patterns = {
+        "row-fetch": ((0, 0), (n // 8, n)),
+        "column-fetch": ((0, 0), (n, n // 8)),
+        "submatrix-fetch": ((0, 0), (n // 2, n // 2)),
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    for pattern, (origin, extents) in patterns.items():
+        out[pattern] = {}
+        for name, system in systems.items():
+            system.reset_time()
+            result = system.read_tile("m", origin, extents)
+            out[pattern][name] = result.effective_bandwidth
+    return out
+
+
+def micro_write_bandwidths(n: int = 4096, elem: int = 8,
+                           profile: DeviceProfile = PAPER_PROTOTYPE,
+                           ) -> Dict[str, float]:
+    """Fig. 9(d): whole-matrix write bandwidth per system."""
+    out = {}
+    for name, factory in (("baseline", BaselineSystem),
+                          ("software", SoftwareNdsSystem),
+                          ("hardware", HardwareNdsSystem)):
+        kwargs = {} if factory is BaselineSystem else \
+            {"bb_override": MICRO_BB}
+        system = factory(profile, **kwargs)
+        out[name] = system.ingest("m", (n, n), elem).effective_bandwidth
+    return out
+
+
+def fig3_series(dims: Sequence[int] = (32, 64, 128, 256, 512, 1024, 2048,
+                                       4096, 8192, 16384),
+                ) -> Dict[str, Dict[int, float]]:
+    """Fig. 3: the five component rate/bandwidth series."""
+    sizes = [d * d * 4 for d in dims]
+    internal = PAPER_PROTOTYPE.internal_read_bandwidth
+    return {
+        "cuda": {d: RTX2080.processing_rate(d, use_tensor_cores=False)
+                 for d in dims},
+        "tensor": {d: RTX2080.processing_rate(d, use_tensor_cores=True)
+                   for d in dims},
+        "nvmeof": dict(zip(dims, [r for _s, r in saturation_curve(
+            PAPER_PROTOTYPE.link_bandwidth,
+            PAPER_PROTOTYPE.link_command_overhead, sizes)])),
+        "internal_32ch": {
+            d: min(internal, size / (PAPER_PROTOTYPE.timing.t_read
+                                     + size / internal))
+            for d, size in zip(dims, sizes)},
+        "consumer_8ch": dict(zip(dims, [r for _s, r in saturation_curve(
+            CONSUMER_SSD.link_bandwidth,
+            CONSUMER_SSD.link_command_overhead, sizes)])),
+    }
+
+
+def endtoend_sweep(workload_names: Optional[Sequence[str]] = None,
+                   profile: DeviceProfile = PAPER_PROTOTYPE,
+                   ) -> Dict[str, Dict[str, Tuple[float, float]]]:
+    """Fig. 10: per workload and system, (speedup, kernel idle seconds).
+
+    ``workload_names`` restricts the sweep (None = all ten).
+    """
+    out: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for workload in all_workloads():
+        if workload_names and workload.name not in workload_names:
+            continue
+        results = {}
+        for factory in (BaselineSystem, SoftwareNdsSystem, OracleSystem,
+                        HardwareNdsSystem):
+            system = factory(profile)
+            results[system.name] = run_workload(workload, system)
+        base = results["baseline"]
+        out[workload.name] = {
+            name: (speedup(base, result), result.kernel_idle)
+            for name, result in results.items()}
+    return out
+
+
+def overhead_latencies(n: int = 4096, elem: int = 8,
+                       profile: DeviceProfile = PAPER_PROTOTYPE,
+                       ) -> Dict[str, float]:
+    """§7.3: worst-case single-page request latency per system, plus
+    the STL space overhead fraction."""
+    systems = _micro_systems(n, elem, profile)
+    latencies = {}
+    for name, system in systems.items():
+        system.reset_time()
+        result = system.read_tile("m", (0, 0), (1, 512))
+        latencies[name] = result.elapsed
+    hardware = systems["hardware"]
+    latencies["space_overhead"] = (
+        hardware.stl.lookup_structure_bytes() / (n * n * elem))
+    return latencies

@@ -1,0 +1,64 @@
+"""CSV export of experiment results.
+
+Every experiment driver returns plain dicts; these helpers flatten them
+into CSV files so the figures can be re-plotted with any external tool
+(the artifact-evaluation workflow the paper's appendix describes).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+__all__ = ["export_series", "export_micro", "export_sweep"]
+
+PathLike = Union[str, Path]
+
+
+def export_series(series: Dict[str, Dict[int, float]],
+                  path: PathLike, x_label: str = "dim",
+                  y_label: str = "bytes_per_second") -> Path:
+    """Write ``{series: {x: y}}`` (the Fig. 3 shape) as tidy CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["series", x_label, y_label])
+        for name in sorted(series):
+            for x in sorted(series[name]):
+                writer.writerow([name, x, repr(series[name][x])])
+    return path
+
+
+def export_micro(reads: Dict[str, Dict[str, float]],
+                 writes: Dict[str, float], path: PathLike) -> Path:
+    """Write the Fig. 9 microbenchmark results as tidy CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["pattern", "system", "bytes_per_second"])
+        for pattern in sorted(reads):
+            for system in sorted(reads[pattern]):
+                writer.writerow([pattern, system,
+                                 repr(reads[pattern][system])])
+        for system in sorted(writes):
+            writer.writerow(["write", system, repr(writes[system])])
+    return path
+
+
+def export_sweep(sweep: Dict[str, Dict[str, Tuple[float, float]]],
+                 path: PathLike) -> Path:
+    """Write the Fig. 10 end-to-end sweep as tidy CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["workload", "system", "speedup",
+                         "kernel_idle_seconds"])
+        for workload in sorted(sweep):
+            for system in sorted(sweep[workload]):
+                ratio, idle = sweep[workload][system]
+                writer.writerow([workload, system, repr(ratio), repr(idle)])
+    return path

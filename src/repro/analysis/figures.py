@@ -1,0 +1,71 @@
+"""Terminal-friendly figure rendering.
+
+An ASCII log-scale line chart good enough to eyeball the Fig. 3 /
+Fig. 9 curve shapes in a terminal (the benchmarks print the exact
+numbers as tables; this is the visual companion).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(series: Dict[str, Dict[int, float]],
+                height: int = 12, log_y: bool = True,
+                title: str = "") -> str:
+    """Render named ``{x: y}`` series on a shared character grid.
+
+    X positions are the union of the series' keys (ordinal spacing —
+    our sweeps are powers of two); Y is log-scaled by default.
+    """
+    if not series:
+        return title
+    xs = sorted({x for points in series.values() for x in points})
+    if not xs:
+        return title
+
+    def transform(value: float) -> float:
+        if log_y:
+            return math.log10(max(value, 1e-12))
+        return value
+
+    values = [transform(v) for points in series.values()
+              for v in points.values()]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for index, (name, points) in enumerate(sorted(series.items())):
+        mark = _MARKS[index % len(_MARKS)]
+        for column, x in enumerate(xs):
+            if x not in points:
+                continue
+            level = (transform(points[x]) - lo) / (hi - lo)
+            row = height - 1 - round(level * (height - 1))
+            grid[int(row)][column] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    unit = "log10" if log_y else "linear"
+    lines.append(f"y: {lo:.2f}..{hi:.2f} ({unit})")
+    for row in grid:
+        lines.append("|" + " ".join(row))
+    lines.append("+" + "-" * (2 * len(xs)))
+    lines.append(" " + " ".join(_shorten(x) for x in xs))
+    legend = "  ".join(f"{_MARKS[i % len(_MARKS)]}={name}"
+                       for i, name in enumerate(sorted(series)))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def _shorten(x: int) -> str:
+    if x >= 1024 and x % 1024 == 0:
+        return f"{x // 1024}k"
+    return str(x)

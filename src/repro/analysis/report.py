@@ -1,0 +1,58 @@
+"""Table formatting helpers shared by the benchmark harnesses.
+
+Each benchmark prints the same rows/series the paper's figure or table
+reports, plus a paper-vs-measured comparison where the paper states a
+number.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_bandwidth", "format_ratio",
+           "comparison_row"]
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    if bytes_per_second >= 1e9:
+        return f"{bytes_per_second / 1e9:.2f} GB/s"
+    if bytes_per_second >= 1e6:
+        return f"{bytes_per_second / 1e6:.1f} MB/s"
+    return f"{bytes_per_second / 1e3:.1f} KB/s"
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def comparison_row(label: str, paper_value: float, measured: float,
+                   unit: str = "") -> List[str]:
+    """One 'paper vs measured' table row with the relative delta."""
+    delta = "n/a"
+    if paper_value:
+        delta = f"{(measured - paper_value) / paper_value * 100.0:+.0f}%"
+    suffix = f" {unit}" if unit else ""
+    return [label, f"{paper_value:g}{suffix}", f"{measured:.3g}{suffix}", delta]

@@ -1,0 +1,60 @@
+"""Paper-scale projection of down-scaled measurements.
+
+Experiments run at a documented down-scale (DESIGN.md §5). Ratios and
+bandwidths carry over directly; absolute per-tile latencies and counts
+scale with data volume. These helpers make the projection explicit —
+and auditable — instead of leaving it implied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScalePolicy", "project_duration", "project_count"]
+
+
+@dataclass(frozen=True)
+class ScalePolicy:
+    """How a run was scaled relative to the paper's configuration.
+
+    ``axis_factor`` is the per-axis shrink (paper dim / our dim, e.g. 16
+    for 65536 → 4096); ``rank`` is how many axes were shrunk.
+    """
+
+    axis_factor: float
+    rank: int = 2
+
+    def __post_init__(self) -> None:
+        if self.axis_factor < 1:
+            raise ValueError("axis_factor must be >= 1 (shrinking)")
+        if self.rank < 1:
+            raise ValueError("rank must be >= 1")
+
+    @property
+    def volume_factor(self) -> float:
+        """Data-volume shrink: axis_factor ** rank."""
+        return self.axis_factor ** self.rank
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return (f"1/{self.axis_factor:g} per axis over {self.rank} axes "
+                f"(1/{self.volume_factor:g} of the data volume)")
+
+
+def project_duration(measured_seconds: float, policy: ScalePolicy,
+                     volume_bound: bool = True) -> float:
+    """Project a measured duration to paper scale.
+
+    Volume-bound stages (transfers, kernels, marshalling) grow with the
+    data volume; per-axis-bound stages (per-row request streams at a
+    fixed row size) grow with ``axis_factor``.
+    """
+    factor = policy.volume_factor if volume_bound else policy.axis_factor
+    return measured_seconds * factor
+
+
+def project_count(measured: int, policy: ScalePolicy,
+                  volume_bound: bool = True) -> int:
+    """Project a discrete count (requests, pages, tiles) to paper scale."""
+    factor = policy.volume_factor if volume_bound else policy.axis_factor
+    return round(measured * factor)

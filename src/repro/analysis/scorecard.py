@@ -1,0 +1,110 @@
+"""The reproduction scorecard: every paper anchor, one verdict each.
+
+Runs the calibrated experiments and grades each anchor against the
+paper's number with a tolerance band. This is the one-stop artifact-
+evaluation view (`python -m repro scorecard` / the scorecard
+benchmark).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.calibration import PAPER
+from repro.analysis.experiments import (endtoend_sweep,
+                                        micro_read_bandwidths,
+                                        micro_write_bandwidths,
+                                        overhead_latencies)
+
+__all__ = ["AnchorResult", "run_scorecard"]
+
+
+@dataclass(frozen=True)
+class AnchorResult:
+    """One graded anchor."""
+
+    name: str
+    paper: float
+    measured: float
+    tolerance: float            # relative band considered a pass
+    section: str
+
+    @property
+    def delta(self) -> float:
+        if self.paper == 0:
+            return 0.0
+        return (self.measured - self.paper) / self.paper
+
+    @property
+    def passed(self) -> bool:
+        return abs(self.delta) <= self.tolerance
+
+
+def run_scorecard(micro_n: int = 4096) -> List[AnchorResult]:
+    """Measure every quantitative anchor the paper states."""
+    results: List[AnchorResult] = []
+
+    reads = micro_read_bandwidths(n=micro_n)
+    writes = micro_write_bandwidths(n=micro_n)
+    results.append(AnchorResult(
+        "baseline row fetch (GB/s)", PAPER.baseline_row_read_gbs,
+        reads["row-fetch"]["baseline"] / 1e9, 0.20, "Fig 9(a)"))
+    results.append(AnchorResult(
+        "software NDS row fetch (GB/s)", PAPER.software_row_read_gbs,
+        reads["row-fetch"]["software"] / 1e9, 0.15, "Fig 9(a)"))
+    results.append(AnchorResult(
+        "hardware ~ baseline row fetch (ratio)", 1.0,
+        reads["row-fetch"]["hardware"] / reads["row-fetch"]["baseline"],
+        0.15, "Fig 9(a)"))
+    results.append(AnchorResult(
+        "baseline write (MB/s)", PAPER.baseline_write_mbs,
+        writes["baseline"] / 1e6, 0.20, "Fig 9(d)"))
+    results.append(AnchorResult(
+        "software write penalty", PAPER.software_write_penalty,
+        1 - writes["software"] / writes["baseline"], 0.30, "Fig 9(d)"))
+    results.append(AnchorResult(
+        "hardware write penalty", PAPER.hardware_write_penalty,
+        1 - writes["hardware"] / writes["baseline"], 0.30, "Fig 9(d)"))
+
+    sweep = endtoend_sweep()
+    software = statistics.mean(v["software-nds"][0] for v in sweep.values())
+    hardware = statistics.mean(v["hardware-nds"][0] for v in sweep.values())
+    results.append(AnchorResult(
+        "software NDS mean speedup", PAPER.software_nds_speedup,
+        software, 0.35, "Fig 10(a)"))
+    results.append(AnchorResult(
+        "hardware NDS mean speedup", PAPER.hardware_nds_speedup,
+        hardware, 0.35, "Fig 10(a)"))
+    results.append(AnchorResult(
+        "hardware/software ratio", PAPER.hardware_over_software,
+        hardware / software, 0.25, "Fig 10(a)"))
+    results.append(AnchorResult(
+        "BFS software speedup ~ 1", 1.0,
+        sweep["BFS"]["software-nds"][0], 0.45, "§7.2"))
+
+    idle_sw = [1 - v["software-nds"][1] / v["baseline"][1]
+               for v in sweep.values() if v["baseline"][1] > 0]
+    idle_hw = [1 - v["hardware-nds"][1] / v["baseline"][1]
+               for v in sweep.values() if v["baseline"][1] > 0]
+    results.append(AnchorResult(
+        "software idle reduction", PAPER.software_idle_reduction,
+        statistics.mean(idle_sw), 0.35, "Fig 10(b)"))
+    results.append(AnchorResult(
+        "hardware idle reduction", PAPER.hardware_idle_reduction,
+        statistics.mean(idle_hw), 0.30, "Fig 10(b)"))
+
+    overhead = overhead_latencies(n=micro_n)
+    results.append(AnchorResult(
+        "software STL adder (us)", PAPER.software_stl_latency_us,
+        (overhead["software"] - overhead["baseline"]) * 1e6, 0.50,
+        "§7.3"))
+    results.append(AnchorResult(
+        "hardware STL adder (us)", PAPER.hardware_stl_latency_us,
+        (overhead["hardware"] - overhead["baseline"]) * 1e6, 0.60,
+        "§7.3"))
+    results.append(AnchorResult(
+        "STL space overhead", PAPER.stl_space_overhead_fraction,
+        overhead["space_overhead"], 1.5, "§7.3"))
+    return results

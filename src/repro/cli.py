@@ -1,0 +1,206 @@
+"""Command-line front end: reproduce the paper's experiments standalone.
+
+The analogue of the paper artifact's ``run_evaluation.sh``::
+
+    python -m repro fig3              # component rate curves
+    python -m repro fig9              # microbenchmarks
+    python -m repro fig10             # end-to-end speedups (all ten apps)
+    python -m repro fig10 -w GEMM BFS # a subset
+    python -m repro overhead          # §7.3 latency/space overhead
+    python -m repro table1            # workload inventory
+    python -m repro all               # everything
+
+Each command prints the same rows/series the paper's figure reports.
+The pytest benchmarks (``pytest benchmarks/ --benchmark-only``) run the
+same drivers with paper-vs-measured assertions on top.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.calibration import PAPER
+from repro.analysis.experiments import (endtoend_sweep, fig3_series,
+                                        micro_read_bandwidths,
+                                        micro_write_bandwidths,
+                                        overhead_latencies)
+from repro.analysis.report import format_bandwidth, format_table
+
+__all__ = ["main"]
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    series = fig3_series()
+    if getattr(args, "csv", None):
+        from repro.analysis.export import export_series
+        out = export_series(series, Path(args.csv) / "fig3.csv")
+        print(f"wrote {out}")
+    dims = sorted(next(iter(series.values())))
+    rows = [[f"{d}x{d}"]
+            + [format_bandwidth(series[key][d])
+               for key in ("cuda", "tensor", "nvmeof", "internal_32ch",
+                           "consumer_8ch")]
+            for d in dims]
+    print(format_table(
+        ["matrix", "CUDA cores", "Tensor Cores", "NVMe-oF",
+         "32ch internal", "8ch external"], rows,
+        title="Fig 3: effective data processing rate / IO bandwidth"))
+
+
+def _cmd_fig9(args: argparse.Namespace) -> None:
+    n = args.size
+    reads = micro_read_bandwidths(n=n)
+    rows = [[pattern]
+            + [format_bandwidth(values[k])
+               for k in ("baseline", "software", "hardware")]
+            for pattern, values in reads.items()]
+    print(format_table(["pattern", "baseline", "software NDS",
+                        "hardware NDS"], rows,
+                       title=f"Fig 9(a-c): {n}x{n} doubles"))
+    writes = micro_write_bandwidths(n=n)
+    if getattr(args, "csv", None):
+        from repro.analysis.export import export_micro
+        out = export_micro(reads, writes, Path(args.csv) / "fig9.csv")
+        print(f"wrote {out}")
+    print()
+    print(format_table(
+        ["system", "write bandwidth", "vs baseline"],
+        [[k, format_bandwidth(v), f"{v / writes['baseline']:.2f}x"]
+         for k, v in writes.items()],
+        title="Fig 9(d): whole-matrix write"))
+    print(f"\npaper anchors: baseline row ~{PAPER.baseline_row_read_gbs} "
+          f"GB/s, software ~{PAPER.software_row_read_gbs} GB/s, write "
+          f"{PAPER.baseline_write_mbs:.0f} MB/s -{PAPER.software_write_penalty:.0%}"
+          f"/-{PAPER.hardware_write_penalty:.0%}")
+
+
+def _cmd_fig10(args: argparse.Namespace) -> None:
+    sweep = endtoend_sweep(workload_names=args.workloads or None)
+    if getattr(args, "csv", None):
+        from repro.analysis.export import export_sweep
+        out = export_sweep(sweep, Path(args.csv) / "fig10.csv")
+        print(f"wrote {out}")
+    rows = []
+    collected = {"software-nds": [], "software-oracle": [],
+                 "hardware-nds": []}
+    for name, per_system in sweep.items():
+        row = [name]
+        for key in ("software-nds", "software-oracle", "hardware-nds"):
+            value = per_system[key][0]
+            collected[key].append(value)
+            row.append(f"{value:.2f}x")
+        base_idle = per_system["baseline"][1]
+        if base_idle > 0:
+            row.append(f"{1 - per_system['hardware-nds'][1] / base_idle:+.0%}")
+        else:
+            row.append("-")
+        rows.append(row)
+    print(format_table(
+        ["workload", "software NDS", "oracle", "hardware NDS",
+         "hw idle reduction"], rows,
+        title="Fig 10: end-to-end speedup over the baseline"))
+    if len(rows) > 1:
+        means = {k: statistics.mean(v) for k, v in collected.items()}
+        print(f"\nmeans: software {means['software-nds']:.2f}x "
+              f"(paper {PAPER.software_nds_speedup}), hardware "
+              f"{means['hardware-nds']:.2f}x (paper "
+              f"{PAPER.hardware_nds_speedup})")
+
+
+def _cmd_overhead(_args: argparse.Namespace) -> None:
+    numbers = overhead_latencies()
+    base = numbers["baseline"]
+    rows = [[name, f"{numbers[name] * 1e6:.1f}",
+             f"{(numbers[name] - base) * 1e6:+.1f}"]
+            for name in ("baseline", "software", "hardware")]
+    print(format_table(["system", "single-page latency (us)",
+                        "adder vs baseline (us)"], rows,
+                       title="Sec 7.3: worst-case request latency"))
+    print(f"\nSTL space overhead: {numbers['space_overhead']:.3%} "
+          f"(paper ~{PAPER.stl_space_overhead_fraction:.1%}); paper "
+          f"adders: {PAPER.software_stl_latency_us:.0f} us software, "
+          f"{PAPER.hardware_stl_latency_us:.0f} us hardware")
+
+
+def _cmd_table1(_args: argparse.Namespace) -> None:
+    from repro.workloads import all_workloads
+    rows = []
+    for wl in all_workloads():
+        datasets = " + ".join("x".join(map(str, ds.dims))
+                              for ds in wl.datasets())
+        subs = sorted({f.extents for f in wl.tile_plan()})
+        rows.append([wl.name, wl.category, wl.data_dim_label,
+                     wl.kernel_dim_label, datasets,
+                     " / ".join("x".join(map(str, s)) for s in subs)])
+    print(format_table(["workload", "category", "data", "kernel",
+                        "dataset (scaled)", "sub-dimension (scaled)"],
+                       rows, title="Table 1 (scaled)"))
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    for command in (_cmd_table1, _cmd_fig3, _cmd_fig9, _cmd_overhead,
+                    _cmd_fig10):
+        command(args)
+        print()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'NDS: N-Dimensional Storage' (MICRO 2021)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig3 = sub.add_parser("fig3", help="component rate curves")
+    fig3.add_argument("--csv", default=None, metavar="DIR",
+                      help="also write tidy CSV into DIR")
+    fig3.set_defaults(fn=_cmd_fig3)
+    fig9 = sub.add_parser("fig9", help="I/O microbenchmarks")
+    fig9.add_argument("--size", type=int, default=4096,
+                      help="matrix dimension (default 4096)")
+    fig9.add_argument("--csv", default=None, metavar="DIR",
+                      help="also write tidy CSV into DIR")
+    fig9.set_defaults(fn=_cmd_fig9)
+    fig10 = sub.add_parser("fig10", help="end-to-end workloads")
+    fig10.add_argument("-w", "--workloads", nargs="*", default=None,
+                       help="subset of workload names (default: all)")
+    fig10.add_argument("--csv", default=None, metavar="DIR",
+                       help="also write tidy CSV into DIR")
+    fig10.set_defaults(fn=_cmd_fig10)
+    sub.add_parser("overhead", help="Sec 7.3 overheads").set_defaults(
+        fn=_cmd_overhead)
+    sub.add_parser("scorecard",
+                   help="grade every paper anchor").set_defaults(
+        fn=_cmd_scorecard)
+    sub.add_parser("table1", help="workload inventory").set_defaults(
+        fn=_cmd_table1)
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--size", type=int, default=4096)
+    everything.add_argument("-w", "--workloads", nargs="*", default=None)
+    everything.set_defaults(fn=_cmd_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+def _cmd_scorecard(_args: argparse.Namespace) -> None:
+    from repro.analysis.scorecard import run_scorecard
+    rows = []
+    for anchor in run_scorecard():
+        rows.append([anchor.section, anchor.name, f"{anchor.paper:g}",
+                     f"{anchor.measured:.3g}", f"{anchor.delta:+.0%}",
+                     "pass" if anchor.passed else "CHECK"])
+    print(format_table(["section", "anchor", "paper", "measured",
+                        "delta", "verdict"], rows,
+                       title="Reproduction scorecard"))

@@ -1,0 +1,74 @@
+"""The NDS core: spaces, building blocks, B-tree, translator, STL, API."""
+
+from repro.core.allocator import NdsAllocator
+from repro.core.api import NdsApi, NdsHandle, array_to_bytes, bytes_to_array
+from repro.core.btree import BlockEntry, BTreeIndex, BTreeNode, LookupResult
+from repro.core.building_block import (bb_size_min, bb_size_min_3d,
+                                       block_bytes, block_dims, block_volume,
+                                       pages_per_block)
+from repro.core.compression import (BlockCompressor, CompressionStats,
+                                    ZlibCompressor)
+from repro.core.controller import ControllerTiming, NdsController
+from repro.core.crypto import (SECTION_BYTES, BlockCipherModel,
+                               check_space_compatibility)
+from repro.core.device import Completion, NdsDevice
+from repro.core.errors import (CapacityError, InvalidCoordinateError,
+                               NdsError, SpaceClosedError,
+                               SpaceNotFoundError, ViewVolumeError)
+from repro.core.gc import NdsGarbageCollector, NdsGcResult
+from repro.core.space import Space
+from repro.core.stl import BlockOpResult, SpaceTranslationLayer, StlOpResult
+from repro.core.translator import (BlockAccess, pages_for_region, translate,
+                                   translate_region)
+from repro.core.views import (IdentityView, RegionMap, ReshapeView,
+                              TileGridView, View, linear_range_to_boxes)
+
+__all__ = [
+    "Space",
+    "SpaceTranslationLayer",
+    "StlOpResult",
+    "BlockOpResult",
+    "NdsApi",
+    "NdsHandle",
+    "array_to_bytes",
+    "bytes_to_array",
+    "NdsAllocator",
+    "NdsGarbageCollector",
+    "NdsGcResult",
+    "NdsController",
+    "ControllerTiming",
+    "BlockCompressor",
+    "ZlibCompressor",
+    "CompressionStats",
+    "BlockCipherModel",
+    "check_space_compatibility",
+    "SECTION_BYTES",
+    "NdsDevice",
+    "Completion",
+    "BTreeIndex",
+    "BTreeNode",
+    "BlockEntry",
+    "LookupResult",
+    "BlockAccess",
+    "translate",
+    "translate_region",
+    "pages_for_region",
+    "bb_size_min",
+    "bb_size_min_3d",
+    "block_dims",
+    "block_volume",
+    "block_bytes",
+    "pages_per_block",
+    "View",
+    "IdentityView",
+    "ReshapeView",
+    "TileGridView",
+    "RegionMap",
+    "linear_range_to_boxes",
+    "NdsError",
+    "SpaceNotFoundError",
+    "SpaceClosedError",
+    "InvalidCoordinateError",
+    "ViewVolumeError",
+    "CapacityError",
+]

@@ -1,0 +1,137 @@
+"""NDS space allocator — the §4.2 access-unit selection rules.
+
+The allocator hands out physical pages for building-block positions so
+that every block spreads over as many channels (then banks) as
+possible:
+
+1. first unit of a block → random channel and bank;
+2. existing block → the *least-used channel* of that block, in the same
+   bank as the block's most recently allocated unit;
+3. if the block already uses every channel of that bank → an unused or
+   least-used bank;
+4. if every (channel, bank) is used → one of the least-used banks, then
+   rules 1–3 again.
+
+Overwrites pick a fresh unit from the *same channel and bank* as the
+overwritten unit, preserving the block's parallelism.
+
+Free-space bookkeeping reuses the per-(channel, bank) log-structured
+:class:`~repro.ftl.mapping.PlaneAllocator`; NDS manages flash like an
+FTL underneath, it just *places* differently.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.core.btree import BlockEntry
+from repro.core.errors import CapacityError
+from repro.ftl.mapping import OutOfSpaceError, PlaneAllocator
+from repro.nvm.geometry import Geometry
+
+__all__ = ["NdsAllocator"]
+
+
+class NdsAllocator:
+    """Physical-unit allocation for building blocks."""
+
+    def __init__(self, geometry: Geometry, seed: int = 0x5D5) -> None:
+        self.geometry = geometry
+        self.rng = random.Random(seed)
+        self.planes: Dict[Tuple[int, int], PlaneAllocator] = {
+            (c, b): PlaneAllocator(c, b, geometry)
+            for c in range(geometry.channels)
+            for b in range(geometry.banks_per_channel)
+        }
+
+    # ------------------------------------------------------------------
+    # free-space queries
+    # ------------------------------------------------------------------
+    def free_fraction(self, channel: int, bank: int) -> float:
+        plane = self.planes[(channel, bank)]
+        return plane.free_page_count() / self.geometry.pages_per_bank
+
+    def total_free_pages(self) -> int:
+        return sum(p.free_page_count() for p in self.planes.values())
+
+    # ------------------------------------------------------------------
+    # §4.2 placement rules
+    # ------------------------------------------------------------------
+    def choose_target(self, entry: BlockEntry) -> Tuple[int, int]:
+        """Pick the (channel, bank) the next unit of ``entry`` should
+        come from, before consulting free space."""
+        g = self.geometry
+        if entry.last_alloc is None:
+            # Rule 1: brand-new block — random channel and bank.
+            return (self.rng.randrange(g.channels),
+                    self.rng.randrange(g.banks_per_channel))
+        bank = entry.last_alloc.bank
+        channels_in_bank = {c for (c, b) in entry.bank_use if b == bank}
+        if len(channels_in_bank) >= g.channels:
+            # Rule 3: block covers every channel of this bank already —
+            # move to an unused or least-used bank.
+            bank = self._least_used_bank(entry)
+        # Rule 2: least-used channel (within the chosen bank).
+        channel = self._least_used_channel(entry, bank)
+        return channel, bank
+
+    def _least_used_bank(self, entry: BlockEntry) -> int:
+        usage = [0] * self.geometry.banks_per_channel
+        for (_c, b), count in entry.bank_use.items():
+            usage[b] += count
+        least = min(usage)
+        candidates = [b for b, u in enumerate(usage) if u == least]
+        return self.rng.choice(candidates)
+
+    def _least_used_channel(self, entry: BlockEntry, bank: int) -> int:
+        usage = [entry.bank_use.get((c, bank), 0)
+                 for c in range(self.geometry.channels)]
+        least = min(usage)
+        candidates = [c for c, u in enumerate(usage) if u == least]
+        # Tie-break on overall per-channel use so blocks larger than one
+        # stripe still spread evenly.
+        candidates.sort(key=lambda c: entry.channel_use.get(c, 0))
+        return candidates[0]
+
+    # ------------------------------------------------------------------
+    def allocate(self, entry: BlockEntry, position: int,
+                 prefer: Optional[Tuple[int, int]] = None):
+        """Allocate a physical unit for block position ``position``.
+
+        ``prefer`` pins (channel, bank) — used for overwrites, which must
+        land in the same channel and bank as the replaced unit (§4.2).
+        Falls back over banks/channels (rule 4) before giving up.
+        """
+        if prefer is not None:
+            target = prefer
+        else:
+            target = self.choose_target(entry)
+        ppa = self._try_allocate(target)
+        if ppa is None:
+            ppa = self._fallback_allocate(target)
+        if ppa is None:
+            raise CapacityError("no free access unit in any channel/bank")
+        entry.record_alloc(ppa, position)
+        return ppa
+
+    def _try_allocate(self, target: Tuple[int, int]):
+        try:
+            return self.planes[target].allocate_page()
+        except OutOfSpaceError:
+            return None
+
+    def _fallback_allocate(self, target: Tuple[int, int]):
+        """Rule 4: scan least-used (most-free) planes first."""
+        ordered = sorted(self.planes.keys(),
+                         key=lambda key: -self.planes[key].free_page_count())
+        for key in ordered:
+            if key == target:
+                continue
+            ppa = self._try_allocate(key)
+            if ppa is not None:
+                return ppa
+        return None
+
+    def invalidate(self, ppa) -> None:
+        self.planes[(ppa.channel, ppa.bank)].invalidate(ppa)

@@ -1,0 +1,118 @@
+"""Building-block sizing — Equations 1–4 of the paper (§4.1).
+
+A building block is a fixed-size logical chunk whose pages are spread
+over all parallel channels (and, for 3-D blocks, banks), so that
+fetching one block always engages the device's full parallelism:
+
+* Eq. 1  ``BB_size_min = MaxParallelRequests × BasicAccessGranularity``
+* Eq. 2  each dimension of a 2-D block stores
+  ``2**ceil(log2(sqrt(BB_size_min / N)))`` elements for element size N
+* Eq. 3  ``3D_BB_size_min = BB_size_min × NumBanks``
+* Eq. 4  each dimension of a 3-D block stores
+  ``2**ceil(log2(cbrt(3D_BB_size_min / N)))`` elements
+
+NDS supports 1-D, 2-D and 3-D building blocks; in higher-dimensional
+spaces the block spans 1 element along every further axis (§4.1:
+"NDS sets the bb_i value to 1 when i > 3").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.nvm.geometry import Geometry
+
+__all__ = [
+    "bb_size_min",
+    "bb_size_min_3d",
+    "block_dims",
+    "block_volume",
+    "block_bytes",
+    "pages_per_block",
+]
+
+
+def bb_size_min(geometry: Geometry) -> int:
+    """Eq. 1: the smallest block that touches every channel once."""
+    return geometry.max_parallel_requests * geometry.page_size
+
+
+def bb_size_min_3d(geometry: Geometry) -> int:
+    """Eq. 3: the smallest 3-D block (channels × banks × page)."""
+    return bb_size_min(geometry) * geometry.banks_per_channel
+
+
+def _pow2_at_least(value: float) -> int:
+    """Smallest power of two >= value (value >= 1)."""
+    return 1 << max(0, math.ceil(math.log2(value)))
+
+
+def block_dims(space_dims: Sequence[int], element_size: int,
+               geometry: Geometry,
+               override: Optional[Sequence[int]] = None,
+               use_3d: bool = False) -> Tuple[int, ...]:
+    """Determine the building-block dimensionality for a space.
+
+    ``override`` pins the block shape explicitly (the paper's §7.1
+    prototype picks 256×256 for 8-byte elements where Eq. 2 alone gives
+    128×128); it must still cover at least one basic access unit per
+    channel, which :func:`pages_per_block` validates downstream.
+    ``use_3d`` opts a >=3-D space into 3-D cube blocks (Eq. 3/4) instead
+    of the default 2-D sub-blocks.
+    """
+    rank = len(space_dims)
+    if rank == 0:
+        raise ValueError("space must have at least one dimension")
+    if element_size < 1:
+        raise ValueError("element size must be >= 1 byte")
+    if override is not None:
+        if len(override) != rank:
+            raise ValueError("override rank must match space rank")
+        if any(b < 1 for b in override):
+            raise ValueError("override dims must be >= 1")
+        return tuple(int(b) for b in override)
+
+    if rank == 1:
+        elements = bb_size_min(geometry) / element_size
+        return (_pow2_at_least(elements),)
+    if not use_3d or rank == 2:
+        # Eq. 2: equal-size square block from the 2-D minimum, placed on
+        # the two largest axes (§4.1: "the STL uses each building block
+        # to store a two-dimensional sub-block if the space has at least
+        # two dimensions"). Figure 5's (8192, 8192, 4) space gets
+        # (128, 128, 1) blocks this way.
+        side = _pow2_at_least(math.sqrt(bb_size_min(geometry) / element_size))
+        return _assign_to_largest(space_dims, side, 2)
+    # Eq. 4: optional 3-D cube block using bank-level parallelism as the
+    # third dimension; axes beyond the third get bb_i = 1.
+    side = _pow2_at_least((bb_size_min_3d(geometry) / element_size) ** (1.0 / 3.0))
+    return _assign_to_largest(space_dims, side, 3)
+
+
+def _assign_to_largest(space_dims: Sequence[int], side: int,
+                       count: int) -> Tuple[int, ...]:
+    """Give ``side`` to the ``count`` largest axes (stable for ties),
+    1 to the rest."""
+    order = sorted(range(len(space_dims)),
+                   key=lambda axis: (-space_dims[axis], axis))
+    chosen = set(order[:count])
+    return tuple(side if axis in chosen else 1
+                 for axis in range(len(space_dims)))
+
+
+def block_volume(bb: Sequence[int]) -> int:
+    volume = 1
+    for extent in bb:
+        volume *= extent
+    return volume
+
+
+def block_bytes(bb: Sequence[int], element_size: int) -> int:
+    return block_volume(bb) * element_size
+
+
+def pages_per_block(bb: Sequence[int], element_size: int,
+                    geometry: Geometry) -> int:
+    """Basic access units per building block (>= 1)."""
+    return max(1, -(-block_bytes(bb, element_size) // geometry.page_size))

@@ -1,0 +1,124 @@
+"""Building-block-granular compression (§5.3.4).
+
+The paper's rule: compression composes with NDS when (1) it happens
+before space allocation and (2) it operates in units of building
+blocks. The STL then "simply uses fewer access units for each building
+block" — placement and even-wearing still work because the §4.2 rules
+don't care how many units a block has.
+
+``BlockCompressor`` is the strategy interface; the zlib codec is the
+real implementation (software/accelerator compression on the host for
+the software NDS, an engine in the device for hardware NDS); the
+truncating codec exists for tests that need deterministic ratios. A
+compressed block stores a small header (magic + payload length) so
+read-back is self-describing.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["BlockCompressor", "ZlibCompressor", "CompressionStats",
+           "HEADER_BYTES"]
+
+#: 4-byte magic + 4-byte payload length
+HEADER_BYTES = 8
+_MAGIC = 0x4E44_435A  # "NDCZ"
+
+
+@dataclass
+class CompressionStats:
+    """Aggregate effectiveness accounting."""
+
+    blocks_compressed: int = 0
+    raw_bytes: int = 0
+    stored_bytes: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """stored/raw — lower is better; 1.0 = incompressible."""
+        if self.raw_bytes == 0:
+            return 1.0
+        return self.stored_bytes / self.raw_bytes
+
+    def record(self, raw: int, stored: int) -> None:
+        self.blocks_compressed += 1
+        self.raw_bytes += raw
+        self.stored_bytes += stored
+
+
+class BlockCompressor(abc.ABC):
+    """Compression strategy applied per building block."""
+
+    def __init__(self) -> None:
+        self.stats = CompressionStats()
+
+    @abc.abstractmethod
+    def _compress(self, raw: bytes) -> bytes:
+        ...
+
+    @abc.abstractmethod
+    def _decompress(self, payload: bytes, raw_size: int) -> bytes:
+        ...
+
+    # ------------------------------------------------------------------
+    def compress_block(self, block: np.ndarray) -> np.ndarray:
+        """Compress one block's raw bytes; returns header + payload.
+
+        If compression does not help (payload + header >= raw), the raw
+        bytes are stored with a pass-through header so the device never
+        stores *more* than the uncompressed block.
+        """
+        raw = np.ascontiguousarray(block, dtype=np.uint8).tobytes()
+        payload = self._compress(raw)
+        if len(payload) + HEADER_BYTES >= len(raw):
+            payload = raw
+        header = struct.pack("<II", _MAGIC, len(payload))
+        stored = np.frombuffer(header + payload, dtype=np.uint8)
+        self.stats.record(len(raw), stored.size)
+        return stored
+
+    def decompress_block(self, stored: np.ndarray,
+                         raw_size: int) -> np.ndarray:
+        """Inverse of :meth:`compress_block`; ``stored`` may carry
+        page-padding beyond the payload."""
+        blob = np.ascontiguousarray(stored, dtype=np.uint8).tobytes()
+        if len(blob) < HEADER_BYTES:
+            raise ValueError("compressed block shorter than its header")
+        magic, length = struct.unpack("<II", blob[:HEADER_BYTES])
+        if magic != _MAGIC:
+            raise ValueError(f"bad compressed-block magic {magic:#x}")
+        payload = blob[HEADER_BYTES:HEADER_BYTES + length]
+        if len(payload) != length:
+            raise ValueError("compressed block truncated")
+        if length == raw_size:        # pass-through
+            raw = payload
+        else:
+            raw = self._decompress(payload, raw_size)
+        if len(raw) != raw_size:
+            raise ValueError(
+                f"decompressed {len(raw)} B, expected {raw_size}")
+        return np.frombuffer(raw, dtype=np.uint8).copy()
+
+
+class ZlibCompressor(BlockCompressor):
+    """DEFLATE per building block (level 1 by default — the throughput
+    point hardware engines target)."""
+
+    def __init__(self, level: int = 1) -> None:
+        super().__init__()
+        if not (0 <= level <= 9):
+            raise ValueError("zlib level must be in [0, 9]")
+        self.level = level
+
+    def _compress(self, raw: bytes) -> bytes:
+        return zlib.compress(raw, self.level)
+
+    def _decompress(self, payload: bytes, raw_size: int) -> bytes:
+        return zlib.decompress(payload)

@@ -1,0 +1,38 @@
+"""Exception hierarchy of the NDS core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "NdsError",
+    "SpaceNotFoundError",
+    "SpaceClosedError",
+    "InvalidCoordinateError",
+    "ViewVolumeError",
+    "CapacityError",
+]
+
+
+class NdsError(Exception):
+    """Base class for all NDS-level failures."""
+
+
+class SpaceNotFoundError(NdsError, KeyError):
+    """Unknown space identifier."""
+
+
+class SpaceClosedError(NdsError):
+    """Operation on a closed or deleted space handle."""
+
+
+class InvalidCoordinateError(NdsError, ValueError):
+    """Coordinate/sub-dimensionality outside the space bounds or with
+    mismatched rank."""
+
+
+class ViewVolumeError(NdsError, ValueError):
+    """A consumer view whose volume differs from the producer space
+    (§3: views must have matching volumes)."""
+
+
+class CapacityError(NdsError, RuntimeError):
+    """The device cannot supply free units even after garbage collection."""

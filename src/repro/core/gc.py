@@ -1,0 +1,181 @@
+"""NDS garbage collection (§4.2).
+
+"Garbage collection in NDS is similar to that of a conventional NVM
+storage device, except that NDS can maintain a reverse lookup table
+that records the building blocks associated with the erasing unit."
+The reverse table maps each physical unit to ``(space, block
+coordinate, position inside the block)`` — modelled as the 8 bytes of
+out-of-band metadata per unit the paper describes — so relocations can
+patch the B-tree leaf in place. Relocation stays within the same
+(channel, bank) to preserve block parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.allocator import NdsAllocator
+from repro.core.btree import BlockEntry
+from repro.ftl.mapping import OutOfSpaceError
+from repro.nvm.address import PhysicalPageAddress, ppa_to_index
+from repro.nvm.flash import FlashArray
+from repro.sim.stats import StatSet
+
+__all__ = ["NdsGarbageCollector", "NdsGcResult", "ReverseEntry"]
+
+#: modelled out-of-band bytes consumed per unit by the reverse table
+OOB_BYTES_PER_UNIT = 8
+
+
+@dataclass(frozen=True)
+class ReverseEntry:
+    space_id: int
+    block_coord: Tuple[int, ...]
+    position: int
+
+
+@dataclass
+class NdsGcResult:
+    ran: bool
+    end_time: float
+    units_relocated: int = 0
+    blocks_erased: int = 0
+    stats: StatSet = field(default_factory=StatSet)
+
+
+class NdsGarbageCollector:
+    """Greedy GC over the NDS allocator's planes."""
+
+    def __init__(self, allocator: NdsAllocator, flash: FlashArray,
+                 entry_resolver: Callable[[int, Tuple[int, ...]], Optional[BlockEntry]],
+                 threshold: float = 0.10, policy: str = "greedy") -> None:
+        if not (0.0 < threshold < 1.0):
+            raise ValueError("GC threshold must be in (0, 1)")
+        if policy not in ("greedy", "fifo", "cost-benefit"):
+            raise ValueError(f"unknown GC policy {policy!r}")
+        self.policy = policy
+        self.allocator = allocator
+        self.flash = flash
+        self.threshold = threshold
+        #: resolves (space_id, block_coord) -> live BlockEntry
+        self._entry_resolver = entry_resolver
+        self.reverse: Dict[int, ReverseEntry] = {}
+        self.total_relocated = 0
+        self.total_erased = 0
+
+    # ------------------------------------------------------------------
+    def note_alloc(self, ppa: PhysicalPageAddress, space_id: int,
+                   block_coord: Tuple[int, ...], position: int) -> None:
+        self.reverse[ppa_to_index(ppa, self.allocator.geometry)] = ReverseEntry(
+            space_id, block_coord, position)
+
+    def note_release(self, ppa: Optional[PhysicalPageAddress]) -> None:
+        if ppa is not None:
+            self.reverse.pop(ppa_to_index(ppa, self.allocator.geometry), None)
+
+    def reverse_table_bytes(self) -> int:
+        """Modelled OOB footprint of the reverse table."""
+        return len(self.reverse) * OOB_BYTES_PER_UNIT
+
+    # ------------------------------------------------------------------
+    def needs_collection(self, channel: int, bank: int) -> bool:
+        return self.allocator.free_fraction(channel, bank) < self.threshold
+
+    def collect(self, channel: int, bank: int, now: float,
+                target_fraction: float = None,
+                max_victims: int = None) -> NdsGcResult:
+        """Reclaim invalidated units in one (channel, bank).
+
+        ``target_fraction`` overrides the trigger threshold (background
+        GC cleans up to a higher watermark); ``max_victims`` bounds the
+        work per invocation.
+        """
+        target = (target_fraction if target_fraction is not None
+                  else self.threshold)
+        result = NdsGcResult(ran=False, end_time=now)
+        plane = self.allocator.planes[(channel, bank)]
+        geometry = self.allocator.geometry
+        while self.allocator.free_fraction(channel, bank) < target:
+            if max_victims is not None and result.blocks_erased >= max_victims:
+                break
+            victims = plane.victim_candidates(self.policy)
+            if not victims:
+                break
+            victim = victims[0]
+            state = plane.blocks[victim]
+            for page in range(geometry.pages_per_block):
+                if not state.valid[page]:
+                    continue
+                old_ppa = PhysicalPageAddress(channel, bank, victim, page)
+                back_ref = self.reverse.get(ppa_to_index(old_ppa, geometry))
+                read = self.flash.read_pages([old_ppa], now)
+                payload = None
+                if self.flash.store_data:
+                    payload = [self.flash.page_data(old_ppa)]
+                plane.invalidate(old_ppa)
+                try:
+                    new_ppa = plane.allocate_page()
+                except OutOfSpaceError:
+                    state.valid[page] = True
+                    result.end_time = max(result.end_time, read.end_time)
+                    return result
+                program = self.flash.program_pages([new_ppa], read.end_time,
+                                                   data=payload)
+                result.end_time = max(result.end_time, program.end_time)
+                result.units_relocated += 1
+                if back_ref is not None:
+                    self._patch_entry(back_ref, old_ppa, new_ppa)
+            erase = self.flash.erase_block(channel, bank, victim,
+                                           result.end_time)
+            plane.release_block(victim)
+            result.end_time = max(result.end_time, erase.end_time)
+            result.blocks_erased += 1
+            result.ran = True
+        self.total_relocated += result.units_relocated
+        self.total_erased += result.blocks_erased
+        result.stats.count("nds_gc_units_relocated", result.units_relocated)
+        result.stats.count("nds_gc_blocks_erased", result.blocks_erased)
+        return result
+
+    def collect_background(self, now: float, budget_seconds: float,
+                           watermark: float = None) -> NdsGcResult:
+        """Idle-time collection (§6.1: over-provisioning is reserved
+        for *background* garbage collection).
+
+        Cleans the fullest planes up to ``watermark`` (default 2× the
+        foreground trigger) until the time budget runs out, so later
+        foreground writes don't stall on inline GC.
+        """
+        if watermark is None:
+            watermark = min(0.9, 2.0 * self.threshold)
+        deadline = now + budget_seconds
+        total = NdsGcResult(ran=False, end_time=now)
+        planes = sorted(self.allocator.planes,
+                        key=lambda key: self.allocator.free_fraction(*key))
+        for channel, bank in planes:
+            if total.end_time >= deadline:
+                break
+            if self.allocator.free_fraction(channel, bank) >= watermark:
+                continue
+            part = self.collect(channel, bank, total.end_time,
+                                target_fraction=watermark, max_victims=1)
+            total.units_relocated += part.units_relocated
+            total.blocks_erased += part.blocks_erased
+            total.end_time = max(total.end_time, part.end_time)
+            total.ran = total.ran or part.ran
+        total.stats.count("nds_gc_units_relocated", total.units_relocated)
+        total.stats.count("nds_gc_blocks_erased", total.blocks_erased)
+        return total
+
+    def _patch_entry(self, back_ref: ReverseEntry,
+                     old_ppa: PhysicalPageAddress,
+                     new_ppa: PhysicalPageAddress) -> None:
+        geometry = self.allocator.geometry
+        self.reverse.pop(ppa_to_index(old_ppa, geometry), None)
+        self.reverse[ppa_to_index(new_ppa, geometry)] = back_ref
+        entry = self._entry_resolver(back_ref.space_id, back_ref.block_coord)
+        if entry is None:
+            return
+        entry.record_release(back_ref.position)
+        entry.record_alloc(new_ppa, back_ref.position)

@@ -1,0 +1,523 @@
+"""The Space Translation Layer (§4).
+
+The STL is the core of NDS. It owns the spaces, the per-space B-tree
+indexes, the allocator and the garbage collector, and it executes
+multi-dimensional reads/writes against the flash array:
+
+* planning — translate a request to building-block accesses (Eq. 5);
+* allocation — §4.2 placement rules, GC when a plane runs low;
+* execution — timed page reads/programs on the flash array;
+* assembly — byte-accurate scatter/gather between request buffers and
+  building blocks (the data the paper moves through "STL memory
+  space", §4.4).
+
+Data buffers are numpy ``uint8`` arrays of shape ``(*extents,
+element_size)`` — element-granular with an explicit byte axis, so the
+STL stays agnostic of application dtypes (the API layer converts).
+
+Timing attribution: the STL charges *flash* time to the flash array's
+timelines and reports structural counts (blocks, pages, B-tree node
+visits, units allocated). Where the translation/assembly *CPU* cost is
+paid — host cores for the software NDS, the controller pipeline for
+hardware NDS — is the systems layer's decision (paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocator import NdsAllocator
+from repro.core.btree import BlockEntry, BTreeIndex
+from repro.core.errors import SpaceNotFoundError
+from repro.core.gc import NdsGarbageCollector
+from repro.core.space import Space
+from repro.core.translator import (BlockAccess, pages_for_region, translate,
+                                   translate_region)
+from repro.nvm.flash import FlashArray
+from repro.sim.stats import StatSet
+
+__all__ = ["SpaceTranslationLayer", "StlOpResult", "BlockOpResult"]
+
+
+@dataclass
+class BlockOpResult:
+    """Timing/structure outcome of one building-block access."""
+
+    access: BlockAccess
+    issue_time: float
+    completion_time: float
+    pages: int
+    nodes_visited: int
+    units_allocated: int = 0
+    rmw_reads: int = 0
+    gc_time: float = 0.0
+
+
+@dataclass
+class StlOpResult:
+    """Aggregate outcome of one STL read/write request."""
+
+    start_time: float
+    end_time: float
+    blocks: List[BlockOpResult] = field(default_factory=list)
+    data: Optional[np.ndarray] = None
+    stats: StatSet = field(default_factory=StatSet)
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def pages_touched(self) -> int:
+        return sum(b.pages for b in self.blocks)
+
+    @property
+    def nodes_visited(self) -> int:
+        return sum(b.nodes_visited for b in self.blocks)
+
+
+class SpaceTranslationLayer:
+    """Create spaces, translate coordinates, move data (§4)."""
+
+    def __init__(self, flash: FlashArray, gc_threshold: float = 0.10,
+                 seed: int = 0x5D5, compressor=None,
+                 elide_zero_pages: bool = False,
+                 gc_policy: str = "greedy") -> None:
+        self.flash = flash
+        self.geometry = flash.geometry
+        #: optional §5.3.4 building-block-granular compressor
+        #: (:class:`repro.core.compression.BlockCompressor`); compressed
+        #: blocks occupy fewer access units
+        self.compressor = compressor
+        #: §8's sparse optimization ("similar to page-zero optimization
+        #: in VAX/VMS"): all-zero pages are never programmed — the leaf
+        #: slot stays empty and reads synthesize zeros
+        self.elide_zero_pages = elide_zero_pages
+        if compressor is not None and not flash.store_data:
+            raise ValueError(
+                "block compression needs functional mode (store_data=True)")
+        if elide_zero_pages and not flash.store_data:
+            raise ValueError(
+                "zero-page elision needs functional mode (store_data=True)")
+        self.allocator = NdsAllocator(flash.geometry, seed=seed)
+        self.gc = NdsGarbageCollector(self.allocator, flash,
+                                      self._resolve_entry,
+                                      threshold=gc_threshold,
+                                      policy=gc_policy)
+        self.spaces: Dict[int, Space] = {}
+        self.indexes: Dict[int, BTreeIndex] = {}
+        self._next_space_id = 1
+        self.stats = StatSet()
+        #: page-sized byte count of one block page slot
+        self._page_size = flash.geometry.page_size
+
+    # ------------------------------------------------------------------
+    # space management (§5.1 space creation/management)
+    # ------------------------------------------------------------------
+    def create_space(self, dims: Sequence[int], element_size: int,
+                     bb_override: Optional[Sequence[int]] = None,
+                     use_3d_blocks: bool = False) -> Space:
+        space = Space.create(self._next_space_id, dims, element_size,
+                             self.geometry, bb_override=bb_override,
+                             use_3d_blocks=use_3d_blocks)
+        self._next_space_id += 1
+        self.spaces[space.space_id] = space
+        self.indexes[space.space_id] = BTreeIndex(space)
+        self.stats.count("spaces_created")
+        return space
+
+    def get_space(self, space_id: int) -> Space:
+        space = self.spaces.get(space_id)
+        if space is None or space.deleted:
+            raise SpaceNotFoundError(space_id)
+        return space
+
+    def delete_space(self, space_id: int) -> int:
+        """Invalidate all building blocks and drop the index
+        (the ``delete_space`` command of §5.3.1). Returns the number of
+        units released."""
+        space = self.get_space(space_id)
+        index = self.indexes[space_id]
+        released = 0
+        for entry in list(index.iter_entries()):
+            for position in range(len(entry.pages)):
+                ppa = entry.record_release(position)
+                if ppa is not None:
+                    self.allocator.invalidate(ppa)
+                    self.gc.note_release(ppa)
+                    released += 1
+        space.deleted = True
+        del self.indexes[space_id]
+        self.stats.count("spaces_deleted")
+        return released
+
+    def resize_space(self, space_id: int,
+                     new_dims: Sequence[int]) -> Space:
+        """Expand or shrink an existing space along its axes (§5.1:
+        passing an existing identifier "triggers the STL to expand,
+        shrink, or restructure the existing space").
+
+        Growth keeps every building block in place — the grid simply
+        extends. Shrinking releases the blocks that fall entirely
+        outside the new bounds; blocks straddling the boundary are kept
+        (their out-of-range elements become inaccessible slack). The
+        rank and the element size are immutable; use views for
+        rank-changing access.
+        """
+        space = self.get_space(space_id)
+        new_dims = tuple(int(d) for d in new_dims)
+        if len(new_dims) != space.rank:
+            raise ValueError(
+                f"resize cannot change rank ({space.rank} -> "
+                f"{len(new_dims)}); open a view instead")
+        old_index = self.indexes[space_id]
+        resized = Space(space_id=space_id, dims=new_dims,
+                        element_size=space.element_size, bb=space.bb,
+                        pages_per_block=space.pages_per_block,
+                        open_views=space.open_views)
+        new_index = BTreeIndex(resized)
+        released = 0
+        for entry in old_index.iter_entries():
+            inside = all(coord < grid for coord, grid
+                         in zip(entry.coord, resized.grid))
+            if inside:
+                replacement = new_index.ensure(entry.coord).entry
+                replacement.pages = entry.pages
+                replacement.channel_use = entry.channel_use
+                replacement.bank_use = entry.bank_use
+                replacement.last_alloc = entry.last_alloc
+                replacement.stored_bytes = entry.stored_bytes
+                continue
+            for position in range(len(entry.pages)):
+                ppa = entry.record_release(position)
+                if ppa is not None:
+                    self.allocator.invalidate(ppa)
+                    self.gc.note_release(ppa)
+                    released += 1
+        self.spaces[space_id] = resized
+        self.indexes[space_id] = new_index
+        self.stats.count("spaces_resized")
+        self.stats.count("resize_units_released", released)
+        return resized
+
+    def lookup_structure_bytes(self) -> int:
+        """DRAM footprint of all STL lookup structures (§7.3)."""
+        return sum(index.memory_bytes() for index in self.indexes.values())
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, space_id: int, coordinate: Sequence[int],
+             sub_dim: Sequence[int]) -> List[BlockAccess]:
+        return translate(self.get_space(space_id), coordinate, sub_dim)
+
+    def plan_region(self, space_id: int, origin: Sequence[int],
+                    extents: Sequence[int]) -> List[BlockAccess]:
+        return translate_region(self.get_space(space_id), origin, extents)
+
+    # ------------------------------------------------------------------
+    # block-granular execution (systems drive pacing through these)
+    # ------------------------------------------------------------------
+    def read_block(self, space_id: int, access: BlockAccess,
+                   issue_time: float,
+                   out: Optional[np.ndarray] = None) -> BlockOpResult:
+        """Read one block access; scatter into ``out`` (request-shaped
+        ``(*extents, element_size)`` uint8 array) when given."""
+        space = self.get_space(space_id)
+        index = self.indexes[space_id]
+        lookup = index.lookup(access.block_coord)
+        positions = pages_for_region(space, access.block_slice)
+        completion = issue_time
+        pages_read = 0
+        if lookup.entry is not None:
+            if lookup.entry.stored_bytes is not None:
+                # compressed blocks are stored whole: any read touches
+                # every (fewer) stored unit (§5.3.4)
+                ppas = lookup.entry.allocated_pages()
+            else:
+                ppas = [lookup.entry.pages[p] for p in positions
+                        if lookup.entry.pages[p] is not None]
+            if ppas:
+                op = self.flash.read_pages(ppas, issue_time)
+                completion = op.end_time
+                pages_read = len(ppas)
+        if out is not None:
+            self._scatter_block(space, access, lookup.entry, out)
+        self.stats.count("stl_pages_read", pages_read)
+        return BlockOpResult(access=access, issue_time=issue_time,
+                             completion_time=completion, pages=pages_read,
+                             nodes_visited=lookup.nodes_visited)
+
+    def write_block(self, space_id: int, access: BlockAccess,
+                    issue_time: float,
+                    region: Optional[np.ndarray] = None) -> BlockOpResult:
+        """Write one block access; ``region`` is the block-region-shaped
+        ``(*extent, element_size)`` uint8 payload (None = timing only)."""
+        space = self.get_space(space_id)
+        index = self.indexes[space_id]
+        lookup = index.ensure(access.block_coord)
+        entry = lookup.entry
+        if self.compressor is not None and region is not None:
+            return self._write_block_compressed(space_id, space, lookup,
+                                                access, issue_time, region)
+        positions = pages_for_region(space, access.block_slice)
+        page_bytes = self._page_size
+
+        # Merge phase: materialize current block content for the touched
+        # pages if the write covers them only partially (read-modify-write
+        # on overwrite, new-unit programming per NAND rules).
+        new_content: Optional[np.ndarray] = None
+        rmw_reads = 0
+        rmw_done = issue_time
+        covers_block = all(
+            lo == 0 and hi == extent
+            for (lo, hi), extent in zip(access.block_slice, space.bb))
+        if self.flash.store_data and region is not None:
+            new_content = self._block_buffer(space, entry)
+            existing = [entry.pages[p] for p in positions
+                        if entry.pages[p] is not None]
+            partial = not covers_block
+            if existing and partial:
+                op = self.flash.read_pages(existing, issue_time)
+                rmw_done = op.end_time
+                rmw_reads = len(existing)
+            view = new_content[:space.block_bytes].reshape(
+                space.bb + (space.element_size,))
+            slicer = tuple(slice(lo, hi) for lo, hi in access.block_slice)
+            view[slicer] = region
+        elif not self.flash.store_data:
+            existing = [entry.pages[p] for p in positions
+                        if entry.pages[p] is not None]
+            partial = not covers_block
+            if existing and partial:
+                op = self.flash.read_pages(existing, issue_time)
+                rmw_done = op.end_time
+                rmw_reads = len(existing)
+
+        # Allocate + program each touched page.
+        completion = rmw_done
+        units = 0
+        gc_time = 0.0
+        for position in positions:
+            old = entry.pages[position]
+            if old is not None:
+                prefer = (old.channel, old.bank)
+                entry.record_release(position)
+                self.allocator.invalidate(old)
+                self.gc.note_release(old)
+            else:
+                prefer = self.allocator.choose_target(entry)
+            if self.gc.needs_collection(*prefer):
+                gc_result = self.gc.collect(prefer[0], prefer[1], completion)
+                gc_time += max(0.0, gc_result.end_time - completion)
+                completion = max(completion, gc_result.end_time)
+            payload = None
+            if new_content is not None:
+                start = position * page_bytes
+                payload = [new_content[start:start + page_bytes]]
+            if (self.elide_zero_pages and payload is not None
+                    and old is None and not payload[0].any()):
+                # sparse optimization (§8): never materialize an
+                # all-zero page; the empty leaf slot reads back as zeros
+                self.stats.count("stl_pages_elided")
+                continue
+            ppa = self.allocator.allocate(entry, position, prefer=prefer)
+            self.gc.note_alloc(ppa, space_id, access.block_coord, position)
+            op = self.flash.program_pages([ppa], rmw_done, data=payload)
+            completion = max(completion, op.end_time)
+            units += 1
+        self.stats.count("stl_pages_programmed", units)
+        return BlockOpResult(access=access, issue_time=issue_time,
+                             completion_time=completion, pages=units,
+                             nodes_visited=lookup.nodes_visited,
+                             units_allocated=units, rmw_reads=rmw_reads,
+                             gc_time=gc_time)
+
+    # ------------------------------------------------------------------
+    # request-granular convenience (§4.4 read/write + assembly)
+    # ------------------------------------------------------------------
+    def read(self, space_id: int, coordinate: Sequence[int],
+             sub_dim: Sequence[int], start_time: float = 0.0,
+             with_data: bool = True) -> StlOpResult:
+        accesses = self.plan(space_id, coordinate, sub_dim)
+        return self._read_accesses(space_id, tuple(sub_dim), accesses,
+                                   start_time, with_data)
+
+    def read_region(self, space_id: int, origin: Sequence[int],
+                    extents: Sequence[int], start_time: float = 0.0,
+                    with_data: bool = True) -> StlOpResult:
+        accesses = self.plan_region(space_id, origin, extents)
+        return self._read_accesses(space_id, tuple(extents), accesses,
+                                   start_time, with_data)
+
+    def write(self, space_id: int, coordinate: Sequence[int],
+              sub_dim: Sequence[int], data: Optional[np.ndarray] = None,
+              start_time: float = 0.0) -> StlOpResult:
+        accesses = self.plan(space_id, coordinate, sub_dim)
+        return self._write_accesses(space_id, tuple(sub_dim), accesses,
+                                    data, start_time)
+
+    def write_region(self, space_id: int, origin: Sequence[int],
+                     extents: Sequence[int],
+                     data: Optional[np.ndarray] = None,
+                     start_time: float = 0.0) -> StlOpResult:
+        accesses = self.plan_region(space_id, origin, extents)
+        return self._write_accesses(space_id, tuple(extents), accesses,
+                                    data, start_time)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _read_accesses(self, space_id: int, extents: Tuple[int, ...],
+                       accesses: List[BlockAccess], start_time: float,
+                       with_data: bool) -> StlOpResult:
+        space = self.get_space(space_id)
+        out = None
+        if with_data and self.flash.store_data:
+            out = np.zeros(extents + (space.element_size,), dtype=np.uint8)
+        result = StlOpResult(start_time=start_time, end_time=start_time,
+                             data=out)
+        for access in accesses:
+            block = self.read_block(space_id, access, start_time, out=out)
+            result.blocks.append(block)
+            if block.completion_time > result.end_time:
+                result.end_time = block.completion_time
+        result.stats.count("stl_reads")
+        return result
+
+    def _write_accesses(self, space_id: int, extents: Tuple[int, ...],
+                        accesses: List[BlockAccess],
+                        data: Optional[np.ndarray],
+                        start_time: float) -> StlOpResult:
+        space = self.get_space(space_id)
+        if data is not None:
+            expected = extents + (space.element_size,)
+            if tuple(data.shape) != expected:
+                raise ValueError(
+                    f"data shape {data.shape} != expected {expected}")
+        result = StlOpResult(start_time=start_time, end_time=start_time)
+        for access in accesses:
+            region = None
+            if data is not None and self.flash.store_data:
+                slicer = tuple(slice(lo, hi) for lo, hi in access.out_slice)
+                region = data[slicer]
+            block = self.write_block(space_id, access, start_time,
+                                     region=region)
+            result.blocks.append(block)
+            if block.completion_time > result.end_time:
+                result.end_time = block.completion_time
+        result.stats.count("stl_writes")
+        return result
+
+    def _write_block_compressed(self, space_id: int, space: Space, lookup,
+                                access: BlockAccess, issue_time: float,
+                                region: np.ndarray) -> BlockOpResult:
+        """§5.3.4 path: merge, compress the whole block, store it in
+        (fewer) fresh units."""
+        entry = lookup.entry
+        page_bytes = self._page_size
+
+        # Merge: materialize current content (decompressing if present),
+        # reading the stored units when the write is partial.
+        old_ppas = entry.allocated_pages()
+        covers_block = all(
+            lo == 0 and hi == extent
+            for (lo, hi), extent in zip(access.block_slice, space.bb))
+        rmw_reads = 0
+        rmw_done = issue_time
+        if old_ppas and not covers_block:
+            op = self.flash.read_pages(old_ppas, issue_time)
+            rmw_done = op.end_time
+            rmw_reads = len(old_ppas)
+        content = self._block_buffer(space, entry)
+        view = content[:space.block_bytes].reshape(
+            space.bb + (space.element_size,))
+        slicer = tuple(slice(lo, hi) for lo, hi in access.block_slice)
+        view[slicer] = region
+
+        stored = self.compressor.compress_block(content[:space.block_bytes])
+        needed = max(1, -(-stored.size // page_bytes))
+        if needed > len(entry.pages):
+            # the codec header can push an incompressible block one page
+            # past its raw footprint
+            entry.pages.extend([None] * (needed - len(entry.pages)))
+
+        # Release every old unit, then place the compressed payload.
+        old_planes = []
+        for position in range(len(entry.pages)):
+            ppa = entry.record_release(position)
+            if ppa is not None:
+                old_planes.append((ppa.channel, ppa.bank))
+                self.allocator.invalidate(ppa)
+                self.gc.note_release(ppa)
+        completion = rmw_done
+        gc_time = 0.0
+        units = 0
+        for position in range(needed):
+            if position < len(old_planes):
+                prefer = old_planes[position]
+            else:
+                prefer = self.allocator.choose_target(entry)
+            if self.gc.needs_collection(*prefer):
+                gc_result = self.gc.collect(prefer[0], prefer[1], completion)
+                gc_time += max(0.0, gc_result.end_time - completion)
+                completion = max(completion, gc_result.end_time)
+            ppa = self.allocator.allocate(entry, position, prefer=prefer)
+            self.gc.note_alloc(ppa, space_id, access.block_coord, position)
+            chunk = stored[position * page_bytes:(position + 1) * page_bytes]
+            op = self.flash.program_pages([ppa], rmw_done, data=[chunk])
+            completion = max(completion, op.end_time)
+            units += 1
+        entry.stored_bytes = stored.size
+        self.stats.count("stl_pages_programmed", units)
+        self.stats.count("stl_blocks_compressed")
+        return BlockOpResult(access=access, issue_time=issue_time,
+                             completion_time=completion, pages=units,
+                             nodes_visited=lookup.nodes_visited,
+                             units_allocated=units, rmw_reads=rmw_reads,
+                             gc_time=gc_time)
+
+    def _resolve_entry(self, space_id: int,
+                       block_coord: Tuple[int, ...]) -> Optional[BlockEntry]:
+        index = self.indexes.get(space_id)
+        if index is None:
+            return None
+        return index.lookup(block_coord).entry
+
+    def _block_buffer(self, space: Space, entry: BlockEntry) -> np.ndarray:
+        """Materialize a block's full byte content (zeros where
+        unwritten), page-slot padded. Compressed blocks (§5.3.4) are
+        inflated back to their raw layout."""
+        total = space.pages_per_block * self._page_size
+        buffer = np.zeros(total, dtype=np.uint8)
+        if entry.stored_bytes is not None:
+            stored = np.concatenate(
+                [self.flash.page_data(ppa)
+                 for ppa in entry.allocated_pages()])
+            raw = self.compressor.decompress_block(
+                stored[:max(entry.stored_bytes, 0)], space.block_bytes)
+            buffer[:space.block_bytes] = raw
+            return buffer
+        for position, ppa in enumerate(entry.pages):
+            if ppa is None:
+                continue
+            page = self.flash.page_data(ppa)
+            buffer[position * self._page_size:
+                   (position + 1) * self._page_size] = page
+        return buffer
+
+    def _scatter_block(self, space: Space, access: BlockAccess,
+                       entry: Optional[BlockEntry],
+                       out: np.ndarray) -> None:
+        out_slicer = tuple(slice(lo, hi) for lo, hi in access.out_slice)
+        if entry is None:
+            out[out_slicer] = 0
+            return
+        buffer = self._block_buffer(space, entry)
+        view = buffer[:space.block_bytes].reshape(
+            space.bb + (space.element_size,))
+        block_slicer = tuple(slice(lo, hi) for lo, hi in access.block_slice)
+        out[out_slicer] = view[block_slicer]

@@ -1,0 +1,135 @@
+"""The space translator (§4.3, Eq. 5).
+
+Given a request — a coordinate in an application-defined space plus the
+sub-dimensionality of the requested partition — the translator produces
+the set of building blocks covering the partition, together with the
+intra-block region and the position of that region inside the request
+buffer. This is Eq. 5 of the paper: per axis *i* the block indices run
+from ``floor(origin_i / bb_i)`` through
+``floor((origin_i + extent_i - 1) / bb_i)``.
+
+The translator also computes which *pages* of a block a partial access
+touches (blocks store their elements row-major, split sequentially into
+pages, §4.2), so partial reads fetch only the necessary units.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.space import Space
+
+__all__ = ["BlockAccess", "translate", "translate_region",
+           "pages_for_region", "region_volume"]
+
+
+@dataclass(frozen=True)
+class BlockAccess:
+    """One building block touched by a request.
+
+    ``block_slice`` / ``out_slice`` are per-axis ``(start, stop)`` pairs
+    relative to the block origin / the request origin respectively.
+    """
+
+    block_coord: Tuple[int, ...]
+    block_slice: Tuple[Tuple[int, int], ...]
+    out_slice: Tuple[Tuple[int, int], ...]
+
+    @property
+    def is_full_block(self) -> bool:
+        return all(start == 0 for start, _stop in self.block_slice)
+
+    def extent(self) -> Tuple[int, ...]:
+        return tuple(stop - start for start, stop in self.block_slice)
+
+    def element_count(self) -> int:
+        count = 1
+        for start, stop in self.block_slice:
+            count *= stop - start
+        return count
+
+
+def region_volume(extents: Sequence[int]) -> int:
+    volume = 1
+    for extent in extents:
+        volume *= extent
+    return volume
+
+
+def translate(space: Space, coordinate: Sequence[int],
+              sub_dim: Sequence[int]) -> List[BlockAccess]:
+    """Map a (coordinate, sub-dimensionality) request onto building
+    blocks (Eq. 5). Blocks are emitted in row-major grid order."""
+    space.validate_request(coordinate, sub_dim)
+    origin = space.request_origin(coordinate, sub_dim)
+    return translate_region(space, origin, tuple(sub_dim))
+
+
+def translate_region(space: Space, origin: Sequence[int],
+                     extents: Sequence[int]) -> List[BlockAccess]:
+    """Raw-region variant of :func:`translate` (used by views, whose
+    regions need not be partition-aligned)."""
+    if len(origin) != space.rank or len(extents) != space.rank:
+        raise ValueError("origin/extents rank mismatch")
+    for axis, (o, f, d) in enumerate(zip(origin, extents, space.dims)):
+        if f < 1 or o < 0 or o + f > d:
+            raise ValueError(
+                f"region [{o}, {o + f}) exceeds extent {d} on axis {axis}")
+    axis_ranges = []
+    for o, f, bb in zip(origin, extents, space.bb):
+        first = o // bb
+        last = (o + f - 1) // bb
+        axis_ranges.append(range(first, last + 1))
+
+    accesses: List[BlockAccess] = []
+    for block_coord in itertools.product(*axis_ranges):
+        block_slice = []
+        out_slice = []
+        for axis, y in enumerate(block_coord):
+            bb = space.bb[axis]
+            lo = max(origin[axis], y * bb)
+            hi = min(origin[axis] + extents[axis], (y + 1) * bb)
+            block_slice.append((lo - y * bb, hi - y * bb))
+            out_slice.append((lo - origin[axis], hi - origin[axis]))
+        accesses.append(BlockAccess(
+            block_coord=tuple(block_coord),
+            block_slice=tuple(block_slice),
+            out_slice=tuple(out_slice),
+        ))
+    return accesses
+
+
+def pages_for_region(space: Space,
+                     block_slice: Sequence[Tuple[int, int]]) -> List[int]:
+    """Page positions (0-based within the block) that a block region
+    touches. Elements are row-major inside the block; pages split that
+    byte stream sequentially."""
+    bb = space.bb
+    elem = space.element_size
+    page = space.pages_per_block
+    page_size_bytes = -(-space.block_bytes // page)
+    full = all(start == 0 and stop == extent
+               for (start, stop), extent in zip(block_slice, bb))
+    if full:
+        return list(range(page))
+
+    # Walk contiguous runs: fix all axes but the last, the last axis is a
+    # contiguous span of bytes in the block's row-major layout.
+    last_start, last_stop = block_slice[-1]
+    run_bytes = (last_stop - last_start) * elem
+    strides = [elem] * len(bb)
+    for axis in range(len(bb) - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * bb[axis + 1]
+
+    pages = set()
+    outer_ranges = [range(start, stop) for start, stop in block_slice[:-1]]
+    for outer in itertools.product(*outer_ranges):
+        offset = last_start * elem
+        for axis, index in enumerate(outer):
+            offset += index * strides[axis]
+        first_page = offset // page_size_bytes
+        last_page = (offset + run_bytes - 1) // page_size_bytes
+        pages.update(range(first_page, last_page + 1))
+    return sorted(pages)

@@ -1,0 +1,252 @@
+"""Consumer views: application-defined dimensionality over a space.
+
+§3 of the paper lets a consumer define *its own* dimensionality for an
+existing space "as long as the volumes of these two dimensionalities
+match". The paper's Eq. 5 is underspecified for rank-changing views
+(see DESIGN.md), so we implement three precise semantics:
+
+* :class:`IdentityView` — consumer dims equal producer dims.
+* :class:`TileGridView` — Figure 5's case: a producer space whose last
+  axis enumerates K equal tiles is viewed as those tiles arranged in a
+  grid (e.g. an (8192, 8192, 4) space viewed as a 16384×16384 matrix of
+  2×2 quadrants).
+* :class:`ReshapeView` — generic row-major reshape between volume-equal
+  dimensionalities; requests decompose into producer boxes run by run.
+
+Every view resolves a consumer request to a list of
+:class:`RegionMap` — producer regions plus their placement inside the
+consumer's request buffer — which the STL feeds to the translator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.errors import InvalidCoordinateError, ViewVolumeError
+
+__all__ = ["RegionMap", "View", "IdentityView", "TileGridView",
+           "ReshapeView", "linear_range_to_boxes"]
+
+
+@dataclass(frozen=True)
+class RegionMap:
+    """One producer region backing part of a consumer request.
+
+    ``out_origin`` locates the region inside the consumer request
+    buffer, whose shape is ``out_extents`` (the producer region's
+    extents re-arranged into the consumer's axes).
+    """
+
+    producer_origin: Tuple[int, ...]
+    producer_extents: Tuple[int, ...]
+    out_origin: Tuple[int, ...]
+    out_extents: Tuple[int, ...]
+
+
+def _volume(dims: Sequence[int]) -> int:
+    product = 1
+    for extent in dims:
+        product *= extent
+    return product
+
+
+def _check_region(dims: Sequence[int], origin: Sequence[int],
+                  extents: Sequence[int]) -> None:
+    if len(origin) != len(dims) or len(extents) != len(dims):
+        raise InvalidCoordinateError("request rank does not match view rank")
+    for axis, (o, f, d) in enumerate(zip(origin, extents, dims)):
+        if f < 1 or o < 0 or o + f > d:
+            raise InvalidCoordinateError(
+                f"view region [{o}, {o + f}) exceeds extent {d} on axis {axis}")
+
+
+class View:
+    """A consumer's dimensionality over a producer space."""
+
+    #: consumer-visible dimensionality
+    dims: Tuple[int, ...]
+
+    def resolve(self, origin: Sequence[int],
+                extents: Sequence[int]) -> List[RegionMap]:
+        raise NotImplementedError
+
+
+class IdentityView(View):
+    """Consumer view identical to the producer space."""
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        self.dims = tuple(dims)
+
+    def resolve(self, origin: Sequence[int],
+                extents: Sequence[int]) -> List[RegionMap]:
+        _check_region(self.dims, origin, extents)
+        return [RegionMap(tuple(origin), tuple(extents),
+                          tuple(0 for _ in origin), tuple(extents))]
+
+
+class TileGridView(View):
+    """Tiles enumerated on the producer's last axis, arranged in a grid.
+
+    The producer space has shape ``(t_1, ..., t_k, K)``; the consumer
+    sees shape ``(t_1 * g_1, ..., t_k * g_k)`` where ``prod(g) == K``
+    and tile ``(r_1, ..., r_k)`` of the grid is producer slab
+    ``index = row-major(r)`` on the last axis.
+    """
+
+    def __init__(self, producer_dims: Sequence[int],
+                 grid: Sequence[int]) -> None:
+        producer_dims = tuple(producer_dims)
+        grid = tuple(grid)
+        if len(producer_dims) < 2:
+            raise ViewVolumeError("tile-grid view needs a tile axis")
+        tile = producer_dims[:-1]
+        count = producer_dims[-1]
+        if len(grid) != len(tile):
+            raise ViewVolumeError("grid rank must match tile rank")
+        if _volume(grid) != count:
+            raise ViewVolumeError(
+                f"grid {grid} does not enumerate {count} tiles")
+        self.producer_dims = producer_dims
+        self.tile = tile
+        self.grid = grid
+        self.dims = tuple(t * g for t, g in zip(tile, grid))
+
+    def _tile_index(self, grid_coord: Sequence[int]) -> int:
+        index = 0
+        for g, c in zip(self.grid, grid_coord):
+            index = index * g + c
+        return index
+
+    def resolve(self, origin: Sequence[int],
+                extents: Sequence[int]) -> List[RegionMap]:
+        _check_region(self.dims, origin, extents)
+        axis_tiles = []
+        for o, f, t in zip(origin, extents, self.tile):
+            first = o // t
+            last = (o + f - 1) // t
+            axis_tiles.append(range(first, last + 1))
+        regions: List[RegionMap] = []
+        for grid_coord in itertools.product(*axis_tiles):
+            producer_origin = []
+            producer_extents = []
+            out_origin = []
+            out_extents = []
+            for axis, r in enumerate(grid_coord):
+                t = self.tile[axis]
+                lo = max(origin[axis], r * t)
+                hi = min(origin[axis] + extents[axis], (r + 1) * t)
+                producer_origin.append(lo - r * t)
+                producer_extents.append(hi - lo)
+                out_origin.append(lo - origin[axis])
+                out_extents.append(hi - lo)
+            producer_origin.append(self._tile_index(grid_coord))
+            producer_extents.append(1)
+            regions.append(RegionMap(
+                producer_origin=tuple(producer_origin),
+                producer_extents=tuple(producer_extents),
+                out_origin=tuple(out_origin),
+                out_extents=tuple(out_extents),
+            ))
+        return regions
+
+
+class ReshapeView(View):
+    """Row-major reshape between volume-equal dimensionalities.
+
+    A consumer request is decomposed into its contiguous last-axis runs;
+    each run is one contiguous element range in row-major order, which
+    maps to the identical range in the producer space and is then split
+    into producer boxes.
+    """
+
+    def __init__(self, producer_dims: Sequence[int],
+                 consumer_dims: Sequence[int]) -> None:
+        self.producer_dims = tuple(producer_dims)
+        self.dims = tuple(consumer_dims)
+        if _volume(self.producer_dims) != _volume(self.dims):
+            raise ViewVolumeError(
+                f"view volume {_volume(self.dims)} != space volume "
+                f"{_volume(self.producer_dims)} (§3 requires equality)")
+
+    def resolve(self, origin: Sequence[int],
+                extents: Sequence[int]) -> List[RegionMap]:
+        _check_region(self.dims, origin, extents)
+        # Consumer strides (row-major).
+        strides = [1] * len(self.dims)
+        for axis in range(len(self.dims) - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * self.dims[axis + 1]
+        run_length = extents[-1]
+        regions: List[RegionMap] = []
+        outer = [range(o, o + f) for o, f in zip(origin[:-1], extents[:-1])]
+        for outer_coord in itertools.product(*outer):
+            linear = origin[-1] * strides[-1]
+            for axis, index in enumerate(outer_coord):
+                linear += index * strides[axis]
+            out_base = tuple(index - origin[axis]
+                             for axis, index in enumerate(outer_coord))
+            run_out = 0
+            for box_origin, box_extents in linear_range_to_boxes(
+                    self.producer_dims, linear, run_length):
+                volume = _volume(box_extents)
+                regions.append(RegionMap(
+                    producer_origin=box_origin,
+                    producer_extents=box_extents,
+                    out_origin=out_base + (run_out,),
+                    out_extents=tuple([1] * len(out_base) + [volume]),
+                ))
+                run_out += volume
+        return regions
+
+
+def linear_range_to_boxes(dims: Sequence[int], start: int, length: int,
+                          ) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Decompose a row-major element range into axis-aligned boxes.
+
+    Returns ``[(origin, extents), ...]`` in range order. A range splits
+    into: a partial head row, a recursive decomposition of the full rows
+    in the middle, and a partial tail row.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if length == 0:
+        return []
+    dims = tuple(dims)
+    if len(dims) == 1:
+        if start + length > dims[0]:
+            raise ValueError("range exceeds array volume")
+        return [((start,), (length,))]
+    row = dims[-1]
+    boxes: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+
+    def coord_of_row(row_index: int) -> Tuple[int, ...]:
+        coord = []
+        remaining = row_index
+        for extent in reversed(dims[:-1]):
+            coord.append(remaining % extent)
+            remaining //= extent
+        if remaining:
+            raise ValueError("range exceeds array volume")
+        return tuple(reversed(coord))
+
+    position = start
+    end = start + length
+    # Partial head row.
+    if position % row != 0:
+        head = min(end - position, row - position % row)
+        boxes.append((coord_of_row(position // row) + (position % row,),
+                      tuple([1] * (len(dims) - 1) + [head])))
+        position += head
+    # Full middle rows: a linear range over the row grid, recursively.
+    full_rows = (end - position) // row
+    if full_rows:
+        for origin, extents in linear_range_to_boxes(
+                dims[:-1], position // row, full_rows):
+            boxes.append((origin + (0,), extents + (row,)))
+        position += full_rows * row
+    # Partial tail row.
+    if position < end:
+        boxes.append((coord_of_row(position // row) + (0,),
+                      tuple([1] * (len(dims) - 1) + [end - position])))
+    return boxes

@@ -1,0 +1,19 @@
+"""Baseline SSD management layer: page-mapped FTL, GC, wear, LBA device."""
+
+from repro.ftl.gc import GarbageCollector, GcResult
+from repro.ftl.mapping import BlockState, OutOfSpaceError, PageMapFTL, PlaneAllocator
+from repro.ftl.ssd import BaselineSSD, DeviceOpResult
+from repro.ftl.wear import WearReport, wear_report
+
+__all__ = [
+    "PageMapFTL",
+    "PlaneAllocator",
+    "BlockState",
+    "OutOfSpaceError",
+    "GarbageCollector",
+    "GcResult",
+    "BaselineSSD",
+    "DeviceOpResult",
+    "WearReport",
+    "wear_report",
+]

@@ -1,0 +1,198 @@
+"""Page-mapped flash translation layer with channel-striped allocation.
+
+This is the *conventional* SSD management layer the paper's baseline
+uses (§2.1): logically consecutive pages are striped across channels so
+that **sequential** LBA accesses enjoy full channel parallelism — which
+is precisely why *non*-sequential, dimension-crossing accesses
+underutilize the device ([P3]).
+
+Allocation is log-structured per (channel, bank): each (channel, bank)
+pair keeps an active block that fills page by page; overwrites
+invalidate the old physical page and go to a fresh one in the same
+(channel, bank) so the striping invariant survives updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.nvm.address import PhysicalPageAddress
+from repro.nvm.geometry import Geometry
+
+__all__ = ["BlockState", "PlaneAllocator", "PageMapFTL", "OutOfSpaceError"]
+
+
+class OutOfSpaceError(RuntimeError):
+    """No free page satisfies the allocation request (GC must run)."""
+
+
+@dataclass
+class BlockState:
+    """Book-keeping for one erase block."""
+
+    block_id: int
+    next_page: int = 0
+    valid: List[bool] = field(default_factory=list)
+    erase_count: int = 0
+    #: monotone sequence number stamped when the block filled — the age
+    #: proxy used by FIFO / cost-benefit victim selection
+    filled_seq: int = -1
+
+    def live_pages(self) -> int:
+        return sum(self.valid)
+
+    def utilization(self) -> float:
+        return self.live_pages() / len(self.valid) if self.valid else 0.0
+
+
+class PlaneAllocator:
+    """Free-space management for one (channel, bank) pair.
+
+    Keeps a free-block pool and an active block; pages are handed out
+    append-only. The GC layer returns blocks to the pool after erasing.
+    """
+
+    def __init__(self, channel: int, bank: int, geometry: Geometry) -> None:
+        self.channel = channel
+        self.bank = bank
+        self.geometry = geometry
+        #: block states are materialized lazily: a 2 TB-class device has
+        #: hundreds of thousands of blocks, most never touched in a run
+        self.blocks: Dict[int, BlockState] = {}
+        self.free_blocks: List[int] = list(range(geometry.blocks_per_bank))
+        self.active_block: Optional[int] = None
+        self._fill_counter = 0
+
+    def _state(self, block_id: int) -> BlockState:
+        state = self.blocks.get(block_id)
+        if state is None:
+            state = BlockState(block_id,
+                               valid=[False] * self.geometry.pages_per_block)
+            self.blocks[block_id] = state
+        return state
+
+    # ------------------------------------------------------------------
+    def free_page_count(self) -> int:
+        count = len(self.free_blocks) * self.geometry.pages_per_block
+        if self.active_block is not None:
+            state = self._state(self.active_block)
+            count += self.geometry.pages_per_block - state.next_page
+        return count
+
+    def allocate_page(self) -> PhysicalPageAddress:
+        """Next append point; raises :class:`OutOfSpaceError` when full."""
+        if self.active_block is None:
+            if not self.free_blocks:
+                raise OutOfSpaceError(
+                    f"(ch{self.channel}, bk{self.bank}) has no free blocks")
+            self.active_block = self.free_blocks.pop(0)
+        state = self._state(self.active_block)
+        ppa = PhysicalPageAddress(self.channel, self.bank,
+                                  self.active_block, state.next_page)
+        state.valid[state.next_page] = True
+        state.next_page += 1
+        if state.next_page == self.geometry.pages_per_block:
+            state.filled_seq = self._fill_counter
+            self._fill_counter += 1
+            self.active_block = None
+        return ppa
+
+    def invalidate(self, ppa: PhysicalPageAddress) -> None:
+        self._state(ppa.block).valid[ppa.page] = False
+
+    def victim_candidates(self, policy: str = "greedy") -> List[int]:
+        """Fully-written blocks, best victim first.
+
+        Policies: ``greedy`` (fewest live pages — reclaims the most per
+        erase), ``fifo`` (oldest fill first — even wear, oblivious to
+        utilization), ``cost-benefit`` (age × (1-u)/(1+u) — balances
+        reclaimed space against the copy cost, favouring old cold
+        blocks).
+        """
+        full = [
+            b for b, state in self.blocks.items()
+            if state.next_page == self.geometry.pages_per_block
+            and b != self.active_block
+        ]
+        if policy == "greedy":
+            return sorted(full, key=lambda b: self.blocks[b].live_pages())
+        if policy == "fifo":
+            return sorted(full, key=lambda b: self.blocks[b].filled_seq)
+        if policy == "cost-benefit":
+            def score(b: int) -> float:
+                state = self.blocks[b]
+                age = self._fill_counter - state.filled_seq
+                u = state.utilization()
+                return age * (1.0 - u) / (1.0 + u)
+            return sorted(full, key=score, reverse=True)
+        raise ValueError(f"unknown GC policy {policy!r}")
+
+    def release_block(self, block_id: int) -> None:
+        """Return an erased block to the free pool."""
+        state = self._state(block_id)
+        state.next_page = 0
+        state.valid = [False] * self.geometry.pages_per_block
+        state.erase_count += 1
+        self.free_blocks.append(block_id)
+
+
+class PageMapFTL:
+    """LPN → PPA map with conventional channel striping.
+
+    The *stripe target* of logical page ``n`` is::
+
+        channel = n % channels
+        bank    = (n // channels) % banks_per_channel
+
+    so LBA-sequential streams fan out over every channel, then every
+    bank — the layout file systems assume (§2.1).
+    """
+
+    def __init__(self, geometry: Geometry) -> None:
+        self.geometry = geometry
+        self.map: Dict[int, PhysicalPageAddress] = {}
+        self.planes: Dict[Tuple[int, int], PlaneAllocator] = {
+            (c, b): PlaneAllocator(c, b, geometry)
+            for c in range(geometry.channels)
+            for b in range(geometry.banks_per_channel)
+        }
+
+    # ------------------------------------------------------------------
+    def stripe_target(self, lpn: int) -> Tuple[int, int]:
+        channel = lpn % self.geometry.channels
+        bank = (lpn // self.geometry.channels) % self.geometry.banks_per_channel
+        return channel, bank
+
+    def lookup(self, lpn: int) -> Optional[PhysicalPageAddress]:
+        return self.map.get(lpn)
+
+    def allocate(self, lpn: int) -> Tuple[PhysicalPageAddress, Optional[PhysicalPageAddress]]:
+        """Bind ``lpn`` to a fresh physical page.
+
+        Returns ``(new_ppa, old_ppa)``; ``old_ppa`` is the invalidated
+        previous location for overwrites, else None.
+        """
+        channel, bank = self.stripe_target(lpn)
+        plane = self.planes[(channel, bank)]
+        old = self.map.get(lpn)
+        if old is not None:
+            self.planes[(old.channel, old.bank)].invalidate(old)
+        ppa = plane.allocate_page()
+        self.map[lpn] = ppa
+        return ppa, old
+
+    def trim(self, lpn: int) -> Optional[PhysicalPageAddress]:
+        """Drop the mapping for ``lpn`` (discard)."""
+        old = self.map.pop(lpn, None)
+        if old is not None:
+            self.planes[(old.channel, old.bank)].invalidate(old)
+        return old
+
+    # ------------------------------------------------------------------
+    def free_fraction(self, channel: int, bank: int) -> float:
+        plane = self.planes[(channel, bank)]
+        return plane.free_page_count() / self.geometry.pages_per_bank
+
+    def mapped_pages(self) -> int:
+        return len(self.map)

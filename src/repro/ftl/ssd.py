@@ -1,0 +1,166 @@
+"""The baseline SSD: linear LBA space over the page-mapped FTL.
+
+This is the device of paper Figure 7(a): the host sees logical page
+numbers only; the FTL stripes them over channels; all dimensionality
+handling is the host's problem. The device object charges flash-array
+time; link and host costs are layered on by :mod:`repro.systems`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.ftl.gc import GarbageCollector
+from repro.ftl.mapping import PageMapFTL
+from repro.nvm.flash import FlashArray
+from repro.nvm.profiles import DeviceProfile
+from repro.sim.stats import StatSet
+
+__all__ = ["BaselineSSD", "DeviceOpResult"]
+
+
+@dataclass
+class DeviceOpResult:
+    """Timing outcome of one device-level operation batch."""
+
+    start_time: float
+    end_time: float
+    data: Optional[List[np.ndarray]] = None
+    stats: StatSet = field(default_factory=StatSet)
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+
+class BaselineSSD:
+    """A conventional NVMe SSD model: LBA in, striped flash pages out.
+
+    Parameters
+    ----------
+    profile:
+        Device profile (geometry, timing, over-provisioning).
+    store_data:
+        Functional mode keeps page bytes; timing-only mode does not.
+    """
+
+    def __init__(self, profile: DeviceProfile, store_data: bool = True,
+                 gc_policy: str = "greedy") -> None:
+        self.profile = profile
+        self.geometry = profile.geometry
+        self.flash = FlashArray(profile.geometry, profile.timing,
+                                store_data=store_data)
+        self.ftl = PageMapFTL(profile.geometry)
+        self.gc = GarbageCollector(self.ftl, self.flash,
+                                   threshold=profile.overprovisioning,
+                                   policy=gc_policy)
+        self.page_size = profile.geometry.page_size
+        #: logical capacity excludes the over-provisioned share
+        self.logical_pages = int(
+            profile.geometry.total_pages * (1.0 - profile.overprovisioning))
+
+    # ------------------------------------------------------------------
+    # page-granular interface
+    # ------------------------------------------------------------------
+    def write_lpns(self, lpns: Sequence[int], start_time: float = 0.0,
+                   data: Optional[Sequence[np.ndarray]] = None) -> DeviceOpResult:
+        """Program the given logical pages (in order) starting at
+        ``start_time``; runs GC inline when a plane crosses the
+        free-space threshold."""
+        self._check_lpns(lpns)
+        end = start_time
+        stats = StatSet()
+        for position, lpn in enumerate(lpns):
+            channel, bank = self.ftl.stripe_target(lpn)
+            if self.gc.needs_collection(channel, bank):
+                gc_result = self.gc.collect(channel, bank, end)
+                end = max(end, gc_result.end_time)
+                stats.merge(gc_result.stats)
+            ppa, old = self.ftl.allocate(lpn)
+            self.gc.note_alloc(lpn, ppa, old)
+            payload = None
+            if data is not None:
+                payload = [data[position]]
+            op = self.flash.program_pages([ppa], start_time, data=payload)
+            end = max(end, op.end_time)
+        stats.count("device_pages_written", len(lpns))
+        return DeviceOpResult(start_time=start_time, end_time=end, stats=stats)
+
+    def read_lpns(self, lpns: Sequence[int], start_time: float = 0.0,
+                  with_data: bool = False) -> DeviceOpResult:
+        """Read the given logical pages (in order) starting at
+        ``start_time``. Unwritten pages read back as zeros (as a real
+        drive returns for deallocated LBAs)."""
+        self._check_lpns(lpns)
+        ppas = []
+        unmapped = 0
+        for lpn in lpns:
+            ppa = self.ftl.lookup(lpn)
+            if ppa is None:
+                unmapped += 1
+            else:
+                ppas.append(ppa)
+        op = self.flash.read_pages(ppas, start_time)
+        stats = StatSet()
+        stats.count("device_pages_read", len(ppas))
+        stats.count("device_pages_unmapped", unmapped)
+        data = None
+        if with_data:
+            data = []
+            for lpn in lpns:
+                ppa = self.ftl.lookup(lpn)
+                if ppa is None:
+                    data.append(np.zeros(self.page_size, dtype=np.uint8))
+                else:
+                    data.append(self.flash.page_data(ppa))
+        return DeviceOpResult(start_time=start_time, end_time=op.end_time,
+                              data=data, stats=stats)
+
+    def trim_lpns(self, lpns: Sequence[int]) -> None:
+        """Discard logical pages (deallocate)."""
+        for lpn in lpns:
+            old = self.ftl.trim(lpn)
+            self.gc.note_trim(old)
+
+    # ------------------------------------------------------------------
+    # byte-granular convenience (page-aligned under the hood)
+    # ------------------------------------------------------------------
+    def write_bytes(self, offset: int, payload: np.ndarray,
+                    start_time: float = 0.0) -> DeviceOpResult:
+        """Write a page-aligned byte extent."""
+        if offset % self.page_size != 0:
+            raise ValueError("offset must be page aligned")
+        raw = np.asarray(payload, dtype=np.uint8).ravel()
+        first = offset // self.page_size
+        count = -(-raw.size // self.page_size)
+        chunks = [raw[i * self.page_size:(i + 1) * self.page_size]
+                  for i in range(count)]
+        return self.write_lpns(list(range(first, first + count)),
+                               start_time, data=chunks)
+
+    def read_bytes(self, offset: int, size: int,
+                   start_time: float = 0.0) -> DeviceOpResult:
+        """Read a byte extent; returned data is trimmed to ``size``."""
+        first = offset // self.page_size
+        last = (offset + size - 1) // self.page_size
+        result = self.read_lpns(list(range(first, last + 1)), start_time,
+                                with_data=True)
+        blob = np.concatenate(result.data) if result.data else np.zeros(0, np.uint8)
+        inner = offset - first * self.page_size
+        result.data = [blob[inner:inner + size]]
+        return result
+
+    # ------------------------------------------------------------------
+    def _check_lpns(self, lpns: Sequence[int]) -> None:
+        for lpn in lpns:
+            if not (0 <= lpn < self.logical_pages):
+                raise ValueError(
+                    f"LPN {lpn} outside logical capacity {self.logical_pages}")
+
+    def reset_time(self) -> None:
+        """Zero all device timelines (content untouched) — used between
+        measurement phases."""
+        self.flash.reset_time()

@@ -1,0 +1,62 @@
+"""Wear accounting.
+
+Commercial NVM has limited program/erase cycles, so controllers track
+per-block erase counts (§2.1). The model exposes the distribution so
+tests can check that allocation policies (both the baseline stripe
+allocator and the NDS least-used-channel/bank rules) wear the array
+evenly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ftl.mapping import PageMapFTL
+
+__all__ = ["WearReport", "wear_report"]
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Summary of the erase-count distribution across all blocks."""
+
+    total_erases: int
+    min_erases: int
+    max_erases: int
+    mean_erases: float
+
+    @property
+    def spread(self) -> int:
+        """Max minus min erase count — 0 means perfectly even wear."""
+        return self.max_erases - self.min_erases
+
+
+def wear_report(ftl: PageMapFTL) -> WearReport:
+    """Collect erase counts from every plane of a page-mapped FTL.
+
+    Block states are materialized lazily, so never-touched blocks count
+    as zero erases.
+    """
+    counts: List[int] = []
+    total_blocks = 0
+    for plane in ftl.planes.values():
+        total_blocks += plane.geometry.blocks_per_bank
+        for state in plane.blocks.values():
+            counts.append(state.erase_count)
+    untouched = total_blocks - len(counts)
+    total = sum(counts)
+    return WearReport(
+        total_erases=total,
+        min_erases=0 if untouched else min(counts),
+        max_erases=max(counts) if counts else 0,
+        mean_erases=total / total_blocks,
+    )
+
+
+def erases_by_plane(ftl: PageMapFTL) -> Dict[Tuple[int, int], int]:
+    """Erase totals keyed by (channel, bank)."""
+    return {
+        key: sum(state.erase_count for state in plane.blocks.values())
+        for key, plane in ftl.planes.items()
+    }

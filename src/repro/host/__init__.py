@@ -1,0 +1,16 @@
+"""Host-side substrate: CPU/memory cost models, I/O engine, pipelines."""
+
+from repro.host.cpu import HostCpu
+from repro.host.io_engine import HostIoEngine, IoRequest, IoRunResult
+from repro.host.memory import MemoryModel
+from repro.host.pipeline import PipelineResult, run_pipeline
+
+__all__ = [
+    "HostCpu",
+    "MemoryModel",
+    "HostIoEngine",
+    "IoRequest",
+    "IoRunResult",
+    "PipelineResult",
+    "run_pipeline",
+]

@@ -1,0 +1,90 @@
+"""Host page cache.
+
+§7.1 notes that the baseline's column-fetch bandwidth peaks "when the
+system cache is allowed to serve later requests without visiting the
+SSD": a row-store column fetch reads whole pages for a sliver of each,
+and a later fetch of the *adjacent* column finds those pages cached.
+
+The model is a page-granular LRU over logical page numbers. Hits cost a
+host-memory copy instead of an I/O round trip; the capacity is a
+fraction of host DRAM, as in a real kernel page cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["PageCache", "CacheOutcome"]
+
+
+@dataclass(frozen=True)
+class CacheOutcome:
+    """Split of one request's pages into hits and misses."""
+
+    hits: Tuple[int, ...]
+    misses: Tuple[int, ...]
+
+    @property
+    def hit_ratio(self) -> float:
+        total = len(self.hits) + len(self.misses)
+        return len(self.hits) / total if total else 0.0
+
+
+class PageCache:
+    """LRU cache of logical pages.
+
+    ``capacity_pages == 0`` disables caching (every access misses).
+    """
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity_pages
+        self._pages: "OrderedDict[int, None]" = OrderedDict()
+        self.hit_count = 0
+        self.miss_count = 0
+
+    # ------------------------------------------------------------------
+    def access(self, lpns: Iterable[int]) -> CacheOutcome:
+        """Look up a batch of pages; misses are inserted (read-allocate)."""
+        hits: List[int] = []
+        misses: List[int] = []
+        for lpn in lpns:
+            if self.capacity and lpn in self._pages:
+                self._pages.move_to_end(lpn)
+                hits.append(lpn)
+            else:
+                misses.append(lpn)
+                self._insert(lpn)
+        self.hit_count += len(hits)
+        self.miss_count += len(misses)
+        return CacheOutcome(hits=tuple(hits), misses=tuple(misses))
+
+    def invalidate(self, lpns: Iterable[int]) -> None:
+        """Drop pages (a write makes the cached copy stale in this
+        write-around model)."""
+        for lpn in lpns:
+            self._pages.pop(lpn, None)
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hit_count + self.miss_count
+        return self.hit_count / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def _insert(self, lpn: int) -> None:
+        if not self.capacity:
+            return
+        self._pages[lpn] = None
+        self._pages.move_to_end(lpn)
+        while len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)

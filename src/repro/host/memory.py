@@ -1,0 +1,63 @@
+"""Host DRAM copy model.
+
+Marshalling cost ([P1]) is dominated by *small* copies: each copy pays a
+fixed overhead (loop/pointer math, cache effects, the "CPU instructions
+to calculate the mapping between raw-data offset and target memory
+locations" of §2.1) on top of the byte movement. The paper's software
+NDS loses ~0.5 GB/s to exactly this effect — 2 KB copies, 256 per
+building block (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryModel"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Copy-cost parameters for host main memory.
+
+    Attributes
+    ----------
+    copy_bandwidth:
+        Streaming copy bandwidth in bytes/second (read+write combined
+        effective rate of one core).
+    per_copy_overhead:
+        Fixed seconds per discrete ``memcpy`` invocation.
+    """
+
+    #: calibrated so chunked assembly hits the paper's §7.1 anchor:
+    #: 2 KB chunks -> 3.8 GB/s (the software NDS row-fetch bound);
+    #: 1 KB -> 3.67, 256 B -> 3.0, large copies -> 3.95 GB/s (read+write
+    #: traffic of one marshalling core)
+    copy_bandwidth: float = 4.2e9
+    per_copy_overhead: float = 20e-9
+
+    def __post_init__(self) -> None:
+        if self.copy_bandwidth <= 0:
+            raise ValueError("copy_bandwidth must be positive")
+        if self.per_copy_overhead < 0:
+            raise ValueError("per_copy_overhead must be non-negative")
+
+    def copy_time(self, num_bytes: int, chunk_bytes: int = 0) -> float:
+        """Time to move ``num_bytes``, in ``chunk_bytes`` pieces.
+
+        ``chunk_bytes == 0`` means one contiguous copy.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        if chunk_bytes <= 0 or chunk_bytes >= num_bytes:
+            chunks = 1
+        else:
+            chunks = -(-num_bytes // chunk_bytes)
+        return chunks * self.per_copy_overhead + num_bytes / self.copy_bandwidth
+
+    def effective_bandwidth(self, chunk_bytes: int) -> float:
+        """Achieved copy bandwidth when moving data in one chunk size."""
+        if chunk_bytes <= 0:
+            return 0.0
+        return chunk_bytes / self.copy_time(chunk_bytes)

@@ -1,0 +1,194 @@
+"""Binary encoding of the NDS/NVMe command extension (§5.3.1).
+
+The paper's wire format, reproduced faithfully:
+
+* a standard 64-byte NVMe submission-queue entry;
+* extended commands set a **reserved bit in the first 64-bit command
+  word** to distinguish themselves from conventional commands;
+* for extended reads/writes "the second 64-bit command word points to
+  a memory page that contains the coordinates and sub-dimensionality
+  from the application's perspective" — with 4 KB pages one page holds
+  up to 32 dimensions of 2**64 elements each;
+* ``open_space`` carries a pointer to a page listing the space's
+  dimensionality and returns a 64-bit identifier.
+
+A device receiving a conventional command (extension bit clear) treats
+it as a one-dimensional request — backwards compatibility is free.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.interconnect.nvme import MAX_DIMENSIONS, NVME_LIMITS, NvmeOpcode
+
+__all__ = ["SQE_BYTES", "COORDINATE_PAGE_BYTES", "EXTENSION_BIT",
+           "OPCODE_VALUES", "EncodedCommand", "encode_command",
+           "decode_command", "encode_coordinate_page",
+           "decode_coordinate_page", "encode_dimensionality_page",
+           "decode_dimensionality_page"]
+
+#: NVMe submission queue entry size
+SQE_BYTES = 64
+#: host memory page carrying coordinates / dimensionality
+COORDINATE_PAGE_BYTES = 4096
+#: the reserved bit in the first 64-bit command word that flags an
+#: extended command
+EXTENSION_BIT = 1 << 15
+
+#: opcode byte values: conventional NVMe I/O opcodes, vendor-specific
+#: range (0xC0+) for the NDS management commands
+OPCODE_VALUES = {
+    NvmeOpcode.WRITE: 0x01,
+    NvmeOpcode.READ: 0x02,
+    NvmeOpcode.TRIM: 0x09,       # dataset management
+    NvmeOpcode.ND_WRITE: 0x01,   # same opcodes, extension bit set
+    NvmeOpcode.ND_READ: 0x02,
+    NvmeOpcode.OPEN_SPACE: 0xC0,
+    NvmeOpcode.CLOSE_SPACE: 0xC1,
+    NvmeOpcode.DELETE_SPACE: 0xC2,
+}
+_VALUE_TO_EXT_OPCODE = {
+    (0x01, True): NvmeOpcode.ND_WRITE,
+    (0x02, True): NvmeOpcode.ND_READ,
+    (0x01, False): NvmeOpcode.WRITE,
+    (0x02, False): NvmeOpcode.READ,
+    (0x09, False): NvmeOpcode.TRIM,
+    (0xC0, True): NvmeOpcode.OPEN_SPACE,
+    (0xC1, True): NvmeOpcode.CLOSE_SPACE,
+    (0xC2, True): NvmeOpcode.DELETE_SPACE,
+}
+
+
+@dataclass(frozen=True)
+class EncodedCommand:
+    """One submission-queue entry plus its out-of-band payload page."""
+
+    sqe: bytes
+    payload_page: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if len(self.sqe) != SQE_BYTES:
+            raise ValueError(f"SQE must be {SQE_BYTES} bytes")
+        if (self.payload_page is not None
+                and len(self.payload_page) != COORDINATE_PAGE_BYTES):
+            raise ValueError(
+                f"payload page must be {COORDINATE_PAGE_BYTES} bytes")
+
+
+def encode_coordinate_page(coordinate: Sequence[int],
+                           sub_dim: Sequence[int]) -> bytes:
+    """The page the second command word points to: rank, then 32 slots
+    of (coordinate, sub-dimensionality) pairs as unsigned 64-bit."""
+    NVME_LIMITS.validate_dimensionality(sub_dim)
+    if len(coordinate) != len(sub_dim):
+        raise ValueError("coordinate and sub-dimensionality ranks differ")
+    rank = len(coordinate)
+    page = bytearray(COORDINATE_PAGE_BYTES)
+    struct.pack_into("<I", page, 0, rank)
+    offset = 8
+    for axis in range(MAX_DIMENSIONS):
+        c = coordinate[axis] if axis < rank else 0
+        f = sub_dim[axis] if axis < rank else 0
+        struct.pack_into("<QQ", page, offset + axis * 16,
+                         c, f % 2**64)
+    return bytes(page)
+
+
+def decode_coordinate_page(page: bytes) -> Tuple[Tuple[int, ...],
+                                                 Tuple[int, ...]]:
+    if len(page) != COORDINATE_PAGE_BYTES:
+        raise ValueError("coordinate page has the wrong size")
+    (rank,) = struct.unpack_from("<I", page, 0)
+    if not (1 <= rank <= MAX_DIMENSIONS):
+        raise ValueError(f"invalid rank {rank}")
+    coordinate = []
+    sub_dim = []
+    for axis in range(rank):
+        c, f = struct.unpack_from("<QQ", page, 8 + axis * 16)
+        coordinate.append(c)
+        sub_dim.append(f if f != 0 else 2**64)
+    return tuple(coordinate), tuple(sub_dim)
+
+
+def encode_dimensionality_page(dims: Sequence[int]) -> bytes:
+    """The ``open_space`` payload: rank, then 32 dimension sizes."""
+    NVME_LIMITS.validate_dimensionality(dims)
+    page = bytearray(COORDINATE_PAGE_BYTES)
+    struct.pack_into("<I", page, 0, len(dims))
+    for axis, size in enumerate(dims):
+        struct.pack_into("<Q", page, 8 + axis * 8, size % 2**64)
+    return bytes(page)
+
+
+def decode_dimensionality_page(page: bytes) -> Tuple[int, ...]:
+    if len(page) != COORDINATE_PAGE_BYTES:
+        raise ValueError("dimensionality page has the wrong size")
+    (rank,) = struct.unpack_from("<I", page, 0)
+    if not (1 <= rank <= MAX_DIMENSIONS):
+        raise ValueError(f"invalid rank {rank}")
+    dims = []
+    for axis in range(rank):
+        (size,) = struct.unpack_from("<Q", page, 8 + axis * 8)
+        dims.append(size if size != 0 else 2**64)
+    return tuple(dims)
+
+
+def encode_command(opcode: NvmeOpcode, space_id: int = 0,
+                   coordinate: Sequence[int] = (),
+                   sub_dim: Sequence[int] = (),
+                   dims: Sequence[int] = (),
+                   lba: int = 0, length: int = 0) -> EncodedCommand:
+    """Build the 64-byte SQE (+ payload page for extended commands).
+
+    Layout (little-endian): word0 = opcode byte | flags (bit 15 =
+    extension) | space id in the upper half; word1 = payload-page
+    pointer (modelled as a token); conventional commands put LBA/length
+    in words 5–6 like real NVMe.
+    """
+    value = OPCODE_VALUES[opcode]
+    flags = EXTENSION_BIT if opcode.is_extended else 0
+    sqe = bytearray(SQE_BYTES)
+    struct.pack_into("<HHI", sqe, 0, value, flags, space_id % 2**32)
+
+    payload: Optional[bytes] = None
+    if opcode in (NvmeOpcode.ND_READ, NvmeOpcode.ND_WRITE):
+        payload = encode_coordinate_page(coordinate, sub_dim)
+    elif opcode == NvmeOpcode.OPEN_SPACE:
+        payload = encode_dimensionality_page(dims)
+    if payload is not None:
+        # the second 64-bit command word carries the page pointer; we
+        # tag it with a non-zero token
+        struct.pack_into("<Q", sqe, 8, 0x5D5_0000 | len(payload))
+    if not opcode.is_extended:
+        struct.pack_into("<QI", sqe, 40, lba, length % 2**32)
+    return EncodedCommand(sqe=bytes(sqe), payload_page=payload)
+
+
+def decode_command(encoded: EncodedCommand):
+    """Inverse of :func:`encode_command`.
+
+    Returns ``(opcode, space_id, details)`` where ``details`` is
+    ``(coordinate, sub_dim)`` for nd I/O, ``dims`` for open_space,
+    ``(lba, length)`` for conventional I/O, else None.
+    """
+    value, flags, space_id = struct.unpack_from("<HHI", encoded.sqe, 0)
+    extended = bool(flags & EXTENSION_BIT)
+    opcode = _VALUE_TO_EXT_OPCODE.get((value, extended))
+    if opcode is None:
+        raise ValueError(f"unknown opcode {value:#x} (extended={extended})")
+    if opcode in (NvmeOpcode.ND_READ, NvmeOpcode.ND_WRITE):
+        if encoded.payload_page is None:
+            raise ValueError("extended I/O command lacks its payload page")
+        return opcode, space_id, decode_coordinate_page(encoded.payload_page)
+    if opcode == NvmeOpcode.OPEN_SPACE:
+        if encoded.payload_page is None:
+            raise ValueError("open_space lacks its dimensionality page")
+        return opcode, space_id, decode_dimensionality_page(
+            encoded.payload_page)
+    if not opcode.is_extended:
+        lba, length = struct.unpack_from("<QI", encoded.sqe, 40)
+        return opcode, space_id, (lba, length)
+    return opcode, space_id, None

@@ -1,0 +1,82 @@
+"""Host ↔ device link model.
+
+One FCFS :class:`~repro.sim.resources.Timeline` carries every transfer.
+Each transfer pays a fixed per-command overhead plus ``size/bandwidth``
+— the model behind the paper's [P2]: small requests cannot amortize the
+per-transaction cost, so a 32 KB request reaches only ~66 % of peak
+while ≥ 2 MB requests saturate (§2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.sim.resources import Timeline
+from repro.sim.stats import StatSet
+
+__all__ = ["Link", "LinkTransfer"]
+
+
+@dataclass
+class LinkTransfer:
+    """One completed link transfer."""
+
+    start_time: float
+    end_time: float
+    num_bytes: int
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+
+class Link:
+    """A full-duplex-agnostic (single shared pipe) interconnect.
+
+    Parameters
+    ----------
+    bandwidth:
+        Peak payload bandwidth, bytes/second.
+    command_overhead:
+        Per-transfer fixed cost in seconds (doorbell, DMA setup,
+        protocol framing).
+    """
+
+    def __init__(self, bandwidth: float, command_overhead: float,
+                 name: str = "link") -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if command_overhead < 0:
+            raise ValueError("command_overhead must be non-negative")
+        self.bandwidth = bandwidth
+        self.command_overhead = command_overhead
+        self.line = Timeline(name)
+        self.stats = StatSet()
+
+    def transfer_duration(self, num_bytes: int) -> float:
+        return self.command_overhead + num_bytes / self.bandwidth
+
+    def transfer(self, num_bytes: int, earliest_start: float) -> LinkTransfer:
+        """Occupy the link for one transfer; returns actual interval."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        start, end = self.line.reserve(earliest_start,
+                                       self.transfer_duration(num_bytes))
+        self.stats.count("transfers")
+        self.stats.count("bytes", num_bytes)
+        return LinkTransfer(start_time=start, end_time=end, num_bytes=num_bytes)
+
+    def efficiency(self, request_bytes: int) -> float:
+        """Achieved fraction of peak bandwidth at a given request size."""
+        if request_bytes <= 0:
+            return 0.0
+        ideal = request_bytes / self.bandwidth
+        return ideal / self.transfer_duration(request_bytes)
+
+    def effective_bandwidth(self, request_bytes: int) -> float:
+        """Achieved bytes/second for back-to-back requests of one size."""
+        return self.bandwidth * self.efficiency(request_bytes)
+
+    def reset_time(self) -> None:
+        self.line.reset()

@@ -1,0 +1,58 @@
+"""Physical page addressing.
+
+A physical page address (PPA) names one basic access unit:
+``(channel, bank, block, page)``. A compact integer linearization is
+used as dictionary key by the functional page store and by the FTL/STL
+mapping tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nvm.geometry import Geometry
+
+__all__ = ["PhysicalPageAddress", "ppa_to_index", "index_to_ppa"]
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalPageAddress:
+    """One basic access unit in the NVM array."""
+
+    channel: int
+    bank: int
+    block: int
+    page: int
+
+    def validate(self, geometry: Geometry) -> None:
+        if not (0 <= self.channel < geometry.channels):
+            raise ValueError(f"channel {self.channel} out of range")
+        if not (0 <= self.bank < geometry.banks_per_channel):
+            raise ValueError(f"bank {self.bank} out of range")
+        if not (0 <= self.block < geometry.blocks_per_bank):
+            raise ValueError(f"block {self.block} out of range")
+        if not (0 <= self.page < geometry.pages_per_block):
+            raise ValueError(f"page {self.page} out of range")
+
+    def index(self, geometry: Geometry) -> int:
+        return ppa_to_index(self, geometry)
+
+
+def ppa_to_index(ppa: PhysicalPageAddress, geometry: Geometry) -> int:
+    """Linearize a PPA: channel-major, then bank, block, page."""
+    return ((ppa.channel * geometry.banks_per_channel + ppa.bank)
+            * geometry.blocks_per_bank + ppa.block) \
+        * geometry.pages_per_block + ppa.page
+
+
+def index_to_ppa(index: int, geometry: Geometry) -> PhysicalPageAddress:
+    """Inverse of :func:`ppa_to_index`."""
+    if not (0 <= index < geometry.total_pages):
+        raise ValueError(f"page index {index} out of range")
+    page = index % geometry.pages_per_block
+    index //= geometry.pages_per_block
+    block = index % geometry.blocks_per_bank
+    index //= geometry.blocks_per_bank
+    bank = index % geometry.banks_per_channel
+    channel = index // geometry.banks_per_channel
+    return PhysicalPageAddress(channel=channel, bank=bank, block=block, page=page)

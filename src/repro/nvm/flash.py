@@ -1,0 +1,249 @@
+"""The flash array: functional page store + timed operation scheduling.
+
+This is the lowest substrate layer. It models:
+
+* **Structure** — channels × banks × blocks × pages (:class:`Geometry`).
+* **Timing** — FCFS scheduling over per-bank and per-channel
+  :class:`~repro.sim.resources.Timeline` servers. A read occupies the
+  bank for ``t_read`` and then the channel for the page transfer; a
+  program transfers over the channel first and then occupies the bank
+  for ``t_program``. Banks behind one channel pipeline naturally; this
+  reproduces the channel-level and bank-level parallelism the paper's
+  STL exploits (§2.1, §4.1).
+* **Semantics** — program-once/erase-block NAND rules. Programming a
+  page that is already programmed raises; erases reset a whole block.
+  This keeps the FTL and the STL honest.
+* **Data** — optional byte-accurate page contents (numpy ``uint8``
+  arrays) so that every higher layer can be verified functionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nvm.address import PhysicalPageAddress, ppa_to_index
+from repro.nvm.geometry import Geometry
+from repro.nvm.timing import NvmTiming
+from repro.sim.resources import Timeline
+from repro.sim.stats import StatSet
+
+__all__ = ["FlashArray", "FlashOpResult", "FlashStateError", "EccError"]
+
+
+class FlashStateError(RuntimeError):
+    """Violation of NAND program/erase semantics."""
+
+
+def _page_checksum(page: "np.ndarray") -> int:
+    """Cheap ECC stand-in: XOR-fold of the page's 32-bit words."""
+    words = page[: (page.size // 4) * 4].view(np.uint32)
+    folded = int(np.bitwise_xor.reduce(words)) if words.size else 0
+    return folded ^ int(page[(page.size // 4) * 4:].sum())
+
+
+class EccError(RuntimeError):
+    """Uncorrectable bit error detected on a page read.
+
+    Real NAND pages carry ECC in their out-of-band area; the model keeps
+    a checksum per programmed page and raises when a read encounters
+    injected corruption — the hook for failure-injection tests."""
+
+
+@dataclass
+class FlashOpResult:
+    """Outcome of a batch of page operations.
+
+    ``start_time`` is when the batch was issued, ``end_time`` when the
+    last page finished. ``completions`` holds per-page completion times
+    in issue order.
+    """
+
+    start_time: float
+    end_time: float
+    completions: List[float] = field(default_factory=list)
+    stats: StatSet = field(default_factory=StatSet)
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+
+class FlashArray:
+    """A multi-channel, multi-bank NVM array.
+
+    Parameters
+    ----------
+    geometry, timing:
+        Structure and latency parameters.
+    store_data:
+        When True (default) page contents are kept and NAND semantics
+        are enforced; timing-only mode skips both for speed.
+    """
+
+    def __init__(self, geometry: Geometry, timing: NvmTiming,
+                 store_data: bool = True) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        self.store_data = store_data
+        self.channel_lines = [Timeline(f"ch{c}") for c in range(geometry.channels)]
+        self.bank_lines = [
+            [Timeline(f"ch{c}/bk{b}") for b in range(geometry.banks_per_channel)]
+            for c in range(geometry.channels)
+        ]
+        self._pages: Dict[int, np.ndarray] = {}
+        self._programmed: set = set()
+        #: page-index -> checksum of the programmed content (the ECC
+        #: model); pages whose content diverges raise on verified reads
+        self._checksums: Dict[int, int] = {}
+        self.stats = StatSet()
+
+    # ------------------------------------------------------------------
+    # functional access
+    # ------------------------------------------------------------------
+    def page_data(self, ppa: PhysicalPageAddress,
+                  verify: bool = True) -> np.ndarray:
+        """Contents of a programmed page (zero-filled if never written
+        with data, e.g. timing-only programs).
+
+        ``verify`` checks the page's ECC checksum and raises
+        :class:`EccError` on injected corruption."""
+        idx = ppa_to_index(ppa, self.geometry)
+        data = self._pages.get(idx)
+        if data is None:
+            return np.zeros(self.geometry.page_size, dtype=np.uint8)
+        if verify and idx in self._checksums:
+            if _page_checksum(data) != self._checksums[idx]:
+                raise EccError(f"uncorrectable bit error in {ppa}")
+        return data
+
+    def corrupt_page(self, ppa: PhysicalPageAddress,
+                     byte_offset: int = 0) -> None:
+        """Failure injection: flip bits in a programmed page's stored
+        content so the next verified read raises :class:`EccError`."""
+        idx = ppa_to_index(ppa, self.geometry)
+        data = self._pages.get(idx)
+        if data is None:
+            raise FlashStateError(f"page {ppa} holds no data to corrupt")
+        data[byte_offset % data.size] ^= 0xFF
+
+    def is_programmed(self, ppa: PhysicalPageAddress) -> bool:
+        return ppa_to_index(ppa, self.geometry) in self._programmed
+
+    # ------------------------------------------------------------------
+    # timed operations
+    # ------------------------------------------------------------------
+    def read_pages(self, ppas: Sequence[PhysicalPageAddress],
+                   start_time: float = 0.0) -> FlashOpResult:
+        """Read a batch of pages issued in order at ``start_time``.
+
+        Returns per-page completion times; the scheduler exposes exactly
+        as much channel/bank parallelism as the addresses allow, which
+        is the effect the paper's Figures 1 and 5 are about.
+        """
+        result = FlashOpResult(start_time=start_time, end_time=start_time)
+        for ppa in ppas:
+            end = self._read_one(ppa, start_time)
+            result.completions.append(end)
+            if end > result.end_time:
+                result.end_time = end
+        result.stats.count("pages_read", len(ppas))
+        self.stats.count("pages_read", len(ppas))
+        return result
+
+    def program_pages(self, ppas: Sequence[PhysicalPageAddress],
+                      start_time: float = 0.0,
+                      data: Optional[Sequence[Optional[np.ndarray]]] = None,
+                      ) -> FlashOpResult:
+        """Program a batch of pages issued in order at ``start_time``.
+
+        ``data[i]``, when given, must be at most ``page_size`` bytes and
+        is stored (zero-padded) for functional read-back.
+        """
+        result = FlashOpResult(start_time=start_time, end_time=start_time)
+        for position, ppa in enumerate(ppas):
+            payload = data[position] if data is not None else None
+            end = self._program_one(ppa, start_time, payload)
+            result.completions.append(end)
+            if end > result.end_time:
+                result.end_time = end
+        result.stats.count("pages_programmed", len(ppas))
+        self.stats.count("pages_programmed", len(ppas))
+        return result
+
+    def erase_block(self, channel: int, bank: int, block: int,
+                    start_time: float = 0.0) -> FlashOpResult:
+        """Erase one block: the bank is busy for ``t_erase`` and all
+        pages in the block return to the erased state."""
+        line = self.bank_lines[channel][bank]
+        start, end = line.reserve(start_time, self.timing.t_erase)
+        if self.store_data:
+            base = PhysicalPageAddress(channel, bank, block, 0)
+            base_idx = ppa_to_index(base, self.geometry)
+            for offset in range(self.geometry.pages_per_block):
+                self._programmed.discard(base_idx + offset)
+                self._pages.pop(base_idx + offset, None)
+                self._checksums.pop(base_idx + offset, None)
+        self.stats.count("blocks_erased")
+        result = FlashOpResult(start_time=start, end_time=end, completions=[end])
+        result.stats.count("blocks_erased")
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _read_one(self, ppa: PhysicalPageAddress, issue_time: float) -> float:
+        channel = self.channel_lines[ppa.channel]
+        bank = self.bank_lines[ppa.channel][ppa.bank]
+        # The command reaches the die after t_cmd (latency only: command
+        # packets are tiny and interleave with data on the bus), the die
+        # senses for t_read, then the page moves over the channel bus.
+        _read_start, read_end = bank.reserve(issue_time + self.timing.t_cmd,
+                                             self.timing.t_read)
+        xfer = self.timing.transfer_time(self.geometry.page_size)
+        _xfer_start, xfer_end = channel.reserve(read_end, xfer)
+        # The die's page register is held until the transfer drains.
+        if bank.free_at < xfer_end:
+            bank.free_at = xfer_end
+        return xfer_end
+
+    def _program_one(self, ppa: PhysicalPageAddress, issue_time: float,
+                     payload: Optional[np.ndarray]) -> float:
+        if self.store_data:
+            idx = ppa_to_index(ppa, self.geometry)
+            if idx in self._programmed:
+                raise FlashStateError(
+                    f"program to already-programmed page {ppa} (erase first)")
+            self._programmed.add(idx)
+            if payload is not None:
+                page = np.zeros(self.geometry.page_size, dtype=np.uint8)
+                raw = np.asarray(payload, dtype=np.uint8).ravel()
+                if raw.size > self.geometry.page_size:
+                    raise ValueError(
+                        f"payload of {raw.size} B exceeds page size")
+                page[: raw.size] = raw
+                self._pages[idx] = page
+                self._checksums[idx] = _page_checksum(page)
+        channel = self.channel_lines[ppa.channel]
+        bank = self.bank_lines[ppa.channel][ppa.bank]
+        xfer = self.timing.transfer_time(self.geometry.page_size)
+        _xfer_start, xfer_end = channel.reserve(issue_time + self.timing.t_cmd,
+                                                xfer)
+        _prog_start, prog_end = bank.reserve(xfer_end, self.timing.t_program)
+        return prog_end
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def channel_utilization(self, horizon: float) -> List[float]:
+        return [line.utilization(horizon) for line in self.channel_lines]
+
+    def reset_time(self) -> None:
+        """Reset all timelines to t=0 (page contents are preserved)."""
+        for line in self.channel_lines:
+            line.reset()
+        for bank_row in self.bank_lines:
+            for line in bank_row:
+                line.reset()

@@ -1,0 +1,98 @@
+"""Physical geometry of a flash / NVM device.
+
+The paper's prototype SSD (§6.1) has 32 parallel channels, 8 banks per
+channel and 4 KB pages. The geometry object is pure data: every other
+component (FTL, STL, allocator, timing model) derives its structure from
+it, which is what lets NDS "gauge the underlying memory-device
+architecture" (paper §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Geometry"]
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Channel/bank/block/page organization of an NVM device.
+
+    Attributes
+    ----------
+    channels:
+        Number of parallel channels; all channels can serve unique
+        requests simultaneously (paper §2.1).
+    banks_per_channel:
+        Banks (dies) per channel; a free bank can accept a request while
+        sibling banks are busy.
+    blocks_per_bank:
+        Erase blocks per bank.
+    pages_per_block:
+        Pages per erase block (the erase granularity is the block).
+    page_size:
+        Basic access granularity in bytes (paper: 4 KB).
+    """
+
+    channels: int = 32
+    banks_per_channel: int = 8
+    blocks_per_bank: int = 256
+    pages_per_block: int = 64
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "banks_per_channel", "blocks_per_bank",
+                     "pages_per_block", "page_size"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def banks(self) -> int:
+        """Total banks across all channels."""
+        return self.channels * self.banks_per_channel
+
+    @property
+    def pages_per_bank(self) -> int:
+        return self.blocks_per_bank * self.pages_per_block
+
+    @property
+    def pages_per_channel(self) -> int:
+        return self.banks_per_channel * self.pages_per_bank
+
+    @property
+    def total_pages(self) -> int:
+        return self.channels * self.pages_per_channel
+
+    @property
+    def total_blocks(self) -> int:
+        return self.banks * self.blocks_per_bank
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_pages * self.page_size
+
+    @property
+    def max_parallel_requests(self) -> int:
+        """``Max_{Number of Parallel Requests}`` in Eq. 1 of the paper:
+        the number of basic-access units the device can move at once,
+        i.e. the channel count."""
+        return self.channels
+
+    def scaled(self, block_factor: float = 1.0, channel_factor: float = 1.0) -> "Geometry":
+        """A geometry with scaled capacity (used by down-scaled experiments).
+
+        Channel/bank structure is what NDS exploits, so scaling shrinks
+        ``blocks_per_bank`` (capacity) rather than parallelism, unless a
+        ``channel_factor`` is given explicitly.
+        """
+        return Geometry(
+            channels=max(1, int(self.channels * channel_factor)),
+            banks_per_channel=self.banks_per_channel,
+            blocks_per_bank=max(1, int(self.blocks_per_bank * block_factor)),
+            pages_per_block=self.pages_per_block,
+            page_size=self.page_size,
+        )

@@ -1,0 +1,70 @@
+"""Timing parameters of an NVM device.
+
+All times are in seconds. Defaults are calibrated TLC-NAND numbers:
+the paper (§7.3) quotes 30–100 µs page reads; TLC page programs are in
+the low milliseconds; ONFI-class channel buses move a 4 KB page in ~10 µs.
+The calibration in :mod:`repro.nvm.profiles` tunes these so the modelled
+device reproduces the paper's internal:external bandwidth ratio of 8:5
+(§7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NvmTiming"]
+
+
+@dataclass(frozen=True)
+class NvmTiming:
+    """Latency/bandwidth parameters for one NVM device.
+
+    Attributes
+    ----------
+    t_read:
+        Cell-array sensing time for one page read (bank busy).
+    t_program:
+        Programming time for one page write (bank busy).
+    t_erase:
+        Block erase time (bank busy).
+    channel_bandwidth:
+        Bytes/second a channel bus moves between flash and controller.
+    t_cmd:
+        Fixed per-page command issue overhead inside the device
+        (controller -> channel handler -> die).
+    """
+
+    t_read: float = 60e-6
+    t_program: float = 2.4e-3
+    t_erase: float = 5e-3
+    channel_bandwidth: float = 400e6
+    t_cmd: float = 0.5e-6
+
+    def __post_init__(self) -> None:
+        for name in ("t_read", "t_program", "t_erase", "channel_bandwidth"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.t_cmd < 0:
+            raise ValueError("t_cmd must be non-negative")
+
+    def transfer_time(self, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` over one channel bus."""
+        return num_bytes / self.channel_bandwidth
+
+    def internal_read_bandwidth(self, channels: int, banks_per_channel: int,
+                                page_size: int) -> float:
+        """Steady-state aggregate read bandwidth of the flash back-end.
+
+        With ``b`` banks pipelined behind one channel, a page completes
+        per channel every ``max(xfer, t_read / b)`` seconds.
+        """
+        xfer = self.transfer_time(page_size)
+        cycle = max(xfer, self.t_read / banks_per_channel)
+        return channels * page_size / cycle
+
+    def internal_write_bandwidth(self, channels: int, banks_per_channel: int,
+                                 page_size: int) -> float:
+        """Steady-state aggregate program bandwidth of the flash back-end."""
+        xfer = self.transfer_time(page_size)
+        cycle = max(xfer, self.t_program / banks_per_channel)
+        return channels * page_size / cycle

@@ -1,0 +1,18 @@
+"""Discrete-event / analytic simulation kernel used by every substrate."""
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.resources import MultiTimeline, Timeline
+from repro.sim.queues import BoundedPipelineResult, bounded_pipeline
+from repro.sim.stats import BandwidthSample, StatSet, effective_bandwidth
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Timeline",
+    "MultiTimeline",
+    "StatSet",
+    "BandwidthSample",
+    "effective_bandwidth",
+    "bounded_pipeline",
+    "BoundedPipelineResult",
+]

@@ -1,0 +1,95 @@
+"""A minimal discrete-event simulation engine.
+
+The engine is intentionally small: a priority queue of ``(time, seq,
+callback)`` triples and a clock. Most of the storage model uses the
+analytic :class:`~repro.sim.resources.Timeline` servers directly (FCFS
+schedules are deterministic and need no callbacks), but dynamic behaviour
+— queue-depth-limited I/O issue, pipelined controller stages that react
+to completions — runs on this engine.
+
+Times are floats in **seconds** throughout the code base.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is driven incorrectly (e.g. scheduling in
+    the past)."""
+
+
+class Simulator:
+    """Event-driven simulator with a monotonically advancing clock.
+
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> sim.at(2.0, lambda: seen.append(("b", sim.now)))
+    >>> sim.at(1.0, lambda: seen.append(("a", sim.now)))
+    >>> sim.run()
+    >>> seen
+    [('a', 1.0), ('b', 2.0)]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now: float = float(start_time)
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._queue, (float(time), self._seq, callback))
+        self._seq += 1
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.at(self.now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next event. Returns False when no events remain."""
+        if not self._queue:
+            return False
+        time, _seq, callback = heapq.heappop(self._queue)
+        self.now = time
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains (or the clock passes ``until``).
+
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

@@ -1,0 +1,87 @@
+"""Bounded message-queue pipelines.
+
+§5.3.2: the NDS controller's pipeline elements "use a message-passing
+interface with dedicated message-queue pairs between each neighboring
+element to avoid locking and race conditions". Finite queues introduce
+*backpressure*: a stage that finishes an item cannot hand it over while
+the downstream queue is full, and stalls (production blocking).
+
+:func:`bounded_pipeline` schedules items through such a pipeline; with
+infinite queues it reduces exactly to
+:func:`repro.host.pipeline.run_pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["BoundedPipelineResult", "bounded_pipeline"]
+
+
+@dataclass
+class BoundedPipelineResult:
+    """Schedule of a pipeline with finite inter-stage queues."""
+
+    total_time: float
+    stage_busy: List[float]
+    #: time each stage spent blocked on a full downstream queue
+    stage_blocked: List[float]
+    finish_times: List[List[float]] = field(repr=False,
+                                            default_factory=list)
+
+
+def bounded_pipeline(stage_times: Sequence[Sequence[float]],
+                     queue_capacities: Optional[Sequence[int]] = None,
+                     ) -> BoundedPipelineResult:
+    """Schedule ``items × stages`` through bounded queues.
+
+    ``queue_capacities[s]`` bounds the queue in front of stage ``s+1``
+    (length ``stages - 1``; None = unbounded everywhere). An item
+    departs stage ``s`` when the downstream queue has a free slot —
+    i.e. when item ``i - capacity`` has *entered* stage ``s+1``.
+    """
+    items = len(stage_times)
+    if items == 0:
+        return BoundedPipelineResult(0.0, [], [], [])
+    stages = len(stage_times[0])
+    for row in stage_times:
+        if len(row) != stages:
+            raise ValueError("ragged stage_times")
+    if queue_capacities is None:
+        capacities: List[Optional[int]] = [None] * max(0, stages - 1)
+    else:
+        capacities = list(queue_capacities)
+        if len(capacities) != stages - 1:
+            raise ValueError("need one queue capacity per stage boundary")
+        for capacity in capacities:
+            if capacity is not None and capacity < 1:
+                raise ValueError("queue capacity must be >= 1")
+
+    enter = [[0.0] * stages for _ in range(items)]
+    depart = [[0.0] * stages for _ in range(items)]
+    busy = [0.0] * stages
+    blocked = [0.0] * stages
+    for i in range(items):
+        for s in range(stages):
+            ready = depart[i][s - 1] if s > 0 else 0.0
+            stage_free = depart[i - 1][s] if i > 0 else 0.0
+            start = max(ready, stage_free)
+            finish = start + stage_times[i][s]
+            if stage_times[i][s] < 0:
+                raise ValueError("negative stage duration")
+            busy[s] += stage_times[i][s]
+            # departure: wait for downstream queue space
+            leave = finish
+            if s < stages - 1:
+                capacity = capacities[s]
+                if capacity is not None and i >= capacity:
+                    # slot frees when item (i - capacity) enters stage s+1
+                    leave = max(leave, enter[i - capacity][s + 1])
+            blocked[s] += leave - finish
+            enter[i][s] = start
+            depart[i][s] = leave
+    total = depart[-1][-1]
+    return BoundedPipelineResult(total_time=total, stage_busy=busy,
+                                 stage_blocked=blocked,
+                                 finish_times=depart)

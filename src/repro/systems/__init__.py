@@ -1,0 +1,18 @@
+"""End-to-end storage-system architectures (paper Fig. 7)."""
+
+from repro.systems.base import StorageSystem, SystemOpResult, row_runs
+from repro.systems.baseline import BaselineSystem
+from repro.systems.hardware_nds import HardwareNdsSystem
+from repro.systems.oracle import OracleSystem
+from repro.systems.software_nds import SoftwareNdsSystem, SoftwareStlCosts
+
+__all__ = [
+    "StorageSystem",
+    "SystemOpResult",
+    "row_runs",
+    "BaselineSystem",
+    "SoftwareNdsSystem",
+    "SoftwareStlCosts",
+    "HardwareNdsSystem",
+    "OracleSystem",
+]

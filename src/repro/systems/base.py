@@ -1,0 +1,143 @@
+"""Common interface of the end-to-end storage systems (paper Fig. 7).
+
+A *system* bundles a modelled device, the interconnect and the host
+cost model, and exposes dataset-level operations the workloads use:
+
+* ``ingest`` — store an N-D dataset;
+* ``read_tile`` — fetch an arbitrary axis-aligned tile into host memory
+  *in the layout the compute kernel wants*, paying whatever marshalling
+  that architecture requires;
+* ``write_tile`` — the reverse;
+* ``tile_io_time`` — the isolated duration of one tile fetch (used by
+  the pipeline model of Fig. 10).
+
+All three architectures implement the same interface, so workloads and
+benchmarks are architecture-agnostic — which is exactly the programming
+model NDS advocates (§5.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.stats import StatSet
+
+__all__ = ["SystemOpResult", "StorageSystem", "row_runs"]
+
+
+@dataclass
+class SystemOpResult:
+    """Outcome of one dataset-level operation."""
+
+    start_time: float
+    end_time: float
+    useful_bytes: int = 0
+    fetched_bytes: int = 0
+    requests: int = 0
+    data: Optional[np.ndarray] = None
+    stats: StatSet = field(default_factory=StatSet)
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Application-payload bytes per second."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.useful_bytes / self.elapsed
+
+
+class StorageSystem(abc.ABC):
+    """One end-to-end architecture (baseline / software NDS / hardware
+    NDS / oracle)."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def ingest(self, dataset: str, dims: Sequence[int], element_size: int,
+               data: Optional[np.ndarray] = None,
+               start_time: float = 0.0) -> SystemOpResult:
+        """Store a dataset; ``data`` (shape ``dims``) enables functional
+        verification, None runs timing-only."""
+
+    @abc.abstractmethod
+    def read_tile(self, dataset: str, origin: Sequence[int],
+                  extents: Sequence[int], start_time: float = 0.0,
+                  with_data: bool = False,
+                  dtype: Optional[np.dtype] = None) -> SystemOpResult:
+        """Fetch a tile into host memory ready for the compute kernel."""
+
+    @abc.abstractmethod
+    def write_tile(self, dataset: str, origin: Sequence[int],
+                   extents: Sequence[int],
+                   data: Optional[np.ndarray] = None,
+                   start_time: float = 0.0) -> SystemOpResult:
+        """Store a tile back."""
+
+    @abc.abstractmethod
+    def reset_time(self) -> None:
+        """Zero every timeline (contents preserved) for a fresh
+        measurement phase."""
+
+    # ------------------------------------------------------------------
+    def tile_io_time(self, dataset: str, origin: Sequence[int],
+                     extents: Sequence[int]) -> float:
+        """Isolated duration of one tile fetch, used as the I/O stage
+        time of the Fig. 10 pipeline model."""
+        self.reset_time()
+        result = self.read_tile(dataset, origin, extents, start_time=0.0,
+                                with_data=False)
+        return result.elapsed
+
+
+def row_runs(dims: Sequence[int], origin: Sequence[int],
+             extents: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
+    """Contiguous element runs of a tile in a row-major dataset.
+
+    Returns ``((linear_start, length), ...)``, one per tile row (rows
+    that merge into a fully contiguous range are coalesced).
+    """
+    rank = len(dims)
+    if rank == 0:
+        return ()
+    strides = [1] * rank
+    for axis in range(rank - 2, -1, -1):
+        strides[axis] = strides[axis + 1] * dims[axis + 1]
+    # Fully contiguous tail: a run may span axis k when every deeper
+    # axis is covered entirely.
+    contiguous_tail = rank - 1
+    while (contiguous_tail > 0
+           and extents[contiguous_tail] == dims[contiguous_tail]):
+        contiguous_tail -= 1
+    # Length of one run = product of extents over covered tail axes.
+    run_length = 1
+    for axis in range(contiguous_tail, rank):
+        run_length *= extents[axis]
+
+    outer_axes = range(contiguous_tail)
+    counters = [0] * contiguous_tail
+    runs = []
+    while True:
+        linear = 0
+        for axis in outer_axes:
+            linear += (origin[axis] + counters[axis]) * strides[axis]
+        for axis in range(contiguous_tail, rank):
+            linear += origin[axis] * strides[axis]
+        runs.append((linear, run_length))
+        # odometer increment over the outer axes
+        axis = contiguous_tail - 1
+        while axis >= 0:
+            counters[axis] += 1
+            if counters[axis] < extents[axis]:
+                break
+            counters[axis] = 0
+            axis -= 1
+        if axis < 0:
+            break
+    return tuple(runs)

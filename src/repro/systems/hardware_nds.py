@@ -1,0 +1,241 @@
+"""The hardware-assisted NDS architecture (paper Fig. 7(c)).
+
+The STL runs inside the device controller (Fig. 8): one NDS/NVMe
+extended command per tile crosses the interconnect, the controller
+translates it, reads building blocks at full internal bandwidth,
+assembles the object in device DRAM, and streams assembled segments to
+the host "as soon as a segment reaches the optimal data-exchange volume
+for the system interconnect" (§4.4). The host issues exactly one
+command and performs **no** marshalling.
+
+Cost calibration (§7.3): a worst-case single-page request pays ~17 µs
+over the baseline (command handling + full B-tree walk + one-page
+assembly on the ARM cores). Writes pay controller-side disassembly,
+the source of the 17 % write-bandwidth penalty of Fig. 9(d).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.api import bytes_to_array
+from repro.core.controller import ControllerTiming, NdsController
+from repro.core.stl import SpaceTranslationLayer
+from repro.core.translator import pages_for_region
+from repro.host.cpu import HostCpu
+from repro.interconnect.link import Link
+from repro.nvm.flash import FlashArray
+from repro.nvm.profiles import DeviceProfile
+from repro.systems.base import StorageSystem, SystemOpResult
+
+__all__ = ["HardwareNdsSystem"]
+
+#: segment size at which assembled data is pushed to the host (§4.4:
+#: the optimal data-exchange volume of the interconnect, [P2]'s 2 MB)
+DEFAULT_SEGMENT_BYTES = 2 * 2**20
+
+
+class HardwareNdsSystem(StorageSystem):
+    """NDS-compliant SSD: STL + assembly inside the device controller."""
+
+    name = "hardware-nds"
+
+    def __init__(self, profile: DeviceProfile, store_data: bool = False,
+                 controller_timing: ControllerTiming = ControllerTiming(),
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 bb_override: Optional[Sequence[int]] = None,
+                 cpu: Optional[HostCpu] = None,
+                 cipher=None) -> None:
+        self.profile = profile
+        self.store_data = store_data
+        self.flash = FlashArray(profile.geometry, profile.timing,
+                                store_data=store_data)
+        self.stl = SpaceTranslationLayer(self.flash,
+                                         gc_threshold=profile.overprovisioning)
+        self.controller = NdsController(controller_timing)
+        self.link = Link(profile.link_bandwidth, profile.link_command_overhead)
+        self.cpu = cpu if cpu is not None else HostCpu()
+        self.segment_bytes = segment_bytes
+        self.bb_override = bb_override
+        self.page_size = profile.geometry.page_size
+        #: optional controller AES engine (§5.3.3): decryption rides the
+        #: assembly path, encryption the disassembly path; the engine is
+        #: one shared pipeline resource
+        self.cipher = cipher
+        from repro.sim.resources import Timeline
+        self.cipher_line = Timeline("aes_engine")
+        self._spaces: Dict[str, int] = {}
+
+    def _crypt(self, earliest_start: float, num_bytes: int) -> float:
+        """Push bytes through the shared AES engine; returns finish."""
+        if self.cipher is None:
+            return earliest_start
+        _s, end = self.cipher_line.reserve(
+            earliest_start, self.cipher.crypt_time(num_bytes))
+        return end
+
+    # ------------------------------------------------------------------
+    def ingest(self, dataset: str, dims: Sequence[int], element_size: int,
+               data: Optional[np.ndarray] = None,
+               start_time: float = 0.0) -> SystemOpResult:
+        if dataset in self._spaces:
+            raise ValueError(f"dataset {dataset!r} already ingested")
+        space = self.stl.create_space(
+            dims, element_size, bb_override=self.bb_override,
+            # rank >= 3: 3-D cube blocks over bank-level parallelism
+            # (§4.1 Eq. 3/4)
+            use_3d_blocks=len(tuple(dims)) >= 3 and self.bb_override is None)
+        self._spaces[dataset] = space.space_id
+        return self.write_tile(dataset, tuple(0 for _ in dims), dims,
+                               data=data, start_time=start_time)
+
+    # ------------------------------------------------------------------
+    def read_tile(self, dataset: str, origin: Sequence[int],
+                  extents: Sequence[int], start_time: float = 0.0,
+                  with_data: bool = False,
+                  dtype: Optional[np.dtype] = None) -> SystemOpResult:
+        space_id = self._space_id(dataset)
+        space = self.stl.get_space(space_id)
+        accesses = self.stl.plan_region(space_id, origin, extents)
+        elem = space.element_size
+
+        # One extended NVMe command from the host (§5.3.1).
+        issued = self.cpu.issue_io(start_time)
+        cmd_done = self.controller.handle_command(issued)
+
+        out = None
+        if with_data and self.store_data:
+            out = np.zeros(tuple(extents) + (elem,), dtype=np.uint8)
+
+        fetched = 0
+        pending_bytes = 0
+        pending_ready = cmd_done
+        end = cmd_done
+        translate_done = cmd_done
+        for access in accesses:
+            translate_done = self.controller.translate(
+                translate_done, space.rank, 1)
+            block = self.stl.read_block(space_id, access, translate_done,
+                                        out=out)
+            fetched += block.pages * self.page_size
+            region_bytes = access.element_count() * elem
+            decrypted = self._crypt(block.completion_time,
+                                    block.pages * self.page_size)
+            ready = self.controller.assemble(decrypted, region_bytes,
+                                             block.pages)
+            pending_bytes += region_bytes
+            pending_ready = max(pending_ready, ready)
+            while pending_bytes >= self.segment_bytes:
+                transfer = self.link.transfer(self.segment_bytes,
+                                              pending_ready)
+                pending_bytes -= self.segment_bytes
+                end = max(end, transfer.end_time)
+        if pending_bytes > 0:
+            transfer = self.link.transfer(pending_bytes, pending_ready)
+            end = max(end, transfer.end_time)
+
+        useful = elem
+        for extent in extents:
+            useful *= extent
+        data = None
+        if out is not None:
+            data = out if dtype is None else bytes_to_array(out, dtype)
+        return SystemOpResult(start_time=start_time, end_time=end,
+                              useful_bytes=useful, fetched_bytes=fetched,
+                              requests=1, data=data)
+
+    # ------------------------------------------------------------------
+    def write_tile(self, dataset: str, origin: Sequence[int],
+                   extents: Sequence[int],
+                   data: Optional[np.ndarray] = None,
+                   start_time: float = 0.0) -> SystemOpResult:
+        space_id = self._space_id(dataset)
+        space = self.stl.get_space(space_id)
+        accesses = self.stl.plan_region(space_id, origin, extents)
+        elem = space.element_size
+
+        issued = self.cpu.issue_io(start_time)
+        cmd_done = self.controller.handle_command(issued)
+
+        raw = None
+        if data is not None and self.store_data:
+            array = np.ascontiguousarray(np.asarray(data))
+            if tuple(array.shape) != tuple(extents):
+                raise ValueError(
+                    f"data shape {array.shape} != extents {tuple(extents)}")
+            raw = array.view(np.uint8).reshape(
+                tuple(extents) + (array.dtype.itemsize,))
+
+        # The device pulls the source object over the link in saturating
+        # segments (the SSD "requests host main memory content in 4 KB
+        # pages and breaks them up later", §7.1) — DMA, no host copies.
+        useful = elem
+        for extent in extents:
+            useful *= extent
+        arrival_times = self._segment_arrivals(useful, cmd_done)
+
+        sent = 0
+        end = cmd_done
+        translate_done = cmd_done
+        consumed = 0
+        for access in accesses:
+            region_bytes = access.element_count() * elem
+            consumed += region_bytes
+            arrival = self._arrival_for(arrival_times, consumed, useful)
+            translate_done = self.controller.translate(
+                max(translate_done, cmd_done), space.rank, 1)
+            pages = len(pages_for_region(space, access.block_slice))
+            alloc_done = self.controller.allocate(
+                max(translate_done, arrival), pages)
+            disassembled = self.controller.assemble(alloc_done, region_bytes,
+                                                    pages)
+            disassembled = self._crypt(disassembled,
+                                       pages * self.page_size)
+            region = None
+            if raw is not None:
+                slicer = tuple(slice(lo, hi) for lo, hi in access.out_slice)
+                region = raw[slicer]
+            block = self.stl.write_block(space_id, access, disassembled,
+                                         region=region)
+            sent += pages * self.page_size
+            end = max(end, block.completion_time)
+        return SystemOpResult(start_time=start_time, end_time=end,
+                              useful_bytes=useful, fetched_bytes=sent,
+                              requests=1)
+
+    # ------------------------------------------------------------------
+    def reset_time(self) -> None:
+        self.flash.reset_time()
+        self.link.reset_time()
+        self.cpu.reset_time()
+        self.controller.reset_time()
+        self.cipher_line.reset()
+
+    # ------------------------------------------------------------------
+    def _space_id(self, dataset: str) -> int:
+        space_id = self._spaces.get(dataset)
+        if space_id is None:
+            raise KeyError(f"unknown dataset {dataset!r}")
+        return space_id
+
+    def _segment_arrivals(self, total_bytes: int,
+                          first_start: float) -> List[Tuple[int, float]]:
+        """Cumulative-bytes → arrival-time steps for the inbound DMA."""
+        arrivals = []
+        cumulative = 0
+        while cumulative < total_bytes:
+            chunk = min(self.segment_bytes, total_bytes - cumulative)
+            transfer = self.link.transfer(chunk, first_start)
+            cumulative += chunk
+            arrivals.append((cumulative, transfer.end_time))
+        return arrivals
+
+    @staticmethod
+    def _arrival_for(arrivals: List[Tuple[int, float]], needed: int,
+                     total: int) -> float:
+        for cumulative, time in arrivals:
+            if cumulative >= min(needed, total):
+                return time
+        return arrivals[-1][1] if arrivals else 0.0

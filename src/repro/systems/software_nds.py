@@ -1,0 +1,214 @@
+"""The software-only NDS architecture (paper Fig. 7(b)).
+
+All NDS functions — the API and the STL — run on the host processor;
+the device is reached through a LightNVM-style interface that exposes
+physical addresses, so the STL's building-block placement is honoured
+but every byte still crosses the interconnect and every object is
+assembled **in host memory**: the per-building-block-row copies
+(256 × 2 KB per block in the paper's §7.1 configuration) ride the host
+CPU and bound the effective bandwidth at ~3.8 GB/s.
+
+Cost calibration (§7.3): a worst-case single-page request pays ~41 µs
+over the baseline — the API/LightNVM submission base cost plus the
+host-side B-tree walk and translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.api import bytes_to_array
+from repro.core.stl import SpaceTranslationLayer
+from repro.host.cpu import HostCpu
+from repro.interconnect.link import Link
+from repro.nvm.flash import FlashArray
+from repro.nvm.profiles import DeviceProfile
+from repro.systems.base import StorageSystem, SystemOpResult
+
+__all__ = ["SoftwareNdsSystem", "SoftwareStlCosts"]
+
+
+@dataclass(frozen=True)
+class SoftwareStlCosts:
+    """Host-side STL cost parameters (seconds)."""
+
+    #: per API request: syscall + LightNVM submission setup
+    request_base: float = 30e-6
+    #: per B-tree node visited on the host
+    per_node: float = 2e-6
+    #: per building block translated (Eq. 5 arithmetic)
+    per_block: float = 0.6e-6
+    #: per vectored LightNVM command issued (one per building block)
+    per_command: float = 4e-6
+    #: per physical unit on the *write* path: PPA-list construction,
+    #: per-page completion handling and map/OOB bookkeeping through the
+    #: host kernel stack. Calibrated so the software NDS write penalty
+    #: matches Fig. 9(d)'s ~30 % loss against the baseline.
+    per_unit_write: float = 19e-6
+
+
+class SoftwareNdsSystem(StorageSystem):
+    """Host-resident STL over LightNVM physical addressing."""
+
+    name = "software-nds"
+
+    def __init__(self, profile: DeviceProfile, store_data: bool = False,
+                 queue_depth: int = 32,
+                 costs: SoftwareStlCosts = SoftwareStlCosts(),
+                 bb_override: Optional[Sequence[int]] = None,
+                 cpu: Optional[HostCpu] = None) -> None:
+        self.profile = profile
+        self.store_data = store_data
+        self.flash = FlashArray(profile.geometry, profile.timing,
+                                store_data=store_data)
+        self.stl = SpaceTranslationLayer(self.flash,
+                                         gc_threshold=profile.overprovisioning)
+        self.link = Link(profile.link_bandwidth, profile.link_command_overhead)
+        self.cpu = cpu if cpu is not None else HostCpu()
+        self.queue_depth = queue_depth
+        self.costs = costs
+        self.bb_override = bb_override
+        self.page_size = profile.geometry.page_size
+        self._spaces: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def ingest(self, dataset: str, dims: Sequence[int], element_size: int,
+               data: Optional[np.ndarray] = None,
+               start_time: float = 0.0) -> SystemOpResult:
+        if dataset in self._spaces:
+            raise ValueError(f"dataset {dataset!r} already ingested")
+        space = self.stl.create_space(
+            dims, element_size, bb_override=self.bb_override,
+            # rank >= 3: use bank-level parallelism for 3-D cube blocks
+            # (§4.1 Eq. 3/4) — 2-D blocks orthogonal to the innermost
+            # axis would shatter depth-crossing accesses
+            use_3d_blocks=len(tuple(dims)) >= 3 and self.bb_override is None)
+        self._spaces[dataset] = space.space_id
+        return self.write_tile(dataset, tuple(0 for _ in dims), dims,
+                               data=data, start_time=start_time)
+
+    # ------------------------------------------------------------------
+    def read_tile(self, dataset: str, origin: Sequence[int],
+                  extents: Sequence[int], start_time: float = 0.0,
+                  with_data: bool = False,
+                  dtype: Optional[np.dtype] = None) -> SystemOpResult:
+        space_id = self._space_id(dataset)
+        space = self.stl.get_space(space_id)
+        accesses = self.stl.plan_region(space_id, origin, extents)
+        # Host-side request setup: API + space-translation arithmetic.
+        setup_done = self.cpu.run_issue_work(
+            start_time,
+            self.costs.request_base + self.costs.per_block * len(accesses))
+
+        out = None
+        if with_data and self.store_data:
+            out = np.zeros(tuple(extents) + (space.element_size,),
+                           dtype=np.uint8)
+        elem = space.element_size
+        completions: List[float] = []
+        fetched = 0
+        for index, access in enumerate(accesses):
+            earliest = setup_done
+            if index >= self.queue_depth:
+                earliest = max(earliest,
+                               completions[index - self.queue_depth])
+            # One vectored LightNVM command per building block, plus the
+            # host B-tree walk for that block.
+            issued = self.cpu.run_issue_work(
+                earliest,
+                self.costs.per_command + self.costs.per_node * space.rank)
+            block = self.stl.read_block(space_id, access, issued, out=out)
+            fetched += block.pages * self.page_size
+            transfer = self.link.transfer(block.pages * self.page_size,
+                                          block.completion_time)
+            # Host assembly: scatter the block's rows into the tile
+            # buffer — one memcpy per block-row segment ([P1] residue).
+            region_bytes = access.element_count() * elem
+            row_bytes = access.extent()[-1] * elem
+            done = self.cpu.copy(region_bytes, transfer.end_time, row_bytes)
+            completions.append(done)
+        end = max(completions, default=setup_done)
+        useful = elem
+        for extent in extents:
+            useful *= extent
+        data = None
+        if out is not None:
+            data = out if dtype is None else bytes_to_array(out, dtype)
+        return SystemOpResult(start_time=start_time, end_time=end,
+                              useful_bytes=useful, fetched_bytes=fetched,
+                              requests=len(accesses), data=data)
+
+    # ------------------------------------------------------------------
+    def write_tile(self, dataset: str, origin: Sequence[int],
+                   extents: Sequence[int],
+                   data: Optional[np.ndarray] = None,
+                   start_time: float = 0.0) -> SystemOpResult:
+        space_id = self._space_id(dataset)
+        space = self.stl.get_space(space_id)
+        accesses = self.stl.plan_region(space_id, origin, extents)
+        setup_done = self.cpu.run_issue_work(
+            start_time,
+            self.costs.request_base + self.costs.per_block * len(accesses))
+        raw = None
+        if data is not None and self.store_data:
+            array = np.ascontiguousarray(np.asarray(data))
+            if tuple(array.shape) != tuple(extents):
+                raise ValueError(
+                    f"data shape {array.shape} != extents {tuple(extents)}")
+            raw = array.view(np.uint8).reshape(
+                tuple(extents) + (array.dtype.itemsize,))
+        elem = space.element_size
+        completions: List[float] = []
+        sent = 0
+        for index, access in enumerate(accesses):
+            earliest = setup_done
+            if index >= self.queue_depth:
+                earliest = max(earliest,
+                               completions[index - self.queue_depth])
+            # Host breaks the source object into the block's layout:
+            # one memcpy per block-row segment (the paper's 256 × 2 KB).
+            region_bytes = access.element_count() * elem
+            row_bytes = access.extent()[-1] * elem
+            gathered = self.cpu.copy(region_bytes, earliest, row_bytes)
+            pages = self._pages_of(space_id, access)
+            issued = self.cpu.run_issue_work(
+                gathered,
+                self.costs.per_command + self.costs.per_node * space.rank
+                + self.costs.per_unit_write * pages)
+            transfer = self.link.transfer(pages * self.page_size, issued)
+            sent += pages * self.page_size
+            region = None
+            if raw is not None:
+                slicer = tuple(slice(lo, hi) for lo, hi in access.out_slice)
+                region = raw[slicer]
+            block = self.stl.write_block(space_id, access, transfer.end_time,
+                                         region=region)
+            completions.append(block.completion_time)
+        end = max(completions, default=setup_done)
+        useful = elem
+        for extent in extents:
+            useful *= extent
+        return SystemOpResult(start_time=start_time, end_time=end,
+                              useful_bytes=useful, fetched_bytes=sent,
+                              requests=len(accesses))
+
+    # ------------------------------------------------------------------
+    def reset_time(self) -> None:
+        self.flash.reset_time()
+        self.link.reset_time()
+        self.cpu.reset_time()
+
+    # ------------------------------------------------------------------
+    def _space_id(self, dataset: str) -> int:
+        space_id = self._spaces.get(dataset)
+        if space_id is None:
+            raise KeyError(f"unknown dataset {dataset!r}")
+        return space_id
+
+    def _pages_of(self, space_id: int, access) -> int:
+        from repro.core.translator import pages_for_region
+        space = self.stl.get_space(space_id)
+        return len(pages_for_region(space, access.block_slice))

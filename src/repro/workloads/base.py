@@ -1,0 +1,120 @@
+"""Workload abstraction for the Table 1 applications.
+
+A workload declares:
+
+* its **datasets** (dims + element size, Table 1 "Data" columns);
+* a **tile plan** — the ordered sequence of sub-dimensional fetches its
+  pipelined implementation performs (Table 1 "Kernel sub-dimension");
+* a **kernel-time model** per tile (on the GPU model);
+* optional **functional** pieces: a dataset generator and a NumPy
+  reference kernel, used by the examples and the correctness tests
+  (the paper keeps compute kernels identical across storage systems,
+  §6 — so we verify that every system feeds the same bytes to the same
+  kernel).
+
+All sizes default to a documented down-scale of the paper's (see
+DESIGN.md §5); constructors accept explicit sizes so tests can shrink
+further and ablations can grow.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+
+__all__ = ["WorkloadDataset", "TileFetch", "Workload", "SCALE_NOTE"]
+
+SCALE_NOTE = (
+    "Paper-scale datasets (65536^2 and 2048^3 elements) are infeasible to "
+    "simulate page-by-page in Python; workloads default to a 1/16-per-axis "
+    "scale with tile shapes scaled identically, preserving the tile:dataset "
+    "ratio and therefore the access-pattern structure."
+)
+
+
+@dataclass(frozen=True)
+class WorkloadDataset:
+    """One input dataset of a workload."""
+
+    name: str
+    dims: Tuple[int, ...]
+    element_size: int
+
+    @property
+    def total_bytes(self) -> int:
+        total = self.element_size
+        for extent in self.dims:
+            total *= extent
+        return total
+
+
+@dataclass(frozen=True)
+class TileFetch:
+    """One pipelined fetch: a tile of ``extents`` at ``origin``."""
+
+    dataset: str
+    origin: Tuple[int, ...]
+    extents: Tuple[int, ...]
+
+    @property
+    def shape_key(self) -> Tuple[str, Tuple[int, ...]]:
+        return (self.dataset, self.extents)
+
+
+class Workload(abc.ABC):
+    """One Table 1 application."""
+
+    #: short name as used in the paper's figures
+    name: str = "abstract"
+    #: Table 1 category
+    category: str = ""
+    #: Table 1 data / kernel dimensionality labels
+    data_dim_label: str = ""
+    kernel_dim_label: str = ""
+    #: whether the kernel rides the Tensor-Core curve
+    uses_tensor_cores: bool = False
+
+    @abc.abstractmethod
+    def datasets(self) -> List[WorkloadDataset]:
+        """Datasets to ingest before the run."""
+
+    @abc.abstractmethod
+    def tile_plan(self) -> List[TileFetch]:
+        """Ordered pipelined fetches (§6.2: I/O overlaps compute)."""
+
+    @abc.abstractmethod
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        """Compute-kernel time for one fetched tile."""
+
+    # -- functional layer (small-scale verification & examples) --------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Synthetic input data (paper §A.3.4 generators)."""
+        raise NotImplementedError(f"{self.name} has no functional generator")
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """NumPy reference kernel over the full (small-scale) inputs."""
+        raise NotImplementedError(f"{self.name} has no reference kernel")
+
+    # ------------------------------------------------------------------
+    def dataset(self, name: str) -> WorkloadDataset:
+        for ds in self.datasets():
+            if ds.name == name:
+                return ds
+        raise KeyError(f"{self.name} has no dataset {name!r}")
+
+    def tile_bytes(self, fetch: TileFetch) -> int:
+        elem = self.dataset(fetch.dataset).element_size
+        total = elem
+        for extent in fetch.extents:
+            total *= extent
+        return total
+
+    def shared_input_group(self) -> Optional[str]:
+        """Workloads sharing one dataset (BFS/SSSP, KMeans/KNN, TTV/TC)
+        return a common group label (paper §6.2)."""
+        return None

@@ -1,0 +1,74 @@
+"""Breadth-First Search (Table 1: graph traversal, 2-D data, 1-D kernel).
+
+The compute kernel expands one frontier row at a time: each pipelined
+fetch is a full adjacency row (the paper's 65536-element kernel
+sub-dimension). Because rows are exactly the baseline's serialized
+layout, BFS is the workload where software NDS gains ~nothing (§7.2) —
+an important negative control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+from repro.workloads.base import TileFetch, Workload, WorkloadDataset
+from repro.workloads.datagen import random_adjacency
+
+__all__ = ["BfsWorkload"]
+
+
+class BfsWorkload(Workload):
+    name = "BFS"
+    category = "Graph Traversal"
+    data_dim_label = "2D"
+    kernel_dim_label = "1D"
+
+    def __init__(self, nodes: int = 4096, batch_rows: int = 32,
+                 max_tiles: int = 64, edges_per_node: int = 8) -> None:
+        if nodes % batch_rows != 0:
+            raise ValueError("batch_rows must divide nodes")
+        self.nodes = nodes
+        self.batch_rows = batch_rows
+        self.max_tiles = max_tiles
+        self.edges_per_node = edges_per_node
+
+    def datasets(self) -> List[WorkloadDataset]:
+        return [WorkloadDataset("graph", (self.nodes, self.nodes), 4)]
+
+    def tile_plan(self) -> List[TileFetch]:
+        batches = min(self.nodes // self.batch_rows, self.max_tiles)
+        return [TileFetch("graph", (batch * self.batch_rows, 0),
+                          (self.batch_rows, self.nodes))
+                for batch in range(batches)]
+
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        return kernels.traversal_pass(self.batch_rows, self.nodes,
+                                      element_size=4)
+
+    def shared_input_group(self) -> str:
+        return "graph-adjacency"
+
+    # -- functional ------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {"graph": random_adjacency(
+            self.nodes, self.nodes * self.edges_per_node,
+            seed=int(rng.integers(2**31)))}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """BFS levels from node 0 (-1 = unreachable)."""
+        adjacency = inputs["graph"]
+        nodes = adjacency.shape[0]
+        level = np.full(nodes, -1, dtype=np.int64)
+        frontier = np.zeros(nodes, dtype=bool)
+        frontier[0] = True
+        level[0] = 0
+        depth = 0
+        while frontier.any():
+            depth += 1
+            reachable = (adjacency[frontier].sum(axis=0) > 0)
+            frontier = reachable & (level < 0)
+            level[frontier] = depth
+        return level

@@ -1,0 +1,96 @@
+"""Synthetic dataset generators (paper §A.3.4).
+
+The paper's artifact generates every input synthetically: random dense
+matrices/tensors, clustering point sets, random graphs as binary
+adjacency matrices, and a power-law graph for PageRank. We mirror those
+generators (seeded, numpy-native, binary-encoded shapes).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "random_matrix",
+    "random_tensor",
+    "clustering_points",
+    "random_adjacency",
+    "weighted_adjacency",
+    "pagerank_graph",
+]
+
+
+def random_matrix(rows: int, cols: int, dtype=np.float32,
+                  seed: int = 0) -> np.ndarray:
+    """Dense random matrix — GEMM / Conv2D / Hotspot inputs."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((rows, cols)).astype(dtype)
+
+
+def random_tensor(d0: int, d1: int, d2: int, dtype=np.float32,
+                  seed: int = 0) -> np.ndarray:
+    """Dense random 3-D tensor — TTV / TC input."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((d0, d1, d2)).astype(dtype)
+
+
+def clustering_points(points: int, attributes: int, clusters: int = 8,
+                      dtype=np.float32, seed: int = 0,
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """K-Means / KNN input: ``points`` samples drawn around ``clusters``
+    Gaussian centres. Returns (points, centres)."""
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(-10.0, 10.0, size=(clusters, attributes))
+    assignment = rng.integers(0, clusters, size=points)
+    data = centres[assignment] + rng.standard_normal((points, attributes))
+    return data.astype(dtype), centres.astype(dtype)
+
+
+def random_adjacency(nodes: int, edges: int, dtype=np.int32,
+                     seed: int = 0) -> np.ndarray:
+    """BFS input: binary adjacency matrix with ~``edges`` directed edges
+    (the NDS variant of Rodinia's generator stores binary-encoded
+    adjacency matrices)."""
+    rng = np.random.default_rng(seed)
+    adjacency = np.zeros((nodes, nodes), dtype=dtype)
+    rows = rng.integers(0, nodes, size=edges)
+    cols = rng.integers(0, nodes, size=edges)
+    adjacency[rows, cols] = 1
+    # keep the graph connected enough for traversal: a random chain
+    order = rng.permutation(nodes)
+    adjacency[order[:-1], order[1:]] = 1
+    return adjacency
+
+
+def weighted_adjacency(nodes: int, edges: int, max_weight: float = 10.0,
+                       dtype=np.float32, seed: int = 0) -> np.ndarray:
+    """SSSP input: weighted adjacency, 0 = no edge."""
+    rng = np.random.default_rng(seed)
+    adjacency = np.zeros((nodes, nodes), dtype=dtype)
+    rows = rng.integers(0, nodes, size=edges)
+    cols = rng.integers(0, nodes, size=edges)
+    adjacency[rows, cols] = rng.uniform(0.1, max_weight, size=edges)
+    order = rng.permutation(nodes)
+    adjacency[order[:-1], order[1:]] = rng.uniform(0.1, max_weight,
+                                                   size=nodes - 1)
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency
+
+
+def pagerank_graph(nodes: int, mean_degree: int = 16, dtype=np.float32,
+                   seed: int = 0) -> np.ndarray:
+    """PageRank input: adjacency with a skewed (power-law-ish) in-degree
+    distribution, mirroring the DIMACS-derived graph of §A.3.4."""
+    rng = np.random.default_rng(seed)
+    adjacency = np.zeros((nodes, nodes), dtype=dtype)
+    # preferential targets: Zipf-like popularity
+    popularity = 1.0 / np.arange(1, nodes + 1)
+    popularity /= popularity.sum()
+    total_edges = nodes * mean_degree
+    sources = rng.integers(0, nodes, size=total_edges)
+    targets = rng.choice(nodes, size=total_edges, p=popularity)
+    adjacency[sources, targets] = 1.0
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency

@@ -1,0 +1,71 @@
+"""Hotspot thermal simulation (Table 1: physics simulation).
+
+Rodinia's Hotspot advances a temperature grid with a 5-point stencil
+driven by a power grid: two 2-D datasets, square sub-block kernels
+(4096² of 65536² in the paper; same 1/16 tile:data ratio here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+from repro.workloads.base import TileFetch, Workload, WorkloadDataset
+from repro.workloads.datagen import random_matrix
+
+__all__ = ["HotspotWorkload"]
+
+
+class HotspotWorkload(Workload):
+    name = "Hotspot"
+    category = "Physics Simulation"
+    data_dim_label = "2D"
+    kernel_dim_label = "2D"
+
+    def __init__(self, n: int = 4096, tile_rows: int = 256,
+                 tile_cols: int = 1024, max_tiles: int = 64) -> None:
+        if n % tile_rows != 0 or n % tile_cols != 0:
+            raise ValueError("tile dims must divide n")
+        self.n = n
+        self.tile_rows = tile_rows
+        self.tile_cols = tile_cols
+        self.max_tiles = max_tiles
+
+    def datasets(self) -> List[WorkloadDataset]:
+        return [WorkloadDataset("temp", (self.n, self.n), 4),
+                WorkloadDataset("power", (self.n, self.n), 4)]
+
+    def tile_plan(self) -> List[TileFetch]:
+        plan: List[TileFetch] = []
+        for i in range(self.n // self.tile_rows):
+            for j in range(self.n // self.tile_cols):
+                origin = (i * self.tile_rows, j * self.tile_cols)
+                extents = (self.tile_rows, self.tile_cols)
+                plan.append(TileFetch("temp", origin, extents))
+                plan.append(TileFetch("power", origin, extents))
+                if len(plan) >= self.max_tiles:
+                    return plan
+        return plan
+
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        if fetch.dataset == "power":
+            return kernels.stencil(self.tile_rows, self.tile_cols,
+                                   element_size=4)
+        return 0.0
+
+    # -- functional ------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        seed = int(rng.integers(2**31))
+        return {"temp": random_matrix(self.n, self.n, seed=seed) + 320.0,
+                "power": np.abs(random_matrix(self.n, self.n, seed=seed + 1))}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """One explicit stencil step of the simplified thermal model."""
+        temp = inputs["temp"].astype(np.float64)
+        power = inputs["power"].astype(np.float64)
+        padded = np.pad(temp, 1, mode="edge")
+        neighbours = (padded[:-2, 1:-1] + padded[2:, 1:-1]
+                      + padded[1:-1, :-2] + padded[1:-1, 2:])
+        return temp + 0.1 * (neighbours - 4.0 * temp) + 0.05 * power

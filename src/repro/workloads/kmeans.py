@@ -1,0 +1,74 @@
+"""K-Means clustering (Table 1: data mining).
+
+Points × attributes matrix; the 1-D kernel assigns one batch of points
+per pipelined fetch (full-width row stripes). Shares its input dataset
+with KNN (§6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+from repro.workloads.base import TileFetch, Workload, WorkloadDataset
+from repro.workloads.datagen import clustering_points
+
+__all__ = ["KMeansWorkload"]
+
+
+class KMeansWorkload(Workload):
+    name = "KMeans"
+    category = "Data Mining"
+    data_dim_label = "2D"
+    kernel_dim_label = "1D"
+
+    def __init__(self, points: int = 4096, attributes: int = 4096,
+                 clusters: int = 16, stripe: int = 1024,
+                 max_tiles: int = 64) -> None:
+        if attributes % stripe != 0:
+            raise ValueError("stripe must divide attributes")
+        self.points = points
+        self.attributes = attributes
+        self.clusters = clusters
+        self.stripe = stripe
+        self.max_tiles = max_tiles
+
+    def datasets(self) -> List[WorkloadDataset]:
+        return [WorkloadDataset("points", (self.points, self.attributes), 4)]
+
+    def tile_plan(self) -> List[TileFetch]:
+        """Attribute-block stripes: the GPU kernel accumulates partial
+        distances per attribute block over *all* points (coalesced
+        feature-major access) — a column-crossing pattern over the
+        row-major point store."""
+        plan: List[TileFetch] = []
+        for stripe in range(self.attributes // self.stripe):
+            plan.append(TileFetch("points", (0, stripe * self.stripe),
+                                  (self.points, self.stripe)))
+            if len(plan) >= self.max_tiles:
+                break
+        return plan
+
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        return kernels.kmeans_assign(self.points, self.stripe,
+                                     self.clusters, element_size=4)
+
+    def shared_input_group(self) -> str:
+        return "clustering-points"
+
+    # -- functional ------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        data, _centres = clustering_points(
+            self.points, self.attributes, clusters=self.clusters,
+            seed=int(rng.integers(2**31)))
+        return {"points": data}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """One Lloyd iteration from deterministic seeds; returns the
+        per-point assignment."""
+        data = inputs["points"].astype(np.float64)
+        centres = data[:: max(1, len(data) // self.clusters)][:self.clusters]
+        distances = ((data[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)

@@ -1,0 +1,71 @@
+"""K-Nearest Neighbors (Table 1: data mining, 1-D kernel).
+
+Shares the clustering dataset with K-Means but consumes it per point:
+each fetch is one point row (the paper's 65536-element 1-D kernel
+sub-dimension) whose distance to a query point the kernel computes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+from repro.workloads.base import TileFetch, Workload, WorkloadDataset
+from repro.workloads.datagen import clustering_points
+
+__all__ = ["KnnWorkload"]
+
+
+class KnnWorkload(Workload):
+    name = "KNN"
+    category = "Data Mining"
+    data_dim_label = "1D"
+    kernel_dim_label = "1D"
+
+    def __init__(self, points: int = 4096, attributes: int = 4096,
+                 neighbours: int = 8, batch_points: int = 16,
+                 max_tiles: int = 64) -> None:
+        if points % batch_points != 0:
+            raise ValueError("batch_points must divide points")
+        self.points = points
+        self.attributes = attributes
+        self.neighbours = neighbours
+        self.batch_points = batch_points
+        self.max_tiles = max_tiles
+
+    def datasets(self) -> List[WorkloadDataset]:
+        # Table 1 lists KNN's data as 1-D: the point set is consumed as a
+        # flat element stream (one point row per fetch) — the same bytes
+        # K-Means views as 2-D, demonstrating NDS's view elasticity.
+        return [WorkloadDataset("points",
+                                (self.points * self.attributes,), 4)]
+
+    def tile_plan(self) -> List[TileFetch]:
+        batch = self.batch_points * self.attributes
+        batches = min(self.points // self.batch_points, self.max_tiles)
+        return [TileFetch("points", (index * batch,), (batch,))
+                for index in range(batches)]
+
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        return kernels.knn_distances(self.batch_points, self.attributes,
+                                     element_size=4)
+
+    def shared_input_group(self) -> str:
+        return "clustering-points"
+
+    # -- functional ------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        data, _centres = clustering_points(
+            self.points, self.attributes, seed=int(rng.integers(2**31)))
+        return {"points": data.ravel()}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """Indices of the k nearest neighbours of point 0."""
+        data = inputs["points"].astype(np.float64).reshape(
+            self.points, self.attributes)
+        query = data[0]
+        distances = ((data - query) ** 2).sum(axis=1)
+        order = np.argsort(distances, kind="stable")
+        return order[1:self.neighbours + 1]

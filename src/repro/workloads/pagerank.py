@@ -1,0 +1,77 @@
+"""PageRank (Table 1: graph, 2-D kernel, full-width stripes).
+
+GraphBLAST-style rank propagation: the kernel consumes full-width
+adjacency stripes (4096×65536 in the paper), so its access pattern is
+relatively layout-friendly — PageRank sits between BFS (no gain) and
+GEMM (large gain) on the Fig. 10(a) spectrum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+from repro.workloads.base import TileFetch, Workload, WorkloadDataset
+from repro.workloads.datagen import pagerank_graph
+
+__all__ = ["PageRankWorkload"]
+
+
+class PageRankWorkload(Workload):
+    name = "PageRank"
+    category = "Graph"
+    data_dim_label = "2D"
+    kernel_dim_label = "2D"
+
+    def __init__(self, nodes: int = 4096, stripe: int = 1024,
+                 damping: float = 0.85, max_tiles: int = 64) -> None:
+        if nodes % stripe != 0:
+            raise ValueError("stripe must divide nodes")
+        self.nodes = nodes
+        self.stripe = stripe
+        self.damping = damping
+        self.max_tiles = max_tiles
+
+    def datasets(self) -> List[WorkloadDataset]:
+        return [WorkloadDataset("graph", (self.nodes, self.nodes), 4)]
+
+    def tile_plan(self) -> List[TileFetch]:
+        """Destination-sorted shards (GraphChi-style): each fetch is a
+        full-height *column* stripe — all in-edges of one destination
+        block — which crosses the row-major adjacency layout."""
+        plan: List[TileFetch] = []
+        for stripe in range(self.nodes // self.stripe):
+            plan.append(TileFetch("graph", (0, stripe * self.stripe),
+                                  (self.nodes, self.stripe)))
+            if len(plan) >= self.max_tiles:
+                break
+        return plan
+
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        return kernels.spmv_pass(self.nodes, self.stripe, element_size=4)
+
+    # -- functional ------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {"graph": pagerank_graph(self.nodes,
+                                        seed=int(rng.integers(2**31)))}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """Power iteration to a fixed tolerance."""
+        adjacency = inputs["graph"].astype(np.float64)
+        nodes = adjacency.shape[0]
+        out_degree = adjacency.sum(axis=1)
+        transition = np.divide(adjacency, out_degree[:, None],
+                               out=np.zeros_like(adjacency),
+                               where=out_degree[:, None] > 0)
+        rank = np.full(nodes, 1.0 / nodes)
+        teleport = (1.0 - self.damping) / nodes
+        for _ in range(200):
+            dangling = rank[out_degree == 0].sum() / nodes
+            updated = teleport + self.damping * (rank @ transition + dangling)
+            if np.abs(updated - rank).sum() < 1e-12:
+                rank = updated
+                break
+            rank = updated
+        return rank

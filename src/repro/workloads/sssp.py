@@ -1,0 +1,81 @@
+"""Bellman-Ford single-source shortest paths (Table 1: graph traversal).
+
+Shares its adjacency dataset with BFS (§6.2: "3 pairs of applications
+shared their inputs") but relaxes edges in narrower segments — the
+paper's 65536×4096 data with per-segment kernel passes. The segment
+fetches cross the row-major layout in smaller pieces, so SSSP sees more
+NDS benefit than BFS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+from repro.workloads.base import TileFetch, Workload, WorkloadDataset
+from repro.workloads.datagen import weighted_adjacency
+
+__all__ = ["SsspWorkload"]
+
+
+class SsspWorkload(Workload):
+    name = "SSSP"
+    category = "Graph Traversal"
+    data_dim_label = "2D"
+    kernel_dim_label = "1D"
+
+    def __init__(self, nodes: int = 4096, segment: int = 512,
+                 max_tiles: int = 64) -> None:
+        if nodes % segment != 0:
+            raise ValueError("segment must divide nodes")
+        self.nodes = nodes
+        self.segment = segment
+        self.max_tiles = max_tiles
+
+    def datasets(self) -> List[WorkloadDataset]:
+        return [WorkloadDataset("graph", (self.nodes, self.nodes), 4)]
+
+    def tile_plan(self) -> List[TileFetch]:
+        """Square edge blocks: the parallel Bellman-Ford implementation
+        relaxes (source-block × destination-block) edge tiles, so unlike
+        BFS its fetches cross the row-major adjacency layout."""
+        plan: List[TileFetch] = []
+        segments = self.nodes // self.segment
+        for src in range(segments):
+            for dst in range(segments):
+                plan.append(TileFetch("graph",
+                                      (src * self.segment,
+                                       dst * self.segment),
+                                      (self.segment, self.segment)))
+                if len(plan) >= self.max_tiles:
+                    return plan
+        return plan
+
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        return kernels.traversal_pass(self.segment, self.segment,
+                                      element_size=4)
+
+    def shared_input_group(self) -> str:
+        return "graph-adjacency"
+
+    # -- functional ------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {"graph": weighted_adjacency(
+            self.nodes, self.nodes * 8, seed=int(rng.integers(2**31)))}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """Bellman-Ford distances from node 0 (inf = unreachable)."""
+        weights = inputs["graph"].astype(np.float64)
+        nodes = weights.shape[0]
+        dist = np.full(nodes, np.inf)
+        dist[0] = 0.0
+        has_edge = weights > 0
+        for _ in range(nodes - 1):
+            candidate = np.where(has_edge, dist[:, None] + weights, np.inf)
+            relaxed = np.minimum(dist, candidate.min(axis=0))
+            if np.array_equal(relaxed, dist):
+                break
+            dist = relaxed
+        return dist

@@ -1,0 +1,80 @@
+"""Tensor Contraction (Table 1: tensor algebra, Tensor-Core kernel).
+
+Mode-3 product of a 3-D tensor with a matrix:
+``Y[i, j, l] = Σ_k X[i, j, k] · M[k, l]`` — the cuBLAS strided-batched
+GEMM pattern of the paper's TC baseline [23, 77]. Shares the tensor
+dataset with TTV but consumes it with 2-D Tensor-Core sub-blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+from repro.workloads.base import TileFetch, Workload, WorkloadDataset
+from repro.workloads.datagen import random_matrix, random_tensor
+
+__all__ = ["TcWorkload"]
+
+
+class TcWorkload(Workload):
+    name = "TC"
+    category = "Tensor Algebra"
+    data_dim_label = "3D"
+    kernel_dim_label = "2D"
+    uses_tensor_cores = True
+
+    def __init__(self, rows: int = 128, cols: int = 128, depth: int = 2048,
+                 tile_rows: int = 32, tile_cols: int = 32,
+                 tile_depth: int = 1024, contract_dim: int = 256,
+                 max_tiles: int = 64) -> None:
+        if rows % tile_rows or cols % tile_cols or depth % tile_depth:
+            raise ValueError("tile dims must divide tensor dims")
+        self.dims = (rows, cols, depth)
+        self.tile = (tile_rows, tile_cols, tile_depth)
+        self.contract_dim = contract_dim
+        self.max_tiles = max_tiles
+
+    def datasets(self) -> List[WorkloadDataset]:
+        return [WorkloadDataset("tensor", self.dims, 4),
+                WorkloadDataset("matrix",
+                                (self.dims[2], self.contract_dim), 4)]
+
+    def tile_plan(self) -> List[TileFetch]:
+        plan: List[TileFetch] = []
+        grid = tuple(d // t for d, t in zip(self.dims, self.tile))
+        for i in range(grid[0]):
+            for j in range(grid[1]):
+                for k in range(grid[2]):
+                    plan.append(TileFetch(
+                        "tensor",
+                        (i * self.tile[0], j * self.tile[1],
+                         k * self.tile[2]),
+                        self.tile))
+                    if len(plan) >= self.max_tiles:
+                        return plan
+        return plan
+
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        # strided-batched GEMM: the brick's tile_rows×tile_cols fibres of
+        # depth tile_depth contract against the matrix slice
+        return kernels.gemm(self.tile[0] * self.tile[1], self.contract_dim,
+                            self.tile[2], element_size=4,
+                            use_tensor_cores=True)
+
+    def shared_input_group(self) -> str:
+        return "dense-tensor"
+
+    # -- functional ------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        seed = int(rng.integers(2**31))
+        return {"tensor": random_tensor(*self.dims, seed=seed),
+                "matrix": random_matrix(self.dims[2], self.contract_dim,
+                                        seed=seed + 1)}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        return np.einsum("ijk,kl->ijl",
+                         inputs["tensor"].astype(np.float64),
+                         inputs["matrix"].astype(np.float64))

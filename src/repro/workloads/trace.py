@@ -1,0 +1,162 @@
+"""Access-trace recording and replay.
+
+NDS's pitch is serving *arbitrary* applications from one stored layout;
+traces make that testable: record the tile accesses one application
+makes, then replay them against any architecture (or any device
+profile) and compare. Traces serialize to JSON for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.systems.base import StorageSystem, SystemOpResult
+
+__all__ = ["TraceEvent", "AccessTrace", "TracingSystem", "replay_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded dataset access."""
+
+    kind: str                   # "read" | "write"
+    dataset: str
+    origin: Tuple[int, ...]
+    extents: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"unknown access kind {self.kind!r}")
+
+
+@dataclass
+class AccessTrace:
+    """An ordered list of accesses plus the datasets they need."""
+
+    datasets: List[Tuple[str, Tuple[int, ...], int]] = field(
+        default_factory=list)
+    events: List[TraceEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def record_dataset(self, name: str, dims: Sequence[int],
+                       element_size: int) -> None:
+        entry = (name, tuple(int(d) for d in dims), int(element_size))
+        if entry not in self.datasets:
+            self.datasets.append(entry)
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def read_bytes(self) -> int:
+        by_name = {name: (dims, elem)
+                   for name, dims, elem in self.datasets}
+        total = 0
+        for event in self.events:
+            if event.kind != "read":
+                continue
+            _dims, elem = by_name[event.dataset]
+            volume = elem
+            for extent in event.extents:
+                volume *= extent
+            total += volume
+        return total
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps({
+            "datasets": [list(entry) for entry in self.datasets],
+            "events": [asdict(event) for event in self.events],
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AccessTrace":
+        raw = json.loads(text)
+        trace = cls()
+        for name, dims, elem in raw["datasets"]:
+            trace.record_dataset(name, dims, elem)
+        for event in raw["events"]:
+            trace.append(TraceEvent(
+                kind=event["kind"], dataset=event["dataset"],
+                origin=tuple(event["origin"]),
+                extents=tuple(event["extents"])))
+        return trace
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AccessTrace":
+        return cls.from_json(Path(path).read_text())
+
+
+class TracingSystem(StorageSystem):
+    """A recording proxy around any storage system."""
+
+    def __init__(self, inner: StorageSystem) -> None:
+        self.inner = inner
+        self.trace = AccessTrace()
+        self.name = f"traced-{inner.name}"
+
+    def ingest(self, dataset, dims, element_size, data=None,
+               start_time=0.0, **kwargs) -> SystemOpResult:
+        self.trace.record_dataset(dataset, dims, element_size)
+        return self.inner.ingest(dataset, dims, element_size, data=data,
+                                 start_time=start_time, **kwargs)
+
+    def read_tile(self, dataset, origin, extents, start_time=0.0,
+                  with_data=False, dtype=None) -> SystemOpResult:
+        self.trace.append(TraceEvent("read", dataset, tuple(origin),
+                                     tuple(extents)))
+        return self.inner.read_tile(dataset, origin, extents,
+                                    start_time=start_time,
+                                    with_data=with_data, dtype=dtype)
+
+    def write_tile(self, dataset, origin, extents, data=None,
+                   start_time=0.0) -> SystemOpResult:
+        self.trace.append(TraceEvent("write", dataset, tuple(origin),
+                                     tuple(extents)))
+        return self.inner.write_tile(dataset, origin, extents, data=data,
+                                     start_time=start_time)
+
+    def reset_time(self) -> None:
+        self.inner.reset_time()
+
+
+def replay_trace(trace: AccessTrace, system: StorageSystem,
+                 ingest: bool = True,
+                 data: Optional[dict] = None) -> Tuple[float, List[SystemOpResult]]:
+    """Run a trace against a system; returns (last completion, results).
+
+    Accesses are issued back to back (each at the previous completion),
+    modelling a dependent request stream.
+    """
+    if ingest:
+        for name, dims, elem in trace.datasets:
+            payload = data.get(name) if data else None
+            system.ingest(name, dims, elem, data=payload)
+        system.reset_time()
+    now = 0.0
+    results: List[SystemOpResult] = []
+    for event in trace.events:
+        if event.kind == "read":
+            result = system.read_tile(event.dataset, event.origin,
+                                      event.extents, start_time=now)
+        else:
+            payload = None
+            if data and event.dataset in data:
+                source = np.asarray(data[event.dataset])
+                slicer = tuple(slice(o, o + e) for o, e in
+                               zip(event.origin, event.extents))
+                payload = source[slicer]
+            result = system.write_tile(event.dataset, event.origin,
+                                       event.extents, data=payload,
+                                       start_time=now)
+        now = result.end_time
+        results.append(result)
+    return now, results

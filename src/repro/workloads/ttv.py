@@ -1,0 +1,73 @@
+"""Tensor-Times-Vector (Table 1: tensor algebra, shares input with TC).
+
+Contracts a 3-D tensor with a vector along the innermost mode:
+``Y[i, j] = Σ_k X[i, j, k] · v[k]``. Fetches are (t × t × D) bricks —
+exactly the access pattern where the row-major serialization of a 3-D
+tensor degenerates into thousands of short runs on the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+from repro.workloads.base import TileFetch, Workload, WorkloadDataset
+from repro.workloads.datagen import random_tensor
+
+__all__ = ["TtvWorkload"]
+
+
+class TtvWorkload(Workload):
+    name = "TTV"
+    category = "Tensor Algebra"
+    data_dim_label = "3D"
+    kernel_dim_label = "2D/1D"
+
+    def __init__(self, rows: int = 128, cols: int = 128, depth: int = 2048,
+                 tile_rows: int = 32, tile_cols: int = 32,
+                 tile_depth: int = 1024, max_tiles: int = 64) -> None:
+        if rows % tile_rows or cols % tile_cols or depth % tile_depth:
+            raise ValueError("tile dims must divide tensor dims")
+        self.dims = (rows, cols, depth)
+        self.tile = (tile_rows, tile_cols, tile_depth)
+        self.max_tiles = max_tiles
+
+    def datasets(self) -> List[WorkloadDataset]:
+        return [WorkloadDataset("tensor", self.dims, 4)]
+
+    def tile_plan(self) -> List[TileFetch]:
+        plan: List[TileFetch] = []
+        grid = tuple(d // t for d, t in zip(self.dims, self.tile))
+        for i in range(grid[0]):
+            for j in range(grid[1]):
+                for k in range(grid[2]):
+                    plan.append(TileFetch(
+                        "tensor",
+                        (i * self.tile[0], j * self.tile[1],
+                         k * self.tile[2]),
+                        self.tile))
+                    if len(plan) >= self.max_tiles:
+                        return plan
+        return plan
+
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        return kernels.tensor_times_vector(self.tile[0] * self.tile[1],
+                                           self.tile[2], element_size=4)
+
+    def shared_input_group(self) -> str:
+        return "dense-tensor"
+
+    # -- functional ------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        return {"tensor": random_tensor(*self.dims,
+                                        seed=int(rng.integers(2**31)))}
+
+    def vector(self) -> np.ndarray:
+        """The (small, memory-resident) contraction vector."""
+        return np.linspace(0.0, 1.0, self.dims[2])
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        return np.einsum("ijk,k->ij", inputs["tensor"].astype(np.float64),
+                         self.vector())

@@ -1,0 +1,89 @@
+"""Tests for the GPU model — the Fig. 3 curve properties."""
+
+import pytest
+
+from repro.accelerator import RTX2080, EngineCurve, GpuModel, KernelModel
+
+
+class TestEngineCurve:
+    def test_peak_at_optimal_dim(self):
+        curve = EngineCurve("e", peak_rate=1e9, optimal_dim=512)
+        assert curve.rate(512) == pytest.approx(1e9)
+        assert curve.rate(64) < 1e9
+        assert curve.rate(8192) < 1e9
+
+    def test_rises_then_falls(self):
+        curve = RTX2080.cuda
+        dims = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+        rates = [curve.rate(d) for d in dims]
+        peak_index = rates.index(max(rates))
+        assert dims[peak_index] == curve.optimal_dim
+        assert rates[:peak_index + 1] == sorted(rates[:peak_index + 1])
+        assert rates[peak_index:] == sorted(rates[peak_index:], reverse=True)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            RTX2080.cuda.rate(0)
+
+
+class TestPaperOptima:
+    def test_cuda_peak_is_2048(self):
+        """§2.2 [C2]: CUDA cores' optimal submatrix is 2048x2048."""
+        assert RTX2080.cuda.optimal_dim == 2048
+
+    def test_tensor_peak_is_512(self):
+        """§2.2 [C2]: Tensor Cores' optimal submatrix is 512x512."""
+        assert RTX2080.tensor.optimal_dim == 512
+
+    def test_tensor_cores_lead_significantly(self):
+        """Fig. 3: Tensor Cores hold a large performance lead."""
+        assert RTX2080.tensor.peak_rate > 5 * RTX2080.cuda.peak_rate
+
+    def test_engine_optima_differ_from_storage_optimum(self):
+        """[C3]: no single tile size satisfies both accelerator engines
+        and the storage device."""
+        assert RTX2080.cuda.optimal_dim != RTX2080.tensor.optimal_dim
+
+
+class TestGpuModel:
+    def test_h2d_time(self):
+        gpu = GpuModel("g", RTX2080.cuda, RTX2080.tensor,
+                       h2d_bandwidth=10e9, h2d_overhead=1e-6)
+        assert gpu.h2d_time(10**7) == pytest.approx(1e-6 + 1e-3)
+        assert gpu.h2d_time(0) == 0.0
+        with pytest.raises(ValueError):
+            gpu.h2d_time(-1)
+
+    def test_kernel_time_grows_with_data(self):
+        assert (RTX2080.kernel_time(2**20, 512)
+                < RTX2080.kernel_time(2**24, 512))
+
+    def test_device_memory_check(self):
+        assert RTX2080.fits_in_device_memory(2**30)
+        assert not RTX2080.fits_in_device_memory(16 * 2**30)
+
+    def test_processing_rate_peaks_at_engine_optimum(self):
+        rates = {d: RTX2080.processing_rate(d, use_tensor_cores=True)
+                 for d in [128, 256, 512, 1024, 2048]}
+        assert max(rates, key=rates.get) == 512
+
+
+class TestKernelModel:
+    def test_gemm_uses_tensor_curve(self):
+        km = KernelModel(RTX2080)
+        tcu = km.gemm(512, 512, 512, use_tensor_cores=True)
+        cuda = km.gemm(512, 512, 512, use_tensor_cores=False)
+        assert tcu < cuda
+
+    def test_stencil_scales_with_area(self):
+        km = KernelModel(RTX2080)
+        assert km.stencil(512, 512) < km.stencil(1024, 1024)
+
+    def test_all_kernels_positive(self):
+        km = KernelModel(RTX2080)
+        assert km.traversal_pass(32, 4096) > 0
+        assert km.spmv_pass(256, 4096) > 0
+        assert km.kmeans_assign(256, 4096, 16) > 0
+        assert km.knn_distances(16, 4096) > 0
+        assert km.tensor_times_vector(1024, 1024) > 0
+        assert km.tensor_contraction(64, 4) > 0

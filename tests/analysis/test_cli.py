@@ -1,0 +1,60 @@
+"""Tests for the reproduction CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        sub = next(a for a in parser._actions
+                   if hasattr(a, "choices") and a.choices)
+        assert set(sub.choices) == {"fig3", "fig9", "fig10", "overhead",
+                                    "scorecard", "table1", "all"}
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "GEMM" in out and "Tensor Algebra" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Tensor Cores" in out
+        assert "2048x2048" in out
+
+    def test_fig9_small(self, capsys):
+        assert main(["fig9", "--size", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "row-fetch" in out and "write" in out
+
+    def test_fig10_single_workload(self, capsys):
+        assert main(["fig10", "-w", "KNN"]) == 0
+        out = capsys.readouterr().out
+        assert "KNN" in out and "x" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "single-page latency" in out
+
+
+class TestAsciiChart:
+    def test_chart_renders(self):
+        from repro.analysis.figures import ascii_chart
+        chart = ascii_chart({"a": {32: 1e3, 64: 1e6}, "b": {32: 1e4}},
+                            title="demo")
+        assert "demo" in chart
+        assert "o=a" in chart and "x=b" in chart
+        assert "32" in chart
+
+    def test_empty(self):
+        from repro.analysis.figures import ascii_chart
+        assert ascii_chart({}, title="t") == "t"

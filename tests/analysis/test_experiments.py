@@ -1,0 +1,54 @@
+"""Smoke tests for the shared experiment drivers (small scale)."""
+
+import pytest
+
+from repro.analysis.experiments import (endtoend_sweep, fig3_series,
+                                        micro_read_bandwidths,
+                                        micro_write_bandwidths,
+                                        overhead_latencies)
+
+
+class TestMicroDrivers:
+    def test_read_bandwidths_structure(self):
+        reads = micro_read_bandwidths(n=1024)
+        assert set(reads) == {"row-fetch", "column-fetch",
+                              "submatrix-fetch"}
+        for values in reads.values():
+            assert set(values) == {"baseline", "software", "hardware"}
+            assert all(v > 0 for v in values.values())
+
+    def test_column_fetch_shape(self):
+        reads = micro_read_bandwidths(n=1024)
+        col = reads["column-fetch"]
+        assert col["hardware"] > col["baseline"]
+
+    def test_write_bandwidths(self):
+        writes = micro_write_bandwidths(n=1024)
+        assert writes["baseline"] > writes["software"]
+        assert writes["baseline"] > writes["hardware"]
+
+
+class TestFig3Driver:
+    def test_five_series(self):
+        series = fig3_series(dims=(64, 512, 2048))
+        assert set(series) == {"cuda", "tensor", "nvmeof",
+                               "internal_32ch", "consumer_8ch"}
+        assert series["tensor"][512] > series["cuda"][512]
+
+
+class TestEndToEndDriver:
+    def test_single_workload_sweep(self):
+        sweep = endtoend_sweep(workload_names=["KNN"])
+        assert set(sweep) == {"KNN"}
+        per_system = sweep["KNN"]
+        assert set(per_system) == {"baseline", "software-nds",
+                                   "software-oracle", "hardware-nds"}
+        assert per_system["baseline"][0] == pytest.approx(1.0)
+
+
+class TestOverheadDriver:
+    def test_latency_ordering(self):
+        numbers = overhead_latencies(n=1024)
+        assert numbers["software"] > numbers["hardware"] > \
+            numbers["baseline"]
+        assert 0 < numbers["space_overhead"] < 0.01

@@ -1,0 +1,52 @@
+"""Tests for CSV export."""
+
+import csv
+
+from repro.analysis.export import export_micro, export_series, export_sweep
+
+
+def _rows(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportSeries:
+    def test_tidy_layout(self, tmp_path):
+        path = export_series({"cuda": {32: 1.5e9, 64: 3e9},
+                              "tensor": {32: 9e9}},
+                             tmp_path / "fig3.csv")
+        rows = _rows(path)
+        assert rows[0] == ["series", "dim", "bytes_per_second"]
+        assert ["cuda", "32", repr(1.5e9)] in rows
+        assert len(rows) == 4
+
+    def test_values_roundtrip_exactly(self, tmp_path):
+        value = 1.2345678901234567e9
+        path = export_series({"s": {1: value}}, tmp_path / "x.csv")
+        rows = _rows(path)
+        assert float(rows[1][2]) == value
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_series({}, tmp_path / "deep" / "nested" / "x.csv")
+        assert path.exists()
+
+
+class TestExportMicro:
+    def test_reads_and_writes_combined(self, tmp_path):
+        path = export_micro(
+            {"row-fetch": {"baseline": 4.5e9, "software": 3.8e9}},
+            {"baseline": 3.0e8}, tmp_path / "fig9.csv")
+        rows = _rows(path)
+        assert ["row-fetch", "software", repr(3.8e9)] in rows
+        assert ["write", "baseline", repr(3.0e8)] in rows
+
+
+class TestExportSweep:
+    def test_sweep_layout(self, tmp_path):
+        path = export_sweep(
+            {"GEMM": {"baseline": (1.0, 0.1), "hardware-nds": (9.2, 0.01)}},
+            tmp_path / "fig10.csv")
+        rows = _rows(path)
+        assert rows[0] == ["workload", "system", "speedup",
+                           "kernel_idle_seconds"]
+        assert ["GEMM", "hardware-nds", repr(9.2), repr(0.01)] in rows

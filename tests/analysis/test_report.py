@@ -1,0 +1,56 @@
+"""Tests for report formatting."""
+
+from repro.analysis import (PAPER, comparison_row, format_bandwidth,
+                            format_ratio, format_table)
+
+
+class TestFormatBandwidth:
+    def test_gigabytes(self):
+        assert format_bandwidth(4.3e9) == "4.30 GB/s"
+
+    def test_megabytes(self):
+        assert format_bandwidth(281e6) == "281.0 MB/s"
+
+    def test_kilobytes(self):
+        assert format_bandwidth(12e3) == "12.0 KB/s"
+
+
+def test_format_ratio():
+    assert format_ratio(5.073) == "5.07x"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "long-header"],
+                            [[1, 2], ["wide-cell", 3]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert "long-header" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestComparisonRow:
+    def test_delta_computed(self):
+        row = comparison_row("speedup", 5.07, 4.89)
+        assert row[0] == "speedup"
+        assert row[1] == "5.07"
+        assert row[3] == "-4%"
+
+    def test_zero_paper_value(self):
+        assert comparison_row("x", 0.0, 1.0)[3] == "n/a"
+
+    def test_units(self):
+        row = comparison_row("bw", 4.3, 4.5, unit="GB/s")
+        assert row[1].endswith("GB/s")
+
+
+def test_paper_numbers_are_frozen():
+    assert PAPER.software_nds_speedup == 5.07
+    assert PAPER.hardware_nds_speedup == 5.73
+    assert PAPER.channels == 32

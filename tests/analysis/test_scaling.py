@@ -1,0 +1,46 @@
+"""Tests for the paper-scale projection helpers."""
+
+import pytest
+
+from repro.analysis.scaling import ScalePolicy, project_count, project_duration
+
+
+class TestScalePolicy:
+    def test_volume_factor(self):
+        assert ScalePolicy(axis_factor=16, rank=2).volume_factor == 256
+        assert ScalePolicy(axis_factor=8, rank=3).volume_factor == 512
+
+    def test_describe(self):
+        text = ScalePolicy(axis_factor=16, rank=2).describe()
+        assert "1/16" in text and "1/256" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalePolicy(axis_factor=0.5)
+        with pytest.raises(ValueError):
+            ScalePolicy(axis_factor=2, rank=0)
+
+
+class TestProjection:
+    def test_volume_bound_duration(self):
+        policy = ScalePolicy(axis_factor=4, rank=2)
+        assert project_duration(1.0, policy) == pytest.approx(16.0)
+
+    def test_axis_bound_duration(self):
+        policy = ScalePolicy(axis_factor=4, rank=2)
+        assert project_duration(1.0, policy,
+                                volume_bound=False) == pytest.approx(4.0)
+
+    def test_count_rounds(self):
+        policy = ScalePolicy(axis_factor=16, rank=2)
+        assert project_count(10, policy) == 2560
+        assert project_count(3, policy, volume_bound=False) == 48
+
+    def test_ratios_are_scale_invariant(self):
+        """Speedups of two volume-bound durations are unchanged by the
+        projection — the property the reproduction relies on."""
+        policy = ScalePolicy(axis_factor=16, rank=2)
+        baseline, nds = 0.5, 0.1
+        assert (project_duration(baseline, policy)
+                / project_duration(nds, policy)) == pytest.approx(
+                    baseline / nds)

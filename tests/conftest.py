@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite.
+
+Tests default to the tiny device profile so functional paths (GC,
+exhaustion, data round-trips) are cheap to exercise; calibration tests
+use the paper prototype profile in timing-only mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stl import SpaceTranslationLayer
+from repro.nvm.flash import FlashArray
+from repro.nvm.profiles import PAPER_PROTOTYPE, TINY_TEST
+
+
+@pytest.fixture
+def tiny_profile():
+    return TINY_TEST
+
+
+@pytest.fixture
+def paper_profile():
+    return PAPER_PROTOTYPE
+
+
+@pytest.fixture
+def tiny_flash(tiny_profile):
+    return FlashArray(tiny_profile.geometry, tiny_profile.timing,
+                      store_data=True)
+
+
+@pytest.fixture
+def tiny_stl(tiny_flash):
+    return SpaceTranslationLayer(tiny_flash)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,118 @@
+"""Tests for the NDS API (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (NdsApi, SpaceClosedError, TileGridView,
+                        ViewVolumeError)
+from repro.core.api import array_to_bytes, bytes_to_array
+
+
+@pytest.fixture
+def api(tiny_stl):
+    return NdsApi(tiny_stl)
+
+
+class TestByteConversion:
+    def test_roundtrip(self, rng):
+        for dtype in (np.int32, np.float32, np.float64, np.int16):
+            array = rng.integers(0, 100, (5, 7)).astype(dtype)
+            raw = array_to_bytes(array)
+            assert raw.shape == (5, 7, array.dtype.itemsize)
+            assert np.array_equal(bytes_to_array(raw, dtype), array)
+
+    def test_itemsize_mismatch(self, rng):
+        raw = array_to_bytes(rng.integers(0, 9, (3, 3)).astype(np.int32))
+        with pytest.raises(ValueError):
+            bytes_to_array(raw, np.int64)
+
+
+class TestLifecycle:
+    def test_create_open_write_read_close(self, api, rng):
+        sid = api.create_space((32, 32), 4)
+        handle = api.open_space(sid)
+        data = rng.integers(0, 2**31, (32, 32)).astype(np.int32)
+        api.write(handle, (0, 0), (32, 32), data)
+        tile, timing = api.read(handle, (1, 1), (16, 16), dtype=np.int32)
+        assert np.array_equal(tile, data[16:32, 16:32])
+        assert timing.end_time > 0
+        api.close_space(handle)
+
+    def test_closed_handle_rejected(self, api):
+        sid = api.create_space((16, 16), 4)
+        handle = api.open_space(sid)
+        api.close_space(handle)
+        with pytest.raises(SpaceClosedError):
+            api.read(handle, (0, 0), (16, 16))
+        with pytest.raises(SpaceClosedError):
+            api.close_space(handle)
+
+    def test_open_views_counted(self, api):
+        sid = api.create_space((16, 16), 4)
+        h1 = api.open_space(sid)
+        h2 = api.open_space(sid)
+        assert api.space(sid).open_views == 2
+        api.close_space(h1)
+        assert api.space(sid).open_views == 1
+        assert h2.handle_id != h1.handle_id
+
+    def test_delete_space_closes_handles(self, api):
+        sid = api.create_space((16, 16), 4)
+        handle = api.open_space(sid)
+        api.delete_space(sid)
+        with pytest.raises(SpaceClosedError):
+            api.read(handle, (0, 0), (16, 16))
+
+
+class TestViews:
+    def test_reshape_view_roundtrip(self, api, rng):
+        sid = api.create_space((64, 48), 4)
+        producer = api.open_space(sid)
+        data = rng.integers(0, 2**31, (64, 48)).astype(np.int32)
+        api.write(producer, (0, 0), (64, 48), data)
+        consumer = api.open_space(sid, view=(48, 64))
+        tile, _ = api.read(consumer, (1, 1), (16, 16), dtype=np.int32)
+        assert np.array_equal(tile, data.reshape(48, 64)[16:32, 16:32])
+
+    def test_volume_mismatch_rejected(self, api):
+        sid = api.create_space((16, 16), 4)
+        with pytest.raises(ViewVolumeError):
+            api.open_space(sid, view=(16, 17))
+
+    def test_tile_grid_view(self, api, rng):
+        sid = api.create_space((8, 8, 4), 4)
+        producer = api.open_space(sid)
+        tensor = rng.integers(0, 99, (8, 8, 4)).astype(np.int32)
+        api.write(producer, (0, 0, 0), (8, 8, 4), tensor)
+        grid = api.open_space(sid, view=TileGridView((8, 8, 4), (2, 2)))
+        big, _ = api.read(grid, (0, 0), (16, 16), dtype=np.int32)
+        expected = np.block([[tensor[:, :, 0], tensor[:, :, 1]],
+                             [tensor[:, :, 2], tensor[:, :, 3]]])
+        assert np.array_equal(big, expected)
+
+    def test_write_through_view(self, api, rng):
+        """Producer writes under one dimensionality, consumer reads the
+        same bytes under another (§3)."""
+        sid = api.create_space((32, 8), 4)
+        flat = api.open_space(sid, view=(256,))
+        data = rng.integers(0, 2**31, 256).astype(np.int32)
+        api.write(flat, (0,), (256,), data)
+        producer = api.open_space(sid)
+        grid_data, _ = api.read(producer, (0, 0), (32, 8), dtype=np.int32)
+        assert np.array_equal(grid_data, data.reshape(32, 8))
+
+
+class TestErrors:
+    def test_partition_out_of_bounds(self, api):
+        sid = api.create_space((16, 16), 4)
+        handle = api.open_space(sid)
+        from repro.core import InvalidCoordinateError
+        with pytest.raises(InvalidCoordinateError):
+            api.read(handle, (2, 0), (12, 12))
+
+    def test_wrong_array_shape(self, api):
+        sid = api.create_space((16, 16), 4)
+        handle = api.open_space(sid)
+        with pytest.raises(ValueError):
+            api.write(handle, (0, 0), (8, 8),
+                      np.zeros((4, 4), dtype=np.int32))

@@ -1,0 +1,101 @@
+"""Edge-case tests for the API and translator on 3-D blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core import (NdsApi, Space, SpaceTranslationLayer, TileGridView,
+                        pages_for_region, translate_region)
+from repro.nvm import FlashArray, Geometry, NvmTiming, TINY_TEST
+
+
+@pytest.fixture
+def timing_only_api():
+    flash = FlashArray(TINY_TEST.geometry, TINY_TEST.timing,
+                       store_data=False)
+    return NdsApi(SpaceTranslationLayer(flash))
+
+
+class TestTimingOnlyApi:
+    def test_read_returns_no_data(self, timing_only_api):
+        api = timing_only_api
+        sid = api.create_space((16, 16), 4)
+        handle = api.open_space(sid)
+        api.write(handle, (0, 0), (16, 16))
+        data, timing = api.read(handle, (0, 0), (16, 16))
+        assert data is None
+        assert timing.end_time > 0
+
+    def test_write_ignores_missing_array(self, timing_only_api):
+        api = timing_only_api
+        sid = api.create_space((16, 16), 4)
+        handle = api.open_space(sid)
+        result = api.write(handle, (1, 1), (8, 8))
+        assert result.pages_touched > 0
+
+
+class TestWriteThroughTileGrid:
+    def test_grid_write_lands_in_right_slab(self, tiny_stl, rng):
+        api = NdsApi(tiny_stl)
+        sid = api.create_space((8, 8, 4), 4)
+        grid = api.open_space(sid, view=TileGridView((8, 8, 4), (2, 2)))
+        big = rng.integers(0, 99, (16, 16)).astype(np.int32)
+        api.write(grid, (0, 0), (16, 16), big)
+        producer = api.open_space(sid)
+        stack, _ = api.read(producer, (0, 0, 0), (8, 8, 4),
+                            dtype=np.int32)
+        assert np.array_equal(stack[:, :, 0], big[:8, :8])
+        assert np.array_equal(stack[:, :, 1], big[:8, 8:])
+        assert np.array_equal(stack[:, :, 2], big[8:, :8])
+        assert np.array_equal(stack[:, :, 3], big[8:, 8:])
+
+
+class Test3dBlockPageCoverage:
+    @pytest.fixture
+    def space3d(self):
+        geometry = Geometry(channels=4, banks_per_channel=2, page_size=256)
+        # 3-D cube blocks: min3d = 2 KiB, 4-byte elements -> 8x8x8
+        return Space.create(1, (32, 32, 32), 4, geometry,
+                            use_3d_blocks=True)
+
+    def test_cube_block_shape(self, space3d):
+        assert space3d.bb == (8, 8, 8)
+        assert space3d.pages_per_block == 8
+
+    def test_full_cube_touches_all_pages(self, space3d):
+        pages = pages_for_region(space3d, ((0, 8), (0, 8), (0, 8)))
+        assert pages == list(range(8))
+
+    def test_depth_slab_touches_prefix(self, space3d):
+        # one page = 256 B = 64 elements = 1 (i) slab of 8x8
+        pages = pages_for_region(space3d, ((0, 1), (0, 8), (0, 8)))
+        assert pages == [0]
+
+    def test_fibre_touches_every_slab_page(self, space3d):
+        pages = pages_for_region(space3d, ((0, 8), (3, 4), (3, 4)))
+        assert pages == list(range(8))
+
+    def test_translation_counts_cubes(self, space3d):
+        accesses = translate_region(space3d, (0, 0, 0), (16, 16, 16))
+        assert len(accesses) == 8
+        assert all(a.is_full_block for a in accesses)
+
+
+class TestDegenerateShapes:
+    def test_single_element_space(self, tiny_stl):
+        from repro.core.api import array_to_bytes, bytes_to_array
+        space = tiny_stl.create_space((1,), 8)
+        value = np.array([123456789], dtype=np.int64)
+        tiny_stl.write(space.space_id, (0,), (1,),
+                       data=array_to_bytes(value))
+        result = tiny_stl.read(space.space_id, (0,), (1,))
+        assert bytes_to_array(result.data, np.int64)[0] == 123456789
+
+    def test_one_by_n_space(self, tiny_stl, rng):
+        from repro.core.api import array_to_bytes, bytes_to_array
+        space = tiny_stl.create_space((1, 64), 4)
+        row = rng.integers(0, 99, (1, 64)).astype(np.int32)
+        tiny_stl.write(space.space_id, (0, 0), (1, 64),
+                       data=array_to_bytes(row))
+        result = tiny_stl.read_region(space.space_id, (0, 10), (1, 20))
+        assert np.array_equal(bytes_to_array(result.data, np.int32),
+                              row[:, 10:30])

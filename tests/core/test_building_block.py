@@ -1,0 +1,117 @@
+"""Tests for Eq. 1–4 building-block sizing."""
+
+import pytest
+
+from repro.core import (bb_size_min, bb_size_min_3d, block_bytes, block_dims,
+                        block_volume, pages_per_block)
+from repro.nvm import Geometry, PAPER_PROTOTYPE
+
+
+@pytest.fixture
+def paper_example_geometry():
+    """The worked example of §4.1: 4 KB pages, 8 parallel channels."""
+    return Geometry(channels=8, banks_per_channel=8, page_size=4096)
+
+
+class TestEq1:
+    def test_paper_example(self, paper_example_geometry):
+        """§4.1: 4 KB pages × 8 channels -> 32 KB minimum block."""
+        assert bb_size_min(paper_example_geometry) == 32 * 1024
+
+    def test_prototype(self):
+        assert bb_size_min(PAPER_PROTOTYPE.geometry) == 32 * 4096
+
+
+class TestEq2:
+    def test_paper_example_128_per_dim(self, paper_example_geometry):
+        """§4.1: 32 KB min, 4-byte elements -> 128 elements per
+        dimension, 64 KB blocks, 2 pages per channel."""
+        bb = block_dims((8192, 8192), 4, paper_example_geometry)
+        assert bb == (128, 128)
+        assert block_bytes(bb, 4) == 64 * 1024
+        assert (block_bytes(bb, 4) // paper_example_geometry.page_size
+                // paper_example_geometry.channels) == 2
+
+    def test_dimension_is_power_of_two(self):
+        for element_size in (1, 2, 4, 8, 16):
+            bb = block_dims((4096, 4096), element_size,
+                            PAPER_PROTOTYPE.geometry)
+            assert bb[0] == bb[1]
+            assert bb[0] & (bb[0] - 1) == 0
+
+    def test_block_covers_all_channels(self):
+        """A block must span at least one page per channel (Eq. 1)."""
+        geometry = PAPER_PROTOTYPE.geometry
+        for element_size in (1, 2, 4, 8):
+            bb = block_dims((65536, 65536), element_size, geometry)
+            assert block_bytes(bb, element_size) >= bb_size_min(geometry)
+
+
+class TestEq3Eq4:
+    def test_3d_minimum_uses_banks(self, paper_example_geometry):
+        assert (bb_size_min_3d(paper_example_geometry)
+                == 32 * 1024 * 8)
+
+    def test_3d_cube_on_prototype(self):
+        """Prototype: 3D min = 1 MiB; 4-byte elements -> 64 per dim."""
+        bb = block_dims((2048, 2048, 2048), 4, PAPER_PROTOTYPE.geometry,
+                        use_3d=True)
+        assert bb == (64, 64, 64)
+
+    def test_axes_beyond_third_get_one(self):
+        bb = block_dims((128, 128, 128, 16), 4, PAPER_PROTOTYPE.geometry,
+                        use_3d=True)
+        assert bb[3] == 1
+        assert sorted(bb[:3], reverse=True)[0] == bb[0]
+
+
+class TestDefault2dPolicy:
+    def test_figure5_space_gets_2d_blocks(self, paper_example_geometry):
+        """Fig. 5: an (8192, 8192, 4) space uses (128, 128) 2-D blocks
+        on the two large axes."""
+        bb = block_dims((8192, 8192, 4), 4, paper_example_geometry)
+        assert bb == (128, 128, 1)
+
+    def test_2d_block_lands_on_largest_axes(self, paper_example_geometry):
+        bb = block_dims((4, 8192, 8192), 4, paper_example_geometry)
+        assert bb == (1, 128, 128)
+
+    def test_1d_space(self, paper_example_geometry):
+        bb = block_dims((10**6,), 4, paper_example_geometry)
+        assert bb == (8192,)
+        assert block_bytes(bb, 4) == bb_size_min(paper_example_geometry)
+
+
+class TestOverride:
+    def test_override_used_verbatim(self):
+        """§7.1 picks 256×256 for 8-byte elements."""
+        bb = block_dims((32768, 32768), 8, PAPER_PROTOTYPE.geometry,
+                        override=(256, 256))
+        assert bb == (256, 256)
+
+    def test_override_rank_must_match(self):
+        with pytest.raises(ValueError):
+            block_dims((128, 128), 4, PAPER_PROTOTYPE.geometry,
+                       override=(256,))
+
+    def test_override_must_be_positive(self):
+        with pytest.raises(ValueError):
+            block_dims((128, 128), 4, PAPER_PROTOTYPE.geometry,
+                       override=(0, 256))
+
+
+class TestHelpers:
+    def test_block_volume(self):
+        assert block_volume((128, 128)) == 16384
+
+    def test_pages_per_block(self, paper_example_geometry):
+        assert pages_per_block((128, 128), 4, paper_example_geometry) == 16
+
+    def test_pages_per_block_minimum_one(self, paper_example_geometry):
+        assert pages_per_block((2, 2), 1, paper_example_geometry) == 1
+
+    def test_invalid_inputs(self, paper_example_geometry):
+        with pytest.raises(ValueError):
+            block_dims((), 4, paper_example_geometry)
+        with pytest.raises(ValueError):
+            block_dims((128,), 0, paper_example_geometry)

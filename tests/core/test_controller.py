@@ -1,0 +1,56 @@
+"""Tests for the NDS controller pipeline model (§5.3.2)."""
+
+import pytest
+
+from repro.core import ControllerTiming, NdsController
+
+
+class TestStages:
+    def test_commands_serialize_on_the_handler(self):
+        ctrl = NdsController(ControllerTiming(command_handle=5e-6))
+        first = ctrl.handle_command(0.0)
+        second = ctrl.handle_command(0.0)
+        assert first == pytest.approx(5e-6)
+        assert second == pytest.approx(10e-6)
+
+    def test_translate_cost_scales_with_nodes_and_blocks(self):
+        timing = ControllerTiming(translate_per_node=1e-6,
+                                  translate_per_block=0.5e-6)
+        ctrl = NdsController(timing)
+        end = ctrl.translate(0.0, nodes_visited=3, blocks=4)
+        assert end == pytest.approx(3e-6 + 2e-6)
+
+    def test_stages_are_independent_resources(self):
+        ctrl = NdsController()
+        ctrl.handle_command(0.0)
+        # the translator is free even while the command handler was busy
+        end = ctrl.translate(0.0, 1, 1)
+        assert end < ctrl.timing.command_handle + 1e-5
+
+    def test_allocate_and_assemble(self):
+        timing = ControllerTiming(allocate_per_unit=2e-6,
+                                  assemble_per_page=1e-6,
+                                  assemble_bandwidth=1e9)
+        ctrl = NdsController(timing)
+        assert ctrl.allocate(0.0, 4) == pytest.approx(8e-6)
+        assert ctrl.assemble(0.0, 1000, 2) == pytest.approx(2e-6 + 1e-6)
+
+    def test_reset(self):
+        ctrl = NdsController()
+        ctrl.handle_command(0.0)
+        ctrl.reset_time()
+        assert ctrl.command_line.free_at == 0.0
+
+
+class TestPaperCalibration:
+    def test_worst_case_read_latency_near_17us(self):
+        """§7.3: hardware NDS adds ~17 µs for a worst-case single-page
+        request."""
+        timing = ControllerTiming()
+        latency = timing.worst_case_read_latency(tree_levels=3)
+        assert latency == pytest.approx(17e-6, rel=0.3)
+
+    def test_latency_below_nand_page_read(self):
+        """§7.3: the adder is shorter than (or the same order as) a NAND
+        page read (30–100 µs)."""
+        assert ControllerTiming().worst_case_read_latency(3) < 100e-6

@@ -1,0 +1,126 @@
+"""Tests for the binary-command-driven NDS device (§5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.device import NdsDevice
+from repro.interconnect import NvmeOpcode
+from repro.interconnect.encoding import EncodedCommand, encode_command
+from repro.nvm import TINY_TEST
+
+
+@pytest.fixture
+def device():
+    return NdsDevice(TINY_TEST, store_data=True)
+
+
+def _open(device, dims):
+    completion = device.submit(encode_command(NvmeOpcode.OPEN_SPACE,
+                                              dims=dims))
+    assert completion.success
+    return completion.space_id
+
+
+class TestSpaceCommands:
+    def test_open_space_returns_identifier_and_block(self, device):
+        completion = device.submit(
+            encode_command(NvmeOpcode.OPEN_SPACE, dims=(64, 64)))
+        assert completion.success
+        assert completion.space_id >= 1
+        assert completion.fields["building_block"] == (16, 16)
+
+    def test_close_space(self, device):
+        sid = _open(device, (32, 32))
+        completion = device.submit(
+            encode_command(NvmeOpcode.CLOSE_SPACE, space_id=sid))
+        assert completion.success
+
+    def test_delete_space_releases_units(self, device, rng):
+        sid = _open(device, (32, 32))
+        data = rng.integers(0, 99, (32, 32)).astype(np.int32)
+        device.submit(encode_command(NvmeOpcode.ND_WRITE, space_id=sid,
+                                     coordinate=(0, 0), sub_dim=(32, 32)),
+                      payload=data)
+        completion = device.submit(
+            encode_command(NvmeOpcode.DELETE_SPACE, space_id=sid))
+        assert completion.success
+        assert completion.fields["units_released"] > 0
+        # further access fails cleanly
+        failed = device.submit(
+            encode_command(NvmeOpcode.ND_READ, space_id=sid,
+                           coordinate=(0, 0), sub_dim=(32, 32)))
+        assert not failed.success
+
+
+class TestNdIo:
+    def test_roundtrip_through_binary_commands(self, device, rng):
+        sid = _open(device, (64, 48))
+        data = rng.integers(0, 2**31, (64, 48)).astype(np.int32)
+        write = device.submit(
+            encode_command(NvmeOpcode.ND_WRITE, space_id=sid,
+                           coordinate=(0, 0), sub_dim=(64, 48)),
+            payload=data)
+        assert write.success
+        read = device.submit(
+            encode_command(NvmeOpcode.ND_READ, space_id=sid,
+                           coordinate=(1, 2), sub_dim=(16, 12)),
+            start_time=write.end_time)
+        assert read.success
+        from repro.core.api import bytes_to_array
+        tile = bytes_to_array(read.data, np.int32)
+        assert np.array_equal(tile, data[16:32, 24:36])
+
+    def test_timing_advances_through_pipeline(self, device):
+        sid = _open(device, (32, 32))
+        write = device.submit(
+            encode_command(NvmeOpcode.ND_WRITE, space_id=sid,
+                           coordinate=(0, 0), sub_dim=(32, 32)))
+        assert write.end_time > 0
+        read = device.submit(
+            encode_command(NvmeOpcode.ND_READ, space_id=sid,
+                           coordinate=(0, 0), sub_dim=(32, 32)),
+            start_time=write.end_time)
+        assert read.end_time > write.end_time
+
+    def test_bad_payload_shape_fails_cleanly(self, device, rng):
+        sid = _open(device, (16, 16))
+        completion = device.submit(
+            encode_command(NvmeOpcode.ND_WRITE, space_id=sid,
+                           coordinate=(0, 0), sub_dim=(16, 16)),
+            payload=rng.integers(0, 9, (4, 4)).astype(np.int32))
+        assert not completion.success
+        assert "shape" in completion.status
+
+
+class TestConventionalCompatibility:
+    def test_linear_write_read_roundtrip(self, device, rng):
+        """§5.3.1: a conventional command is served as a 1-D space."""
+        page = TINY_TEST.geometry.page_size
+        payload = rng.integers(0, 256, 2 * page).astype(np.uint8)
+        write = device.submit(
+            encode_command(NvmeOpcode.WRITE, lba=3, length=2),
+            payload=payload)
+        assert write.success
+        read = device.submit(
+            encode_command(NvmeOpcode.READ, lba=3, length=2),
+            start_time=write.end_time)
+        assert read.success
+        assert np.array_equal(read.data, payload)
+
+    def test_linear_and_nd_spaces_coexist(self, device, rng):
+        page = TINY_TEST.geometry.page_size
+        device.submit(encode_command(NvmeOpcode.WRITE, lba=0, length=1),
+                      payload=np.ones(page, dtype=np.uint8))
+        sid = _open(device, (16, 16))
+        data = rng.integers(0, 99, (16, 16)).astype(np.int32)
+        device.submit(encode_command(NvmeOpcode.ND_WRITE, space_id=sid,
+                                     coordinate=(0, 0), sub_dim=(16, 16)),
+                      payload=data)
+        linear = device.submit(encode_command(NvmeOpcode.READ, lba=0,
+                                              length=1))
+        assert linear.data[0] == 1
+
+    def test_garbage_sqe_fails_cleanly(self, device):
+        bogus = EncodedCommand(sqe=b"\xff" * 64)
+        completion = device.submit(bogus)
+        assert not completion.success

@@ -1,0 +1,78 @@
+"""Tests for NDS spaces."""
+
+import pytest
+
+from repro.core import InvalidCoordinateError, Space
+from repro.nvm import Geometry
+
+
+@pytest.fixture
+def geometry():
+    return Geometry(channels=4, banks_per_channel=2, page_size=256)
+
+
+@pytest.fixture
+def space(geometry):
+    # bb_size_min = 1 KiB; 4-byte elements -> 16 per dimension
+    return Space.create(1, (64, 48), 4, geometry)
+
+
+class TestCreation:
+    def test_derived_block_layout(self, space):
+        assert space.bb == (16, 16)
+        assert space.grid == (4, 3)
+        assert space.total_blocks == 12
+        assert space.pages_per_block == 4
+
+    def test_volume_and_bytes(self, space):
+        assert space.volume == 64 * 48
+        assert space.total_bytes == 64 * 48 * 4
+        assert space.block_bytes == 16 * 16 * 4
+
+    def test_grid_rounds_up(self, geometry):
+        space = Space.create(2, (65, 17), 4, geometry)
+        assert space.grid == (5, 2)
+
+    def test_too_many_dimensions_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            Space.create(1, (2,) * 33, 4, geometry)
+
+    def test_element_size_validated(self, geometry):
+        with pytest.raises(ValueError):
+            Space.create(1, (16, 16), 0, geometry)
+
+    def test_bb_override(self, geometry):
+        space = Space.create(1, (64, 64), 4, geometry, bb_override=(8, 8))
+        assert space.bb == (8, 8)
+        assert space.grid == (8, 8)
+
+
+class TestRequestValidation:
+    def test_valid_partition(self, space):
+        space.validate_request((1, 2), (16, 16))
+
+    def test_origin(self, space):
+        assert space.request_origin((1, 2), (16, 16)) == (16, 32)
+
+    def test_rank_mismatch(self, space):
+        with pytest.raises(InvalidCoordinateError):
+            space.validate_request((1,), (16, 16))
+
+    def test_partition_exceeding_extent(self, space):
+        with pytest.raises(InvalidCoordinateError):
+            space.validate_request((4, 0), (16, 16))  # 4*16 = 64 = dim
+
+    def test_partition_not_dividing_extent(self, space):
+        # coordinate 2 with sub-dim 20 would end at 60 <= 64: valid
+        space.validate_request((2, 0), (20, 16))
+        # but coordinate 3 would span [60, 80) > 64
+        with pytest.raises(InvalidCoordinateError):
+            space.validate_request((3, 0), (20, 16))
+
+    def test_zero_sub_dimension(self, space):
+        with pytest.raises(InvalidCoordinateError):
+            space.validate_request((0, 0), (0, 16))
+
+    def test_negative_coordinate(self, space):
+        with pytest.raises(InvalidCoordinateError):
+            space.validate_request((-1, 0), (16, 16))

@@ -1,0 +1,92 @@
+"""Tests for the §8 sparse / page-zero optimization."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpaceTranslationLayer
+from repro.core.api import array_to_bytes, bytes_to_array
+from repro.nvm import FlashArray, TINY_TEST
+
+
+@pytest.fixture
+def sparse_stl():
+    flash = FlashArray(TINY_TEST.geometry, TINY_TEST.timing,
+                       store_data=True)
+    return SpaceTranslationLayer(flash, elide_zero_pages=True)
+
+
+class TestZeroPageElision:
+    def test_all_zero_dataset_allocates_nothing(self, sparse_stl):
+        stl = sparse_stl
+        space = stl.create_space((32, 32), 4)
+        result = stl.write(space.space_id, (0, 0), (32, 32),
+                           data=array_to_bytes(
+                               np.zeros((32, 32), dtype=np.int32)))
+        assert sum(block.units_allocated for block in result.blocks) == 0
+        assert stl.stats.get_count("stl_pages_elided") > 0
+        read = stl.read(space.space_id, (0, 0), (32, 32))
+        assert bytes_to_array(read.data, np.int32).sum() == 0
+
+    def test_sparse_dataset_allocates_proportionally(self, sparse_stl, rng):
+        stl = sparse_stl
+        space = stl.create_space((32, 32), 4)
+        data = np.zeros((32, 32), dtype=np.int32)
+        data[0, :8] = rng.integers(1, 100, 8)  # one dirty corner
+        result = stl.write(space.space_id, (0, 0), (32, 32),
+                           data=array_to_bytes(data))
+        units = sum(block.units_allocated for block in result.blocks)
+        total_pages = space.total_blocks * space.pages_per_block
+        assert 0 < units < total_pages
+        read = stl.read(space.space_id, (0, 0), (32, 32))
+        assert np.array_equal(bytes_to_array(read.data, np.int32), data)
+
+    def test_overwriting_zero_with_data_materializes(self, sparse_stl, rng):
+        stl = sparse_stl
+        space = stl.create_space((32, 32), 4)
+        stl.write(space.space_id, (0, 0), (32, 32),
+                  data=array_to_bytes(np.zeros((32, 32), dtype=np.int32)))
+        patch = rng.integers(1, 100, (4, 4)).astype(np.int32)
+        stl.write_region(space.space_id, (8, 8), (4, 4),
+                         data=array_to_bytes(patch))
+        read = stl.read(space.space_id, (0, 0), (32, 32))
+        merged = bytes_to_array(read.data, np.int32)
+        assert np.array_equal(merged[8:12, 8:12], patch)
+        assert merged.sum() == patch.sum()
+
+    def test_overwriting_data_with_zero_keeps_unit(self, sparse_stl, rng):
+        """Elision applies only to never-written pages: zeroing an
+        existing page rewrites it (the unit stays allocated)."""
+        stl = sparse_stl
+        space = stl.create_space((16, 16), 4)
+        data = rng.integers(1, 100, (16, 16)).astype(np.int32)
+        stl.write(space.space_id, (0, 0), (16, 16),
+                  data=array_to_bytes(data))
+        stl.write(space.space_id, (0, 0), (16, 16),
+                  data=array_to_bytes(np.zeros((16, 16), dtype=np.int32)))
+        read = stl.read(space.space_id, (0, 0), (16, 16))
+        assert bytes_to_array(read.data, np.int32).sum() == 0
+
+    def test_timing_only_mode_rejected(self):
+        flash = FlashArray(TINY_TEST.geometry, TINY_TEST.timing,
+                           store_data=False)
+        with pytest.raises(ValueError):
+            SpaceTranslationLayer(flash, elide_zero_pages=True)
+
+
+class TestProfileVariety:
+    def test_block_optima_differ_across_devices(self):
+        """[C1]: the same dataset gets different building blocks on
+        different devices — flash vs consumer vs PCM."""
+        from repro.core.building_block import block_dims
+        from repro.nvm import CONSUMER_SSD, PAPER_PROTOTYPE, PCM_PROTOTYPE
+        dims = (65536, 65536)
+        blocks = {profile.name: block_dims(dims, 4, profile.geometry)
+                  for profile in (PAPER_PROTOTYPE, CONSUMER_SSD,
+                                  PCM_PROTOTYPE)}
+        assert len(set(blocks.values())) >= 2
+
+    def test_pcm_profile_is_faster_to_read(self):
+        from repro.nvm import PAPER_PROTOTYPE, PCM_PROTOTYPE
+        assert PCM_PROTOTYPE.timing.t_read < PAPER_PROTOTYPE.timing.t_read
+        assert PCM_PROTOTYPE.geometry.page_size < \
+            PAPER_PROTOTYPE.geometry.page_size

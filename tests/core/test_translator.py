@@ -1,0 +1,97 @@
+"""Tests for the Eq. 5 space translator."""
+
+import pytest
+
+from repro.core import Space, pages_for_region, translate, translate_region
+from repro.nvm import Geometry
+
+
+@pytest.fixture
+def geometry():
+    return Geometry(channels=4, banks_per_channel=2, page_size=256)
+
+
+@pytest.fixture
+def space(geometry):
+    # bb = (16, 16), grid = (4, 4)
+    return Space.create(1, (64, 64), 4, geometry)
+
+
+class TestTranslate:
+    def test_aligned_single_block(self, space):
+        accesses = translate(space, (0, 0), (16, 16))
+        assert len(accesses) == 1
+        assert accesses[0].block_coord == (0, 0)
+        assert accesses[0].is_full_block
+
+    def test_aligned_multi_block(self, space):
+        accesses = translate(space, (0, 0), (32, 32))
+        assert {a.block_coord for a in accesses} == {
+            (0, 0), (0, 1), (1, 0), (1, 1)}
+        assert all(a.is_full_block for a in accesses)
+
+    def test_figure5_block_count(self, geometry):
+        """Fig. 5: an 8192×8192 request over 128×128 blocks touches
+        4096 = 64×64 building blocks."""
+        big = Space.create(2, (16384, 16384), 4,
+                           Geometry(channels=8, banks_per_channel=8,
+                                    page_size=4096))
+        assert big.bb == (128, 128)
+        accesses = translate(big, (1, 0), (8192, 8192))
+        assert len(accesses) == 64 * 64
+
+    def test_unaligned_region_slices(self, space):
+        accesses = translate_region(space, (8, 8), (16, 16))
+        assert len(accesses) == 4
+        by_coord = {a.block_coord: a for a in accesses}
+        assert by_coord[(0, 0)].block_slice == ((8, 16), (8, 16))
+        assert by_coord[(0, 0)].out_slice == ((0, 8), (0, 8))
+        assert by_coord[(1, 1)].block_slice == ((0, 8), (0, 8))
+        assert by_coord[(1, 1)].out_slice == ((8, 16), (8, 16))
+
+    def test_out_slices_tile_the_request(self, space):
+        accesses = translate_region(space, (3, 5), (30, 40))
+        covered = 0
+        for access in accesses:
+            covered += access.element_count()
+        assert covered == 30 * 40
+
+    def test_blocks_emitted_in_row_major_grid_order(self, space):
+        accesses = translate(space, (0, 0), (64, 64))
+        coords = [a.block_coord for a in accesses]
+        assert coords == sorted(coords)
+
+    def test_region_bounds_checked(self, space):
+        with pytest.raises(ValueError):
+            translate_region(space, (60, 0), (16, 16))
+        with pytest.raises(ValueError):
+            translate_region(space, (0, 0), (0, 16))
+        with pytest.raises(ValueError):
+            translate_region(space, (0,), (16,))
+
+
+class TestPagesForRegion:
+    def test_full_block_touches_all_pages(self, space):
+        pages = pages_for_region(space, ((0, 16), (0, 16)))
+        assert pages == list(range(space.pages_per_block))
+
+    def test_first_rows_touch_prefix_pages(self, space):
+        # page holds 256 B = 64 elements = 4 block rows of 16 elements
+        pages = pages_for_region(space, ((0, 4), (0, 16)))
+        assert pages == [0]
+        pages = pages_for_region(space, ((0, 8), (0, 16)))
+        assert pages == [0, 1]
+
+    def test_column_slice_touches_every_page(self, space):
+        pages = pages_for_region(space, ((0, 16), (0, 4)))
+        assert pages == list(range(space.pages_per_block))
+
+    def test_single_element(self, space):
+        assert pages_for_region(space, ((15, 16), (15, 16))) == [3]
+
+    def test_1d_space_pages(self, geometry):
+        space1d = Space.create(3, (4096,), 4, geometry)
+        # bb = 256 elements = 1 KiB = 4 pages of 256 B
+        assert space1d.bb == (256,)
+        assert pages_for_region(space1d, ((0, 64),)) == [0]
+        assert pages_for_region(space1d, ((60, 130),)) == [0, 1, 2]

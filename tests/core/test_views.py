@@ -1,0 +1,119 @@
+"""Tests for consumer views (§3, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (IdentityView, InvalidCoordinateError, ReshapeView,
+                        TileGridView, ViewVolumeError, linear_range_to_boxes)
+
+
+class TestLinearRangeToBoxes:
+    @pytest.mark.parametrize("dims,start,length", [
+        ((4, 6), 0, 24),
+        ((4, 6), 3, 10),
+        ((4, 6), 7, 1),
+        ((3, 4, 5), 13, 31),
+        ((10,), 2, 5),
+        ((2, 2, 2, 2), 5, 9),
+    ])
+    def test_boxes_cover_exactly_the_range(self, dims, start, length):
+        volume = int(np.prod(dims))
+        flags = np.zeros(volume, dtype=int)
+        array = flags.reshape(dims)
+        for origin, extents in linear_range_to_boxes(dims, start, length):
+            slicer = tuple(slice(o, o + e) for o, e in zip(origin, extents))
+            array[slicer] += 1
+        assert flags[start:start + length].tolist() == [1] * length
+        assert flags.sum() == length
+
+    def test_boxes_in_range_order(self):
+        boxes = linear_range_to_boxes((4, 6), 3, 15)
+        strides = (6, 1)
+        starts = [sum(o * s for o, s in zip(origin, strides))
+                  for origin, _ in boxes]
+        assert starts == sorted(starts)
+
+    def test_empty_range(self):
+        assert linear_range_to_boxes((4, 4), 0, 0) == []
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            linear_range_to_boxes((4,), 2, 10)
+
+
+class TestIdentityView:
+    def test_passthrough(self):
+        view = IdentityView((8, 8))
+        regions = view.resolve((2, 3), (4, 4))
+        assert len(regions) == 1
+        assert regions[0].producer_origin == (2, 3)
+        assert regions[0].out_origin == (0, 0)
+
+    def test_bounds(self):
+        view = IdentityView((8, 8))
+        with pytest.raises(InvalidCoordinateError):
+            view.resolve((6, 0), (4, 4))
+
+
+class TestTileGridView:
+    def test_figure5_quadrants(self):
+        """Fig. 5: (8192, 8192, 4) viewed as a 16384×16384 matrix of
+        2×2 quadrants; quadrant [1, 0] maps to one producer slab."""
+        view = TileGridView((8192, 8192, 4), (2, 2))
+        assert view.dims == (16384, 16384)
+        regions = view.resolve((8192, 0), (8192, 8192))
+        assert len(regions) == 1
+        assert regions[0].producer_origin == (0, 0, 2)  # slab 2 = grid (1,0)
+        assert regions[0].producer_extents == (8192, 8192, 1)
+
+    def test_region_spanning_tiles(self):
+        view = TileGridView((4, 4, 4), (2, 2))
+        regions = view.resolve((2, 2), (4, 4))
+        assert len(regions) == 4
+        slabs = {r.producer_origin[-1] for r in regions}
+        assert slabs == {0, 1, 2, 3}
+
+    def test_volume_must_match(self):
+        with pytest.raises(ViewVolumeError):
+            TileGridView((4, 4, 4), (2, 3))
+
+    def test_grid_rank_must_match_tile_rank(self):
+        with pytest.raises(ViewVolumeError):
+            TileGridView((4, 4, 4), (2, 2, 1))
+
+
+class TestReshapeView:
+    def test_volume_checked(self):
+        with pytest.raises(ViewVolumeError):
+            ReshapeView((4, 4), (5, 3))
+
+    def test_full_read_equals_numpy_reshape(self):
+        view = ReshapeView((6, 4), (4, 6))
+        source = np.arange(24).reshape(6, 4)
+        target = np.zeros((4, 6), dtype=int)
+        for region in view.resolve((0, 0), (4, 6)):
+            src = tuple(slice(o, o + e) for o, e in
+                        zip(region.producer_origin, region.producer_extents))
+            dst = tuple(slice(o, o + e) for o, e in
+                        zip(region.out_origin, region.out_extents))
+            target[dst] = source[src].reshape(region.out_extents)
+        assert np.array_equal(target, source.reshape(4, 6))
+
+    def test_partial_read_equals_numpy_slice(self):
+        view = ReshapeView((8, 3), (4, 6))
+        source = np.arange(24).reshape(8, 3)
+        expected = source.reshape(4, 6)[1:3, 2:5]
+        target = np.zeros((2, 3), dtype=int)
+        for region in view.resolve((1, 2), (2, 3)):
+            src = tuple(slice(o, o + e) for o, e in
+                        zip(region.producer_origin, region.producer_extents))
+            dst = tuple(slice(o, o + e) for o, e in
+                        zip(region.out_origin, region.out_extents))
+            target[dst] = source[src].reshape(region.out_extents)
+        assert np.array_equal(target, expected)
+
+    def test_rank_change_1d(self):
+        view = ReshapeView((24,), (4, 6))
+        regions = view.resolve((1, 1), (2, 4))
+        covered = sum(int(np.prod(r.producer_extents)) for r in regions)
+        assert covered == 8

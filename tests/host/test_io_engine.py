@@ -1,0 +1,89 @@
+"""Tests for the queue-depth-limited host I/O engine."""
+
+import numpy as np
+import pytest
+
+from repro.ftl import BaselineSSD
+from repro.host import HostCpu, HostIoEngine, IoRequest
+from repro.interconnect import Link
+from repro.nvm import TINY_TEST
+
+
+@pytest.fixture
+def engine():
+    ssd = BaselineSSD(TINY_TEST, store_data=True)
+    link = Link(TINY_TEST.link_bandwidth, TINY_TEST.link_command_overhead)
+    return HostIoEngine(ssd, link, HostCpu(), queue_depth=4)
+
+
+def _requests(count, pages_each=1, start_lpn=0):
+    return [IoRequest(lpns=list(range(start_lpn + i * pages_each,
+                                      start_lpn + (i + 1) * pages_each)),
+                      useful_bytes=pages_each * TINY_TEST.geometry.page_size)
+            for i in range(count)]
+
+
+class TestReads:
+    def test_completions_are_monotone(self, engine):
+        engine.run_writes(_requests(8))
+        engine.reset_time()
+        result = engine.run_reads(_requests(8))
+        assert result.completions == sorted(result.completions)
+        assert result.end_time == result.completions[-1]
+
+    def test_queue_depth_limits_overlap(self):
+        ssd = BaselineSSD(TINY_TEST, store_data=False)
+        link = Link(TINY_TEST.link_bandwidth, TINY_TEST.link_command_overhead)
+        deep = HostIoEngine(ssd, link, HostCpu(), queue_depth=8)
+        deep_result = deep.run_reads(_requests(16))
+
+        ssd2 = BaselineSSD(TINY_TEST, store_data=False)
+        link2 = Link(TINY_TEST.link_bandwidth, TINY_TEST.link_command_overhead)
+        shallow = HostIoEngine(ssd2, link2, HostCpu(), queue_depth=1)
+        shallow_result = shallow.run_reads(_requests(16))
+        assert shallow_result.end_time > deep_result.end_time
+
+    def test_placement_copy_extends_completion(self, engine):
+        engine.run_writes(_requests(1))
+        engine.reset_time()
+        no_copy = engine.run_reads(
+            [IoRequest(lpns=[0], useful_bytes=256, placement_chunk=None)])
+        engine.reset_time()
+        with_copy = engine.run_reads(
+            [IoRequest(lpns=[0], useful_bytes=256, placement_chunk=0)])
+        assert with_copy.end_time > no_copy.end_time
+
+    def test_with_data_returns_page_contents(self, engine, rng):
+        payload = rng.integers(0, 256, TINY_TEST.geometry.page_size
+                               ).astype(np.uint8)
+        engine.run_writes([IoRequest(lpns=[3], useful_bytes=payload.size,
+                                     payload=[payload])])
+        result = engine.run_reads([IoRequest(lpns=[3],
+                                             useful_bytes=payload.size)],
+                                  with_data=True)
+        assert np.array_equal(result.data[0][0], payload)
+
+    def test_effective_bandwidth_counts_useful_bytes(self, engine):
+        engine.run_writes(_requests(4))
+        engine.reset_time()
+        result = engine.run_reads(
+            [IoRequest(lpns=[0, 1], useful_bytes=100)])
+        assert result.useful_bytes == 100
+        assert result.fetched_bytes == 2 * TINY_TEST.geometry.page_size
+        assert result.effective_bandwidth < 100 / 1e-6
+
+
+class TestWrites:
+    def test_gather_copy_costs_time(self, engine):
+        plain = engine.run_writes(
+            [IoRequest(lpns=[0], useful_bytes=256, placement_chunk=None)])
+        engine.reset_time()
+        engine2_start = engine.run_writes(
+            [IoRequest(lpns=[1], useful_bytes=256, placement_chunk=64)])
+        assert engine2_start.end_time > plain.end_time * 0.5  # sane scale
+
+    def test_queue_depth_validation(self):
+        ssd = BaselineSSD(TINY_TEST, store_data=False)
+        link = Link(1e9, 1e-6)
+        with pytest.raises(ValueError):
+            HostIoEngine(ssd, link, HostCpu(), queue_depth=0)

@@ -1,0 +1,85 @@
+"""Integration: every architecture must deliver identical bytes.
+
+The paper keeps compute kernels unchanged across storage systems (§6);
+therefore all four architectures must feed them exactly the same tile
+contents for any dataset and any tile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nvm import TINY_TEST
+from repro.systems import (BaselineSystem, HardwareNdsSystem, OracleSystem,
+                           SoftwareNdsSystem)
+
+
+@pytest.fixture
+def dataset(rng):
+    return rng.integers(0, 2**31, (64, 64)).astype(np.int32)
+
+
+def test_all_systems_return_identical_tiles(dataset):
+    systems = [BaselineSystem(TINY_TEST, store_data=True),
+               SoftwareNdsSystem(TINY_TEST, store_data=True),
+               HardwareNdsSystem(TINY_TEST, store_data=True)]
+    for system in systems:
+        system.ingest("m", (64, 64), 4, data=dataset)
+    oracle = OracleSystem(TINY_TEST, store_data=True)
+    oracle.ingest("m", (64, 64), 4, data=dataset, tile=(16, 16))
+
+    for origin in [(0, 0), (16, 16), (48, 0)]:
+        tiles = [s.read_tile("m", origin, (16, 16), with_data=True,
+                             dtype=np.int32).data for s in systems]
+        tiles.append(oracle.read_tile("m", origin, (16, 16),
+                                      with_data=True, dtype=np.int32).data)
+        for tile in tiles[1:]:
+            assert np.array_equal(tiles[0], tile)
+        assert np.array_equal(
+            tiles[0], dataset[origin[0]:origin[0] + 16,
+                              origin[1]:origin[1] + 16])
+
+
+def test_nds_systems_agree_on_unaligned_tiles(dataset):
+    software = SoftwareNdsSystem(TINY_TEST, store_data=True)
+    hardware = HardwareNdsSystem(TINY_TEST, store_data=True)
+    for system in (software, hardware):
+        system.ingest("m", (64, 64), 4, data=dataset)
+    for origin, extents in [((3, 7), (11, 23)), ((0, 63), (64, 1)),
+                            ((31, 31), (2, 2))]:
+        a = software.read_tile("m", origin, extents, with_data=True,
+                               dtype=np.int32).data
+        b = hardware.read_tile("m", origin, extents, with_data=True,
+                               dtype=np.int32).data
+        assert np.array_equal(a, b)
+        expected = dataset[origin[0]:origin[0] + extents[0],
+                           origin[1]:origin[1] + extents[1]]
+        assert np.array_equal(a, expected)
+
+
+def test_write_tile_visible_across_views(dataset, rng):
+    system = HardwareNdsSystem(TINY_TEST, store_data=True)
+    system.ingest("m", (64, 64), 4, data=dataset)
+    patch = rng.integers(0, 2**31, (8, 8)).astype(np.int32)
+    system.write_tile("m", (20, 20), (8, 8), data=patch)
+    full = system.read_tile("m", (0, 0), (64, 64), with_data=True,
+                            dtype=np.int32).data
+    expected = dataset.copy()
+    expected[20:28, 20:28] = patch
+    assert np.array_equal(full, expected)
+
+
+def test_timing_only_and_functional_agree_on_structure():
+    """Timing-only mode must issue the same requests/pages as the
+    functional mode (only the payload differs)."""
+    functional = HardwareNdsSystem(TINY_TEST, store_data=True)
+    timing = HardwareNdsSystem(TINY_TEST, store_data=False)
+    data = np.zeros((64, 64), dtype=np.int32)
+    functional.ingest("m", (64, 64), 4, data=data)
+    timing.ingest("m", (64, 64), 4)
+    functional.reset_time()
+    timing.reset_time()
+    a = functional.read_tile("m", (8, 8), (32, 32))
+    b = timing.read_tile("m", (8, 8), (32, 32))
+    assert a.fetched_bytes == b.fetched_bytes
+    assert a.requests == b.requests
+    assert a.elapsed == pytest.approx(b.elapsed, rel=1e-9)

@@ -1,0 +1,59 @@
+"""Integration: the binary-command device and the systems layer agree.
+
+The same STL core backs both entry points; the bytes delivered for any
+tile must be identical whether the request arrives as a decoded API
+call (HardwareNdsSystem) or as a raw encoded NVMe command (NdsDevice).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import NdsDevice, bytes_to_array
+from repro.interconnect import NvmeOpcode
+from repro.interconnect.encoding import encode_command
+from repro.nvm import TINY_TEST
+from repro.systems import HardwareNdsSystem
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.integers(0, 2**31, (64, 64)).astype(np.int32)
+
+
+def test_device_and_system_deliver_identical_tiles(matrix):
+    system = HardwareNdsSystem(TINY_TEST, store_data=True)
+    system.ingest("m", (64, 64), 4, data=matrix)
+
+    device = NdsDevice(TINY_TEST, store_data=True)
+    opened = device.submit(encode_command(NvmeOpcode.OPEN_SPACE,
+                                          dims=(64, 64)))
+    device.submit(encode_command(NvmeOpcode.ND_WRITE,
+                                 space_id=opened.space_id,
+                                 coordinate=(0, 0), sub_dim=(64, 64)),
+                  payload=matrix)
+
+    for coordinate, sub_dim in [((0, 0), (16, 16)), ((3, 1), (16, 32)),
+                                ((1, 1), (32, 32))]:
+        origin = tuple(c * f for c, f in zip(coordinate, sub_dim))
+        via_system = system.read_tile("m", origin, sub_dim,
+                                      with_data=True, dtype=np.int32).data
+        completion = device.submit(
+            encode_command(NvmeOpcode.ND_READ, space_id=opened.space_id,
+                           coordinate=coordinate, sub_dim=sub_dim))
+        via_device = bytes_to_array(completion.data, np.int32)
+        assert np.array_equal(via_system, via_device)
+        expected = matrix[origin[0]:origin[0] + sub_dim[0],
+                          origin[1]:origin[1] + sub_dim[1]]
+        assert np.array_equal(via_device, expected)
+
+
+def test_device_block_layout_matches_system(matrix):
+    """Both entry points derive the same building-block geometry from
+    the same device profile."""
+    system = HardwareNdsSystem(TINY_TEST, store_data=False)
+    system.ingest("m", (64, 64), 4)
+    device = NdsDevice(TINY_TEST, store_data=False)
+    opened = device.submit(encode_command(NvmeOpcode.OPEN_SPACE,
+                                          dims=(64, 64)))
+    assert (opened.fields["building_block"]
+            == system.stl.get_space(1).bb)

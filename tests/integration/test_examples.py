@@ -1,0 +1,33 @@
+"""The runnable examples must stay runnable (fast ones, end to end)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.skipif(not EXAMPLES.exists(), reason="examples not present")
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "building block" in out
+        assert "done." in out
+
+    def test_multi_view_tensor(self, capsys):
+        out = _run("multi_view_tensor.py", capsys)
+        assert "grid view dims: (512, 512)" in out
+        assert "done." in out
+
+    def test_device_explorer(self, capsys):
+        out = _run("device_explorer.py", capsys)
+        assert "NDS placement" in out
+        assert "[P3]" in out
+        assert "done." in out

@@ -1,0 +1,119 @@
+"""Tests for the §5.3.1 binary command encoding."""
+
+import pytest
+
+from repro.interconnect import NvmeOpcode
+from repro.interconnect.encoding import (COORDINATE_PAGE_BYTES,
+                                         EXTENSION_BIT, SQE_BYTES,
+                                         EncodedCommand, decode_command,
+                                         decode_coordinate_page,
+                                         decode_dimensionality_page,
+                                         encode_command,
+                                         encode_coordinate_page,
+                                         encode_dimensionality_page)
+
+
+class TestCoordinatePage:
+    def test_roundtrip(self):
+        coordinate = (3, 0, 17)
+        sub_dim = (128, 128, 4)
+        page = encode_coordinate_page(coordinate, sub_dim)
+        assert len(page) == COORDINATE_PAGE_BYTES
+        assert decode_coordinate_page(page) == (coordinate, sub_dim)
+
+    def test_max_rank(self):
+        coordinate = tuple(range(32))
+        sub_dim = tuple(range(1, 33))
+        page = encode_coordinate_page(coordinate, sub_dim)
+        assert decode_coordinate_page(page) == (coordinate, sub_dim)
+
+    def test_full_64bit_dimension(self):
+        page = encode_coordinate_page((0,), (2**64,))
+        assert decode_coordinate_page(page) == ((0,), (2**64,))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            encode_coordinate_page((1, 2), (3,))
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            decode_coordinate_page(b"\x00" * 10)
+
+    def test_zero_rank_rejected_on_decode(self):
+        page = bytearray(COORDINATE_PAGE_BYTES)
+        with pytest.raises(ValueError):
+            decode_coordinate_page(bytes(page))
+
+
+class TestDimensionalityPage:
+    def test_roundtrip(self):
+        dims = (8192, 8192, 4)
+        page = encode_dimensionality_page(dims)
+        assert decode_dimensionality_page(page) == dims
+
+    def test_33_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            encode_dimensionality_page((2,) * 33)
+
+
+class TestCommandEncoding:
+    def test_nd_read_roundtrip(self):
+        encoded = encode_command(NvmeOpcode.ND_READ, space_id=7,
+                                 coordinate=(1, 0), sub_dim=(8192, 8192))
+        assert len(encoded.sqe) == SQE_BYTES
+        opcode, space_id, details = decode_command(encoded)
+        assert opcode is NvmeOpcode.ND_READ
+        assert space_id == 7
+        assert details == ((1, 0), (8192, 8192))
+
+    def test_extension_bit_set_only_for_extended(self):
+        import struct
+        nd = encode_command(NvmeOpcode.ND_WRITE, coordinate=(0,),
+                            sub_dim=(4,))
+        conventional = encode_command(NvmeOpcode.READ, lba=10, length=8)
+        _v, nd_flags, _s = struct.unpack_from("<HHI", nd.sqe, 0)
+        _v, conv_flags, _s = struct.unpack_from("<HHI", conventional.sqe, 0)
+        assert nd_flags & EXTENSION_BIT
+        assert not (conv_flags & EXTENSION_BIT)
+
+    def test_conventional_read_keeps_lba(self):
+        encoded = encode_command(NvmeOpcode.READ, lba=12345, length=64)
+        opcode, _sid, (lba, length) = decode_command(encoded)
+        assert opcode is NvmeOpcode.READ
+        assert (lba, length) == (12345, 64)
+        assert encoded.payload_page is None
+
+    def test_same_opcode_byte_read_vs_ndread(self):
+        """The paper reuses the conventional opcode with the reserved
+        bit — a legacy device sees a valid 1-D command."""
+        import struct
+        nd = encode_command(NvmeOpcode.ND_READ, coordinate=(0,),
+                            sub_dim=(4,))
+        conventional = encode_command(NvmeOpcode.READ)
+        assert struct.unpack_from("<H", nd.sqe, 0) == \
+            struct.unpack_from("<H", conventional.sqe, 0)
+
+    def test_open_space_roundtrip(self):
+        encoded = encode_command(NvmeOpcode.OPEN_SPACE, dims=(1024, 1024))
+        opcode, _sid, dims = decode_command(encoded)
+        assert opcode is NvmeOpcode.OPEN_SPACE
+        assert dims == (1024, 1024)
+
+    def test_close_and_delete_space(self):
+        for op in (NvmeOpcode.CLOSE_SPACE, NvmeOpcode.DELETE_SPACE):
+            opcode, space_id, details = decode_command(
+                encode_command(op, space_id=99))
+            assert opcode is op
+            assert space_id == 99
+            assert details is None
+
+    def test_missing_payload_rejected(self):
+        encoded = encode_command(NvmeOpcode.ND_READ, coordinate=(0,),
+                                 sub_dim=(4,))
+        stripped = EncodedCommand(sqe=encoded.sqe, payload_page=None)
+        with pytest.raises(ValueError):
+            decode_command(stripped)
+
+    def test_wrong_sqe_size(self):
+        with pytest.raises(ValueError):
+            EncodedCommand(sqe=b"\x00" * 32)

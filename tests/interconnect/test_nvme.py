@@ -1,0 +1,58 @@
+"""Tests for the NVMe command model and its NDS extension limits."""
+
+import pytest
+
+from repro.interconnect import (NVME_LIMITS, NvmeCommand, NvmeOpcode,
+                                saturation_curve)
+
+
+class TestOpcode:
+    def test_conventional_vs_extended(self):
+        assert not NvmeOpcode.READ.is_extended
+        assert not NvmeOpcode.WRITE.is_extended
+        assert NvmeOpcode.ND_READ.is_extended
+        assert NvmeOpcode.OPEN_SPACE.is_extended
+
+
+class TestLimits:
+    def test_up_to_32_dimensions(self):
+        NVME_LIMITS.validate_dimensionality([2] * 32)
+        with pytest.raises(ValueError):
+            NVME_LIMITS.validate_dimensionality([2] * 33)
+
+    def test_dimension_size_bounds(self):
+        NVME_LIMITS.validate_dimensionality([2**64])
+        with pytest.raises(ValueError):
+            NVME_LIMITS.validate_dimensionality([2**64 + 1])
+        with pytest.raises(ValueError):
+            NVME_LIMITS.validate_dimensionality([0])
+
+    def test_empty_dimensionality(self):
+        with pytest.raises(ValueError):
+            NVME_LIMITS.validate_dimensionality([])
+
+
+class TestCommand:
+    def test_nd_read_requires_matching_ranks(self):
+        with pytest.raises(ValueError):
+            NvmeCommand(opcode=NvmeOpcode.ND_READ, coordinate=(1,),
+                        sub_dimensionality=(4, 4))
+
+    def test_valid_nd_write(self):
+        cmd = NvmeCommand(opcode=NvmeOpcode.ND_WRITE, coordinate=(0, 1),
+                          sub_dimensionality=(128, 128),
+                          payload_bytes=65536)
+        assert cmd.opcode.is_extended
+
+    def test_negative_payload(self):
+        with pytest.raises(ValueError):
+            NvmeCommand(opcode=NvmeOpcode.READ, payload_bytes=-1)
+
+
+class TestSaturationCurve:
+    def test_curve_rises_and_saturates(self):
+        curve = saturation_curve(5e9, 3.4e-6,
+                                 [4096, 32768, 2**20, 2 * 2**20, 16 * 2**20])
+        rates = [rate for _size, rate in curve]
+        assert rates == sorted(rates)
+        assert rates[-1] / 5e9 > 0.98

@@ -1,0 +1,54 @@
+"""Tests for physical page addressing."""
+
+import pytest
+
+from repro.nvm import Geometry, PhysicalPageAddress, index_to_ppa, ppa_to_index
+
+
+@pytest.fixture
+def geometry():
+    return Geometry(channels=4, banks_per_channel=2, blocks_per_bank=8,
+                    pages_per_block=8, page_size=256)
+
+
+def test_roundtrip_all_pages(geometry):
+    for index in range(geometry.total_pages):
+        ppa = index_to_ppa(index, geometry)
+        assert ppa_to_index(ppa, geometry) == index
+
+
+def test_index_zero_is_origin(geometry):
+    assert index_to_ppa(0, geometry) == PhysicalPageAddress(0, 0, 0, 0)
+
+
+def test_linearization_is_channel_major(geometry):
+    last_of_channel0 = PhysicalPageAddress(0, 1, 7, 7)
+    first_of_channel1 = PhysicalPageAddress(1, 0, 0, 0)
+    assert (ppa_to_index(first_of_channel1, geometry)
+            == ppa_to_index(last_of_channel0, geometry) + 1)
+
+
+def test_out_of_range_index(geometry):
+    with pytest.raises(ValueError):
+        index_to_ppa(geometry.total_pages, geometry)
+    with pytest.raises(ValueError):
+        index_to_ppa(-1, geometry)
+
+
+def test_validate(geometry):
+    PhysicalPageAddress(3, 1, 7, 7).validate(geometry)
+    with pytest.raises(ValueError):
+        PhysicalPageAddress(4, 0, 0, 0).validate(geometry)
+    with pytest.raises(ValueError):
+        PhysicalPageAddress(0, 2, 0, 0).validate(geometry)
+    with pytest.raises(ValueError):
+        PhysicalPageAddress(0, 0, 8, 0).validate(geometry)
+    with pytest.raises(ValueError):
+        PhysicalPageAddress(0, 0, 0, 8).validate(geometry)
+
+
+def test_ordering_is_lexicographic():
+    a = PhysicalPageAddress(0, 0, 0, 1)
+    b = PhysicalPageAddress(0, 0, 1, 0)
+    c = PhysicalPageAddress(1, 0, 0, 0)
+    assert a < b < c

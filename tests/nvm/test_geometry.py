@@ -1,0 +1,46 @@
+"""Tests for device geometry."""
+
+import pytest
+
+from repro.nvm import Geometry
+
+
+def test_defaults_match_paper_prototype():
+    g = Geometry()
+    assert g.channels == 32
+    assert g.banks_per_channel == 8
+    assert g.page_size == 4096
+
+
+def test_derived_quantities():
+    g = Geometry(channels=4, banks_per_channel=2, blocks_per_bank=8,
+                 pages_per_block=16, page_size=512)
+    assert g.banks == 8
+    assert g.pages_per_bank == 128
+    assert g.pages_per_channel == 256
+    assert g.total_pages == 1024
+    assert g.total_blocks == 64
+    assert g.capacity_bytes == 1024 * 512
+    assert g.max_parallel_requests == 4
+
+
+@pytest.mark.parametrize("field", ["channels", "banks_per_channel",
+                                   "blocks_per_bank", "pages_per_block",
+                                   "page_size"])
+def test_rejects_non_positive(field):
+    kwargs = {field: 0}
+    with pytest.raises(ValueError):
+        Geometry(**kwargs)
+
+
+def test_scaled_shrinks_capacity_not_parallelism():
+    g = Geometry(channels=32, banks_per_channel=8, blocks_per_bank=1024)
+    scaled = g.scaled(block_factor=0.25)
+    assert scaled.channels == 32
+    assert scaled.banks_per_channel == 8
+    assert scaled.blocks_per_bank == 256
+
+
+def test_scaled_channel_factor():
+    g = Geometry(channels=32)
+    assert g.scaled(channel_factor=0.25).channels == 8

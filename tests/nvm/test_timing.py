@@ -1,0 +1,47 @@
+"""Tests for the NVM timing model."""
+
+import pytest
+
+from repro.nvm import NvmTiming
+
+
+def test_transfer_time():
+    t = NvmTiming(channel_bandwidth=400e6)
+    assert t.transfer_time(4096) == pytest.approx(4096 / 400e6)
+
+
+def test_internal_read_bandwidth_channel_limited():
+    # transfer (10.24 us) dominates t_read/banks (7.5 us)
+    t = NvmTiming(t_read=60e-6, channel_bandwidth=400e6)
+    bw = t.internal_read_bandwidth(32, 8, 4096)
+    assert bw == pytest.approx(32 * 400e6)
+
+
+def test_internal_read_bandwidth_bank_limited():
+    # few banks: t_read/banks (30 us) dominates transfer
+    t = NvmTiming(t_read=60e-6, channel_bandwidth=400e6)
+    bw = t.internal_read_bandwidth(32, 2, 4096)
+    assert bw == pytest.approx(32 * 4096 / 30e-6)
+
+
+def test_internal_write_slower_than_read():
+    t = NvmTiming()
+    assert (t.internal_write_bandwidth(32, 8, 4096)
+            < t.internal_read_bandwidth(32, 8, 4096))
+
+
+def test_paper_ratio_internal_to_external():
+    """§7.2: the prototype's internal:external bandwidth ratio is 8:5."""
+    from repro.nvm import PAPER_PROTOTYPE
+    ratio = (PAPER_PROTOTYPE.internal_read_bandwidth
+             / PAPER_PROTOTYPE.link_bandwidth)
+    assert ratio == pytest.approx(8.0 / 5.0, rel=0.05)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("t_read", 0.0), ("t_program", -1.0), ("channel_bandwidth", 0.0),
+    ("t_cmd", -1e-9),
+])
+def test_invalid_parameters(field, value):
+    with pytest.raises(ValueError):
+        NvmTiming(**{field: value})

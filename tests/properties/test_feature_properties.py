@@ -1,0 +1,73 @@
+"""Property-based tests for the optional STL features (compression,
+sparse elision, crypto) under randomized write sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SpaceTranslationLayer, ZlibCompressor
+from repro.core.api import array_to_bytes, bytes_to_array
+from repro.core.crypto import SECTION_BYTES, BlockCipherModel
+from repro.nvm import FlashArray, TINY_TEST
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def _random_write_sequence(data, stl, dims, reference, rng):
+    """Apply 1-5 random region writes to both the STL and a numpy
+    shadow copy."""
+    for _ in range(data.draw(st.integers(1, 5))):
+        origin = tuple(data.draw(st.integers(0, d - 1)) for d in dims)
+        extents = tuple(data.draw(st.integers(1, d - o))
+                        for o, d in zip(origin, dims))
+        patch = rng.integers(0, 2**31, extents).astype(np.int32)
+        stl.write_region(1, origin, extents, data=array_to_bytes(patch))
+        slicer = tuple(slice(o, o + e) for o, e in zip(origin, extents))
+        reference[slicer] = patch
+
+
+@SETTINGS
+@given(st.data())
+def test_compressed_stl_equals_plain_stl(data):
+    """The compressed STL is observationally identical to the plain
+    one for any sequence of region writes."""
+    dims = (24, 24)
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+    flash = FlashArray(TINY_TEST.geometry, TINY_TEST.timing,
+                       store_data=True)
+    stl = SpaceTranslationLayer(flash, compressor=ZlibCompressor())
+    stl.create_space(dims, 4)
+    reference = np.zeros(dims, dtype=np.int32)
+    _random_write_sequence(data, stl, dims, reference, rng)
+    result = stl.read_region(1, (0, 0), dims)
+    assert np.array_equal(bytes_to_array(result.data, np.int32), reference)
+
+
+@SETTINGS
+@given(st.data())
+def test_sparse_stl_equals_plain_stl(data):
+    dims = (24, 24)
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+    flash = FlashArray(TINY_TEST.geometry, TINY_TEST.timing,
+                       store_data=True)
+    stl = SpaceTranslationLayer(flash, elide_zero_pages=True)
+    stl.create_space(dims, 4)
+    reference = np.zeros(dims, dtype=np.int32)
+    _random_write_sequence(data, stl, dims, reference, rng)
+    result = stl.read_region(1, (0, 0), dims)
+    assert np.array_equal(bytes_to_array(result.data, np.int32), reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sections=st.integers(1, 16), tweak=st.integers(0, 2**31 - 1),
+       seed=st.integers(0, 2**31 - 1))
+def test_cipher_is_a_size_preserving_bijection(sections, tweak, seed):
+    cipher = BlockCipherModel(key=0xBEEF)
+    plaintext = np.random.default_rng(seed).integers(
+        0, 256, sections * SECTION_BYTES).astype(np.uint8)
+    ciphertext = cipher.encrypt(plaintext, tweak)
+    assert ciphertext.size == plaintext.size
+    assert np.array_equal(cipher.decrypt(ciphertext, tweak), plaintext)

@@ -1,0 +1,77 @@
+"""Property-based tests for the baseline FTL and SSD."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ftl import BaselineSSD, PageMapFTL
+from repro.nvm import Geometry, TINY_TEST
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(max_examples=60, deadline=None)
+@given(channels=st.integers(1, 32), banks=st.integers(1, 8),
+       lpn=st.integers(0, 10**6))
+def test_stripe_target_is_stable_and_in_range(channels, banks, lpn):
+    geometry = Geometry(channels=channels, banks_per_channel=banks)
+    ftl = PageMapFTL(geometry)
+    channel, bank = ftl.stripe_target(lpn)
+    assert 0 <= channel < channels
+    assert 0 <= bank < banks
+    assert ftl.stripe_target(lpn) == (channel, bank)
+
+
+@settings(max_examples=60, deadline=None)
+@given(channels=st.integers(2, 16), count=st.integers(2, 64))
+def test_consecutive_lpns_spread_over_channels(channels, count):
+    """The striping invariant behind [P3]: a sequential LBA run covers
+    min(count, channels) distinct channels."""
+    geometry = Geometry(channels=channels, banks_per_channel=4)
+    ftl = PageMapFTL(geometry)
+    seen = {ftl.stripe_target(lpn)[0] for lpn in range(count)}
+    assert len(seen) == min(count, channels)
+
+
+@SETTINGS
+@given(st.data())
+def test_ssd_scattered_roundtrip(data):
+    """Any interleaving of writes (with overwrites) reads back the last
+    value written per page."""
+    ssd = BaselineSSD(TINY_TEST, store_data=True)
+    lpn_pool = data.draw(st.lists(st.integers(0, 50), min_size=1,
+                                  max_size=30))
+    expected = {}
+    for serial, lpn in enumerate(lpn_pool):
+        payload = np.full(ssd.page_size, (serial * 37 + lpn) % 251,
+                          dtype=np.uint8)
+        ssd.write_lpns([lpn], float(serial), data=[payload])
+        expected[lpn] = payload[0]
+    result = ssd.read_lpns(sorted(expected), 1000.0, with_data=True)
+    for page, lpn in zip(result.data, sorted(expected)):
+        assert page[0] == expected[lpn]
+
+
+@SETTINGS
+@given(st.data())
+def test_forward_and_reverse_maps_stay_consistent(data):
+    ssd = BaselineSSD(TINY_TEST, store_data=False)
+    operations = data.draw(st.lists(
+        st.tuples(st.sampled_from(["write", "trim"]),
+                  st.integers(0, 40)),
+        min_size=1, max_size=60))
+    for serial, (op, lpn) in enumerate(operations):
+        if op == "write":
+            ssd.write_lpns([lpn], float(serial))
+        else:
+            ssd.trim_lpns([lpn])
+    # every forward mapping has exactly one reverse entry and vice versa
+    from repro.nvm.address import ppa_to_index
+    forward = {lpn: ppa_to_index(ppa, ssd.geometry)
+               for lpn, ppa in ssd.ftl.map.items()}
+    assert set(forward.values()) == set(ssd.gc.reverse.keys())
+    for lpn, idx in forward.items():
+        assert ssd.gc.reverse[idx] == lpn

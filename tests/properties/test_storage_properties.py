@@ -1,0 +1,112 @@
+"""Property-based tests on storage round-trips and timing invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SpaceTranslationLayer
+from repro.core.api import array_to_bytes, bytes_to_array
+from repro.core.building_block import bb_size_min, block_bytes, block_dims
+from repro.host import run_pipeline
+from repro.nvm import FlashArray, Geometry, NvmTiming, TINY_TEST
+from repro.sim import Timeline
+
+SETTINGS = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@SETTINGS
+@given(st.data())
+def test_stl_write_read_roundtrip(data):
+    """Anything written at any coordinate reads back identically."""
+    flash = FlashArray(TINY_TEST.geometry, TINY_TEST.timing,
+                       store_data=True)
+    stl = SpaceTranslationLayer(flash)
+    dims = (data.draw(st.integers(8, 40)), data.draw(st.integers(8, 40)))
+    space = stl.create_space(dims, 4)
+    origin = tuple(data.draw(st.integers(0, d - 1)) for d in dims)
+    extents = tuple(data.draw(st.integers(1, d - o))
+                    for o, d in zip(origin, dims))
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    payload = np.random.default_rng(seed).integers(
+        0, 2**31, extents).astype(np.int32)
+    stl.write_region(space.space_id, origin, extents,
+                     data=array_to_bytes(payload))
+    result = stl.read_region(space.space_id, origin, extents)
+    assert np.array_equal(bytes_to_array(result.data, np.int32), payload)
+
+
+@SETTINGS
+@given(st.data())
+def test_two_writes_last_wins(data):
+    """Overlapping writes resolve to the last write's bytes, with
+    untouched regions preserved."""
+    flash = FlashArray(TINY_TEST.geometry, TINY_TEST.timing,
+                       store_data=True)
+    stl = SpaceTranslationLayer(flash)
+    dims = (24, 24)
+    space = stl.create_space(dims, 4)
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31 - 1)))
+    base = rng.integers(0, 2**31, dims).astype(np.int32)
+    stl.write_region(space.space_id, (0, 0), dims,
+                     data=array_to_bytes(base))
+    o = (data.draw(st.integers(0, 20)), data.draw(st.integers(0, 20)))
+    e = (data.draw(st.integers(1, 24 - o[0])),
+         data.draw(st.integers(1, 24 - o[1])))
+    patch = rng.integers(0, 2**31, e).astype(np.int32)
+    stl.write_region(space.space_id, o, e, data=array_to_bytes(patch))
+    result = stl.read_region(space.space_id, (0, 0), dims)
+    merged = bytes_to_array(result.data, np.int32)
+    expected = base.copy()
+    expected[o[0]:o[0] + e[0], o[1]:o[1] + e[1]] = patch
+    assert np.array_equal(merged, expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(channels=st.integers(1, 64), banks=st.integers(1, 16),
+       page=st.sampled_from([512, 2048, 4096, 8192]),
+       element=st.sampled_from([1, 2, 4, 8, 16]),
+       rank=st.integers(1, 4))
+def test_block_sizing_invariants(channels, banks, page, element, rank):
+    """Eq. 1–4: blocks always cover at least one unit per channel and
+    have power-of-two dimensions (ignoring pinned 1-axes)."""
+    geometry = Geometry(channels=channels, banks_per_channel=banks,
+                        page_size=page)
+    dims = tuple([1024] * rank)
+    for use_3d in (False, True):
+        bb = block_dims(dims, element, geometry, use_3d=use_3d)
+        assert len(bb) == rank
+        assert block_bytes(bb, element) >= bb_size_min(geometry)
+        for extent in bb:
+            assert extent & (extent - 1) == 0  # power of two (incl. 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1e-3), st.floats(0, 1e-3),
+                          st.floats(0, 1e-3)), min_size=1, max_size=20))
+def test_pipeline_invariants(rows):
+    """Total latency bounds: at least the bottleneck stage's busy time
+    and the slowest single item; at most the fully serial sum."""
+    stage_times = [list(row) for row in rows]
+    result = run_pipeline(stage_times)
+    serial = sum(sum(row) for row in stage_times)
+    assert result.total_time <= serial + 1e-12
+    assert result.total_time >= max(result.stage_busy) - 1e-12
+    assert result.total_time >= max(sum(row) for row in stage_times) - 1e-12
+    assert all(idle >= -1e-12 for idle in result.stage_idle)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1e-2), st.floats(1e-9, 1e-3)),
+                min_size=1, max_size=30))
+def test_timeline_reservations_never_overlap(requests):
+    line = Timeline("t")
+    intervals = []
+    for earliest, duration in requests:
+        start, end = line.reserve(earliest, duration)
+        assert start >= earliest
+        intervals.append((start, end))
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1 - 1e-15  # FCFS, no overlap

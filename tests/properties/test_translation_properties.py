@@ -1,0 +1,109 @@
+"""Property-based tests on the translation core (hypothesis).
+
+Invariants:
+* Eq. 5 translation tiles a request exactly — out-slices partition the
+  request volume with no gap and no overlap;
+* page selection never misses a byte of the requested region;
+* linear-range decomposition covers exactly the range;
+* baseline run decomposition covers exactly the tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Space, linear_range_to_boxes, pages_for_region
+from repro.core.translator import translate_region
+from repro.nvm import Geometry
+from repro.systems.base import row_runs
+
+GEOMETRY = Geometry(channels=4, banks_per_channel=2, blocks_per_bank=8,
+                    pages_per_block=8, page_size=256)
+
+
+@st.composite
+def space_and_region(draw):
+    rank = draw(st.integers(1, 3))
+    dims = tuple(draw(st.integers(4, 48)) for _ in range(rank))
+    element_size = draw(st.sampled_from([1, 2, 4, 8]))
+    origin = tuple(draw(st.integers(0, d - 1)) for d in dims)
+    extents = tuple(draw(st.integers(1, d - o))
+                    for o, d in zip(origin, dims))
+    space = Space.create(1, dims, element_size, GEOMETRY)
+    return space, origin, extents
+
+
+@settings(max_examples=80, deadline=None)
+@given(space_and_region())
+def test_translation_tiles_request_exactly(data):
+    space, origin, extents = data
+    accesses = translate_region(space, origin, extents)
+    coverage = np.zeros(extents, dtype=np.int32)
+    for access in accesses:
+        slicer = tuple(slice(lo, hi) for lo, hi in access.out_slice)
+        coverage[slicer] += 1
+        # block slices stay within the block
+        for (lo, hi), bb in zip(access.block_slice, space.bb):
+            assert 0 <= lo < hi <= bb
+        # block coordinates stay within the grid
+        for c, g in zip(access.block_coord, space.grid):
+            assert 0 <= c < g
+    assert (coverage == 1).all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(space_and_region())
+def test_pages_cover_every_region_byte(data):
+    space, origin, extents = data
+    page_bytes = -(-space.block_bytes // space.pages_per_block)
+    for access in translate_region(space, origin, extents):
+        pages = set(pages_for_region(space, access.block_slice))
+        assert pages <= set(range(space.pages_per_block))
+        # every element byte of the region must fall in a chosen page
+        strides = [space.element_size] * space.rank
+        for axis in range(space.rank - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * space.bb[axis + 1]
+        ranges = [range(lo, hi) for lo, hi in access.block_slice]
+        import itertools
+        for coord in itertools.product(*ranges):
+            offset = sum(c * s for c, s in zip(coord, strides))
+            for b in (offset, offset + space.element_size - 1):
+                assert b // page_bytes in pages
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_linear_range_boxes_cover_exactly(data):
+    rank = data.draw(st.integers(1, 4))
+    dims = tuple(data.draw(st.integers(1, 8)) for _ in range(rank))
+    volume = int(np.prod(dims))
+    start = data.draw(st.integers(0, volume - 1))
+    length = data.draw(st.integers(1, volume - start))
+    flags = np.zeros(volume, dtype=np.int32)
+    view = flags.reshape(dims)
+    for origin, extents in linear_range_to_boxes(dims, start, length):
+        slicer = tuple(slice(o, o + e) for o, e in zip(origin, extents))
+        view[slicer] += 1
+    assert (flags[start:start + length] == 1).all()
+    assert flags.sum() == length
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_row_runs_cover_tile_exactly(data):
+    rank = data.draw(st.integers(1, 4))
+    dims = tuple(data.draw(st.integers(1, 10)) for _ in range(rank))
+    origin = tuple(data.draw(st.integers(0, d - 1)) for d in dims)
+    extents = tuple(data.draw(st.integers(1, d - o))
+                    for o, d in zip(origin, dims))
+    volume = int(np.prod(dims))
+    flags = np.zeros(volume, dtype=np.int32)
+    for start, length in row_runs(dims, origin, extents):
+        assert 0 <= start and start + length <= volume
+        flags[start:start + length] += 1
+    view = flags.reshape(dims)
+    slicer = tuple(slice(o, o + e) for o, e in zip(origin, extents))
+    assert (view[slicer] == 1).all()
+    assert flags.sum() == int(np.prod(extents))

@@ -1,0 +1,103 @@
+"""Property-based tests for views and the API round-trip."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (IdentityView, NdsApi, ReshapeView,
+                        SpaceTranslationLayer, TileGridView)
+from repro.nvm import FlashArray, TINY_TEST
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def _factor_pairs(volume: int):
+    return [(a, volume // a) for a in range(1, volume + 1)
+            if volume % a == 0]
+
+
+@SETTINGS
+@given(st.data())
+def test_reshape_view_regions_tile_request(data):
+    dims = (data.draw(st.integers(2, 12)), data.draw(st.integers(2, 12)))
+    volume = dims[0] * dims[1]
+    consumer = data.draw(st.sampled_from(_factor_pairs(volume)))
+    view = ReshapeView(dims, consumer)
+    origin = tuple(data.draw(st.integers(0, d - 1)) for d in consumer)
+    extents = tuple(data.draw(st.integers(1, d - o))
+                    for o, d in zip(origin, consumer))
+    coverage = np.zeros(extents, dtype=np.int32)
+    for region in view.resolve(origin, extents):
+        slicer = tuple(slice(o, o + e) for o, e in
+                       zip(region.out_origin, region.out_extents))
+        coverage[slicer] += 1
+        # producer regions within bounds
+        for o, e, d in zip(region.producer_origin,
+                           region.producer_extents, dims):
+            assert 0 <= o and o + e <= d
+    assert (coverage == 1).all()
+
+
+@SETTINGS
+@given(st.data())
+def test_api_roundtrip_under_random_view(data):
+    """Write through the producer view, read through a random reshape
+    view: bytes must match numpy's reshape semantics."""
+    flash = FlashArray(TINY_TEST.geometry, TINY_TEST.timing,
+                       store_data=True)
+    api = NdsApi(SpaceTranslationLayer(flash))
+    rows = data.draw(st.integers(4, 16))
+    cols = data.draw(st.integers(4, 16))
+    sid = api.create_space((rows, cols), 4)
+    producer = api.open_space(sid)
+    seed = data.draw(st.integers(0, 2**31 - 1))
+    payload = np.random.default_rng(seed).integers(
+        0, 2**31, (rows, cols)).astype(np.int32)
+    api.write(producer, (0, 0), (rows, cols), payload)
+
+    consumer_dims = data.draw(st.sampled_from(_factor_pairs(rows * cols)))
+    consumer = api.open_space(sid, view=consumer_dims)
+    got, _ = api.read(consumer, (0, 0), consumer_dims, dtype=np.int32)
+    assert np.array_equal(got, payload.reshape(consumer_dims))
+
+
+@SETTINGS
+@given(st.data())
+def test_tile_grid_view_matches_block_assembly(data):
+    tile_r = data.draw(st.integers(2, 6))
+    tile_c = data.draw(st.integers(2, 6))
+    grid_r = data.draw(st.integers(1, 3))
+    grid_c = data.draw(st.integers(1, 3))
+    tiles = grid_r * grid_c
+    dims = (tile_r, tile_c, tiles)
+    view = TileGridView(dims, (grid_r, grid_c))
+    stack = np.arange(tile_r * tile_c * tiles).reshape(dims)
+    expected = np.block([[stack[:, :, r * grid_c + c]
+                          for c in range(grid_c)]
+                         for r in range(grid_r)])
+    assembled = np.zeros_like(expected)
+    for region in view.resolve((0, 0), view.dims):
+        src = tuple(slice(o, o + e) for o, e in
+                    zip(region.producer_origin, region.producer_extents))
+        dst = tuple(slice(o, o + e) for o, e in
+                    zip(region.out_origin, region.out_extents))
+        assembled[dst] = stack[src].reshape(region.out_extents)
+    assert np.array_equal(assembled, expected)
+
+
+@SETTINGS
+@given(st.data())
+def test_identity_view_noop(data):
+    dims = tuple(data.draw(st.integers(1, 20)) for _ in range(
+        data.draw(st.integers(1, 3))))
+    view = IdentityView(dims)
+    origin = tuple(data.draw(st.integers(0, d - 1)) for d in dims)
+    extents = tuple(data.draw(st.integers(1, d - o))
+                    for o, d in zip(origin, dims))
+    regions = view.resolve(origin, extents)
+    assert len(regions) == 1
+    assert regions[0].producer_origin == origin
+    assert regions[0].producer_extents == extents

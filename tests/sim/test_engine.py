@@ -1,0 +1,91 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.at(3.0, lambda: seen.append("c"))
+    sim.at(1.0, lambda: seen.append("a"))
+    sim.at(2.0, lambda: seen.append("b"))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_run_in_insertion_order():
+    sim = Simulator()
+    seen = []
+    sim.at(1.0, lambda: seen.append("first"))
+    sim.at(1.0, lambda: seen.append("second"))
+    sim.run()
+    assert seen == ["first", "second"]
+
+
+def test_after_is_relative_to_now():
+    sim = Simulator(start_time=5.0)
+    seen = []
+    sim.after(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [6.5]
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(("first", sim.now))
+        sim.after(2.0, lambda: seen.append(("second", sim.now)))
+
+    sim.at(1.0, first)
+    sim.run()
+    assert seen == [("first", 1.0), ("second", 3.0)]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.at(5.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_run_until_stops_the_clock():
+    sim = Simulator()
+    seen = []
+    sim.at(1.0, lambda: seen.append(1))
+    sim.at(10.0, lambda: seen.append(10))
+    sim.run(until=5.0)
+    assert seen == [1]
+    assert sim.now == 5.0
+    assert sim.pending == 1
+    sim.run()
+    assert seen == [1, 10]
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.at(1.0, reenter)
+    sim.run()
+    assert len(errors) == 1

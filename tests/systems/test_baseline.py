@@ -1,0 +1,120 @@
+"""Tests for the baseline architecture (Fig. 7(a))."""
+
+import numpy as np
+import pytest
+
+from repro.nvm import TINY_TEST
+from repro.systems import BaselineSystem
+from repro.systems.base import row_runs
+
+
+@pytest.fixture
+def system():
+    return BaselineSystem(TINY_TEST, store_data=True)
+
+
+class TestRowRuns:
+    def test_partial_width_one_run_per_row(self):
+        runs = row_runs((8, 8), (2, 2), (3, 4))
+        assert runs == ((2 * 8 + 2, 4), (3 * 8 + 2, 4), (4 * 8 + 2, 4))
+
+    def test_full_width_coalesces(self):
+        runs = row_runs((8, 8), (2, 0), (3, 8))
+        assert runs == ((16, 24),)
+
+    def test_3d_inner_axis_full(self):
+        runs = row_runs((4, 4, 4), (1, 1, 0), (2, 2, 4))
+        assert runs == ((1 * 16 + 1 * 4, 8), (2 * 16 + 1 * 4, 8))
+
+    def test_3d_inner_axis_partial(self):
+        runs = row_runs((4, 4, 4), (0, 0, 1), (2, 2, 2))
+        assert len(runs) == 4
+        assert all(length == 2 for _start, length in runs)
+
+    def test_1d(self):
+        assert row_runs((100,), (10,), (25,)) == ((10, 25),)
+
+    def test_whole_array_single_run(self):
+        assert row_runs((4, 4), (0, 0), (4, 4)) == ((0, 16),)
+
+
+class TestFunctional:
+    def test_ingest_and_read_tile(self, system, rng):
+        data = rng.integers(0, 2**31, (64, 64)).astype(np.int32)
+        system.ingest("m", (64, 64), 4, data=data)
+        result = system.read_tile("m", (5, 9), (16, 20), with_data=True,
+                                  dtype=np.int32)
+        assert np.array_equal(result.data, data[5:21, 9:29])
+
+    def test_column_store_layout(self, rng):
+        system = BaselineSystem(TINY_TEST, store_data=True)
+        data = rng.integers(0, 2**31, (32, 32)).astype(np.int32)
+        system.ingest("m", (32, 32), 4, data=data, layout="col")
+        result = system.read_tile("m", (3, 4), (8, 8), with_data=True,
+                                  dtype=np.int32)
+        assert np.array_equal(result.data, data[3:11, 4:12])
+
+    def test_1d_dataset(self, system, rng):
+        data = rng.integers(0, 2**31, 4096).astype(np.int32)
+        system.ingest("v", (4096,), 4, data=data)
+        result = system.read_tile("v", (100,), (512,), with_data=True,
+                                  dtype=np.int32)
+        assert np.array_equal(result.data, data[100:612])
+
+    def test_duplicate_ingest_rejected(self, system):
+        system.ingest("m", (16, 16), 4)
+        with pytest.raises(ValueError):
+            system.ingest("m", (16, 16), 4)
+
+    def test_unknown_dataset(self, system):
+        with pytest.raises(KeyError):
+            system.read_tile("nope", (0,), (1,))
+
+    def test_capacity_checked(self, system):
+        with pytest.raises(ValueError):
+            system.ingest("huge", (10**6, 10**6), 8)
+
+
+class TestAccessCosts:
+    def test_marshalled_tile_needs_one_request_per_run(self, system):
+        system.ingest("m", (64, 64), 4)
+        system.reset_time()
+        result = system.read_tile("m", (0, 0), (16, 16))
+        assert result.requests == 16  # one per row
+
+    def test_contiguous_read_coalesces(self, system):
+        system.ingest("m", (64, 64), 4)
+        system.reset_time()
+        result = system.read_tile("m", (0, 0), (16, 64))
+        assert result.requests < 16
+
+    def test_fetched_at_least_useful(self, system):
+        system.ingest("m", (64, 64), 4)
+        system.reset_time()
+        result = system.read_tile("m", (1, 1), (7, 9))
+        assert result.fetched_bytes >= result.useful_bytes
+
+    def test_column_fetch_slower_than_row_fetch(self, system):
+        """[P3]: column-crossing fetches underutilize the device."""
+        system.ingest("m", (64, 64), 4)
+        system.reset_time()
+        row = system.read_tile("m", (0, 0), (8, 64))
+        system.reset_time()
+        col = system.read_tile("m", (0, 0), (64, 8))
+        assert col.effective_bandwidth < row.effective_bandwidth
+
+    def test_write_tile_page_aligned(self, system, rng):
+        data = rng.integers(0, 2**31, (64, 64)).astype(np.int32)
+        system.ingest("m", (64, 64), 4, data=data)
+        # a full-width stripe is page aligned on the tiny device
+        patch = rng.integers(0, 2**31, (16, 64)).astype(np.int32)
+        system.write_tile("m", (16, 0), (16, 64), data=patch)
+        result = system.read_tile("m", (16, 0), (16, 64), with_data=True,
+                                  dtype=np.int32)
+        assert np.array_equal(result.data, patch)
+
+    def test_functional_unaligned_write_rejected(self, system, rng):
+        system.ingest("m", (64, 64), 4)
+        with pytest.raises(NotImplementedError):
+            system.write_tile("m", (0, 0), (3, 7),
+                              data=rng.integers(0, 9, (3, 7)).astype(np.int32))

@@ -1,0 +1,39 @@
+"""§5.3.3 end to end: an AES engine in the hardware NDS controller."""
+
+import pytest
+
+from repro.core import BlockCipherModel
+from repro.nvm import PAPER_PROTOTYPE
+from repro.systems import HardwareNdsSystem
+
+
+class TestCipherInTheDatapath:
+    def _bandwidth(self, cipher):
+        system = HardwareNdsSystem(PAPER_PROTOTYPE, bb_override=(256, 256),
+                                   cipher=cipher)
+        system.ingest("m", (2048, 2048), 8)
+        system.reset_time()
+        return system.read_tile("m", (0, 0), (512, 2048)).effective_bandwidth
+
+    def test_fast_engine_barely_costs(self):
+        """§5.3.3's claim: NDS 'functions well regardless of where the
+        system performs cryptography' — a line-rate engine costs a few
+        percent."""
+        plain = self._bandwidth(None)
+        encrypted = self._bandwidth(BlockCipherModel(throughput=8e9))
+        assert encrypted < plain
+        assert encrypted > 0.85 * plain
+
+    def test_slow_engine_becomes_the_bottleneck(self):
+        plain = self._bandwidth(None)
+        throttled = self._bandwidth(BlockCipherModel(throughput=1e9))
+        assert throttled < 0.5 * plain
+
+    def test_write_path_pays_encryption(self):
+        def write_bw(cipher):
+            system = HardwareNdsSystem(PAPER_PROTOTYPE,
+                                       bb_override=(256, 256),
+                                       cipher=cipher)
+            return system.ingest("m", (2048, 2048), 8).effective_bandwidth
+
+        assert write_bw(BlockCipherModel(throughput=8e9)) <= write_bw(None)

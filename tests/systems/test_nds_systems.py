@@ -1,0 +1,99 @@
+"""Tests for the software and hardware NDS architectures (Fig. 7(b,c))."""
+
+import numpy as np
+import pytest
+
+from repro.nvm import TINY_TEST
+from repro.systems import HardwareNdsSystem, SoftwareNdsSystem
+
+
+@pytest.fixture(params=[SoftwareNdsSystem, HardwareNdsSystem],
+                ids=["software", "hardware"])
+def nds_system(request):
+    return request.param(TINY_TEST, store_data=True)
+
+
+class TestFunctional:
+    def test_roundtrip_tile(self, nds_system, rng):
+        data = rng.integers(0, 2**31, (64, 48)).astype(np.int32)
+        nds_system.ingest("m", (64, 48), 4, data=data)
+        result = nds_system.read_tile("m", (3, 5), (20, 30),
+                                      with_data=True, dtype=np.int32)
+        assert np.array_equal(result.data, data[3:23, 5:35])
+
+    def test_write_tile_arbitrary_alignment(self, nds_system, rng):
+        """Unlike the baseline, NDS accepts functional writes at any
+        element alignment (the STL merges into building blocks)."""
+        data = rng.integers(0, 2**31, (32, 32)).astype(np.int32)
+        nds_system.ingest("m", (32, 32), 4, data=data)
+        patch = rng.integers(0, 2**31, (5, 7)).astype(np.int32)
+        nds_system.write_tile("m", (11, 13), (5, 7), data=patch)
+        result = nds_system.read_tile("m", (0, 0), (32, 32),
+                                      with_data=True, dtype=np.int32)
+        expected = data.copy()
+        expected[11:16, 13:20] = patch
+        assert np.array_equal(result.data, expected)
+
+    def test_3d_dataset_roundtrip(self, nds_system, rng):
+        tensor = rng.integers(0, 2**31, (16, 16, 8)).astype(np.int32)
+        nds_system.ingest("t", (16, 16, 8), 4, data=tensor)
+        result = nds_system.read_tile("t", (4, 4, 2), (8, 8, 4),
+                                      with_data=True, dtype=np.int32)
+        assert np.array_equal(result.data, tensor[4:12, 4:12, 2:6])
+
+    def test_1d_dataset_roundtrip(self, nds_system, rng):
+        data = rng.integers(0, 2**31, 2048).astype(np.int32)
+        nds_system.ingest("v", (2048,), 4, data=data)
+        result = nds_system.read_tile("v", (512,), (1024,),
+                                      with_data=True, dtype=np.int32)
+        assert np.array_equal(result.data, data[512:1536])
+
+    def test_duplicate_ingest_rejected(self, nds_system):
+        nds_system.ingest("m", (16, 16), 4)
+        with pytest.raises(ValueError):
+            nds_system.ingest("m", (16, 16), 4)
+
+    def test_unknown_dataset(self, nds_system):
+        with pytest.raises(KeyError):
+            nds_system.read_tile("nope", (0, 0), (1, 1))
+
+
+class TestStructuralBehaviour:
+    def test_hardware_issues_single_command(self, rng):
+        system = HardwareNdsSystem(TINY_TEST, store_data=False)
+        system.ingest("m", (64, 64), 4)
+        system.reset_time()
+        result = system.read_tile("m", (0, 0), (32, 32))
+        assert result.requests == 1
+
+    def test_software_issues_one_command_per_block(self):
+        system = SoftwareNdsSystem(TINY_TEST, store_data=False)
+        system.ingest("m", (64, 64), 4)
+        system.reset_time()
+        result = system.read_tile("m", (0, 0), (32, 32))
+        space = system.stl.get_space(1)
+        blocks = (32 // space.bb[0]) * (32 // space.bb[1])
+        assert result.requests == blocks
+
+    def test_partial_tile_fetches_fewer_bytes_than_blocks(self, nds_system):
+        nds_system.ingest("m", (64, 64), 4)
+        nds_system.reset_time()
+        space = nds_system.stl.get_space(1)
+        full_block = nds_system.read_tile("m", (0, 0), space.bb)
+        nds_system.reset_time()
+        few_rows = nds_system.read_tile("m", (0, 0), (2, space.bb[1]))
+        assert few_rows.fetched_bytes < full_block.fetched_bytes
+
+    def test_3d_spaces_get_3d_blocks(self):
+        system = HardwareNdsSystem(TINY_TEST, store_data=False)
+        system.ingest("t", (16, 16, 16), 4)
+        space = system.stl.get_space(1)
+        assert space.bb[0] == space.bb[1] == space.bb[2] > 1
+
+    def test_reset_time_preserves_data(self, nds_system, rng):
+        data = rng.integers(0, 2**31, (16, 16)).astype(np.int32)
+        nds_system.ingest("m", (16, 16), 4, data=data)
+        nds_system.reset_time()
+        result = nds_system.read_tile("m", (0, 0), (16, 16),
+                                      with_data=True, dtype=np.int32)
+        assert np.array_equal(result.data, data)

@@ -1,0 +1,72 @@
+"""Tests for the software-oracle architecture (§7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.nvm import TINY_TEST
+from repro.systems import OracleSystem
+
+
+@pytest.fixture
+def oracle():
+    return OracleSystem(TINY_TEST, store_data=True)
+
+
+class TestFunctional:
+    def test_tiled_roundtrip(self, oracle, rng):
+        data = rng.integers(0, 2**31, (32, 32)).astype(np.int32)
+        oracle.ingest("m", (32, 32), 4, data=data, tile=(16, 16))
+        result = oracle.read_tile("m", (16, 0), (16, 16), with_data=True,
+                                  dtype=np.int32)
+        assert np.array_equal(result.data, data[16:32, 0:16])
+
+    def test_write_tile(self, oracle, rng):
+        data = rng.integers(0, 2**31, (32, 32)).astype(np.int32)
+        oracle.ingest("m", (32, 32), 4, data=data, tile=(16, 16))
+        patch = rng.integers(0, 2**31, (16, 16)).astype(np.int32)
+        oracle.write_tile("m", (0, 16), (16, 16), data=patch)
+        result = oracle.read_tile("m", (0, 16), (16, 16), with_data=True,
+                                  dtype=np.int32)
+        assert np.array_equal(result.data, patch)
+
+
+class TestShapeDiscipline:
+    def test_misaligned_read_rejected(self, oracle):
+        oracle.ingest("m", (32, 32), 4, tile=(16, 16))
+        with pytest.raises(ValueError):
+            oracle.read_tile("m", (8, 0), (16, 16))
+
+    def test_unknown_shape_rejected(self, oracle):
+        oracle.ingest("m", (32, 32), 4, tile=(16, 16))
+        with pytest.raises(KeyError):
+            oracle.read_tile("m", (0, 0), (8, 8))
+
+    def test_tile_must_divide_dataset(self, oracle):
+        with pytest.raises(ValueError):
+            oracle.ingest("m", (32, 32), 4, tile=(10, 16))
+
+    def test_shared_dataset_needs_two_copies(self, oracle):
+        """§7.2: workloads sharing a dataset under different shapes force
+        the oracle to store two copies."""
+        oracle.ingest("m", (32, 32), 4, tile=(16, 16))
+        before = oracle.stored_bytes()
+        oracle.ingest("m", (32, 32), 4, tile=(8, 32))
+        assert oracle.stored_bytes() == 2 * before
+        # both shapes readable
+        oracle.read_tile("m", (0, 0), (16, 16))
+        oracle.read_tile("m", (8, 0), (8, 32))
+
+
+class TestPerformanceCharacter:
+    def test_oracle_tile_is_contiguous_and_fast(self, rng):
+        from repro.systems import BaselineSystem
+        oracle = OracleSystem(TINY_TEST, store_data=False)
+        oracle.ingest("m", (64, 64), 4, tile=(16, 16))
+        baseline = BaselineSystem(TINY_TEST, store_data=False)
+        baseline.ingest("m", (64, 64), 4)
+        oracle.reset_time()
+        baseline.reset_time()
+        o = oracle.read_tile("m", (16, 16), (16, 16))
+        b = baseline.read_tile("m", (16, 16), (16, 16))
+        assert o.effective_bandwidth > b.effective_bandwidth
+        assert o.requests < b.requests

@@ -1,0 +1,64 @@
+"""Cross-device behaviour: NDS works unchanged on any profile ([C1])."""
+
+import numpy as np
+import pytest
+
+from repro.nvm import CONSUMER_SSD, PCM_PROTOTYPE, DeviceProfile, Geometry, NvmTiming
+from repro.systems import BaselineSystem, HardwareNdsSystem
+
+
+def _small(profile: DeviceProfile) -> DeviceProfile:
+    """Shrink capacity so functional tests stay fast."""
+    return profile.scaled_capacity(1 / 64)
+
+
+@pytest.mark.parametrize("profile", [CONSUMER_SSD, PCM_PROTOTYPE],
+                         ids=lambda p: p.name)
+class TestAcrossProfiles:
+    def test_functional_roundtrip(self, profile, rng):
+        system = HardwareNdsSystem(_small(profile), store_data=True)
+        data = rng.integers(0, 2**31, (64, 64)).astype(np.int32)
+        system.ingest("m", (64, 64), 4, data=data)
+        result = system.read_tile("m", (7, 11), (32, 40), with_data=True,
+                                  dtype=np.int32)
+        assert np.array_equal(result.data, data[7:39, 11:51])
+
+    def test_nds_beats_baseline_on_column_fetch(self, profile):
+        small = _small(profile)
+        nds = HardwareNdsSystem(small, store_data=False)
+        base = BaselineSystem(small, store_data=False)
+        n = 512
+        for system in (nds, base):
+            system.ingest("m", (n, n), 4)
+            system.reset_time()
+        nds_result = nds.read_tile("m", (0, 0), (n, 32))
+        base_result = base.read_tile("m", (0, 0), (n, 32))
+        assert (nds_result.effective_bandwidth
+                > base_result.effective_bandwidth)
+
+    def test_block_shape_derived_from_this_device(self, profile):
+        system = HardwareNdsSystem(_small(profile), store_data=False)
+        system.ingest("m", (1024, 1024), 4)
+        space = system.stl.get_space(1)
+        from repro.core.building_block import bb_size_min, block_bytes
+        assert block_bytes(space.bb, 4) >= bb_size_min(profile.geometry)
+
+
+class TestFourDimensionalSpaces:
+    def test_4d_roundtrip(self, rng):
+        """Spaces beyond 3-D work (blocks pin the extra axes to 1)."""
+        from repro.core import SpaceTranslationLayer
+        from repro.core.api import array_to_bytes, bytes_to_array
+        from repro.nvm import FlashArray, TINY_TEST
+        flash = FlashArray(TINY_TEST.geometry, TINY_TEST.timing,
+                           store_data=True)
+        stl = SpaceTranslationLayer(flash)
+        space = stl.create_space((8, 8, 4, 2), 4)
+        assert space.bb[2:] == (1, 1)
+        data = rng.integers(0, 2**31, (8, 8, 4, 2)).astype(np.int32)
+        stl.write(space.space_id, (0, 0, 0, 0), (8, 8, 4, 2),
+                  data=array_to_bytes(data))
+        result = stl.read_region(space.space_id, (2, 2, 1, 0),
+                                 (4, 4, 2, 2))
+        assert np.array_equal(bytes_to_array(result.data, np.int32),
+                              data[2:6, 2:6, 1:3, 0:2])

@@ -1,0 +1,56 @@
+"""Tests for the §A.3.4 synthetic dataset generators."""
+
+import numpy as np
+
+from repro.workloads.datagen import (clustering_points, pagerank_graph,
+                                     random_adjacency, random_matrix,
+                                     random_tensor, weighted_adjacency)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        assert np.array_equal(random_matrix(16, 16, seed=5),
+                              random_matrix(16, 16, seed=5))
+        assert not np.array_equal(random_matrix(16, 16, seed=5),
+                                  random_matrix(16, 16, seed=6))
+
+
+class TestMatrixAndTensor:
+    def test_shapes_and_dtypes(self):
+        m = random_matrix(8, 12)
+        assert m.shape == (8, 12) and m.dtype == np.float32
+        t = random_tensor(4, 5, 6, dtype=np.float64)
+        assert t.shape == (4, 5, 6) and t.dtype == np.float64
+
+
+class TestClustering:
+    def test_points_cluster_around_centres(self):
+        data, centres = clustering_points(512, 8, clusters=4, seed=1)
+        assert data.shape == (512, 8)
+        assert centres.shape == (4, 8)
+        # every point is within a few sigma of *some* centre
+        distances = np.linalg.norm(
+            data[:, None, :] - centres[None, :, :], axis=2)
+        assert (distances.min(axis=1) < 8.0).all()
+
+
+class TestGraphs:
+    def test_adjacency_is_binary_and_connected_enough(self):
+        adj = random_adjacency(64, 256, seed=2)
+        assert set(np.unique(adj)) <= {0, 1}
+        # the chain guarantees >= n-1 edges
+        assert adj.sum() >= 63
+
+    def test_weighted_adjacency_no_self_loops(self):
+        adj = weighted_adjacency(32, 128, seed=3)
+        assert np.diagonal(adj).sum() == 0.0
+        assert (adj >= 0).all()
+        assert (adj[adj > 0] >= 0.1).all()
+
+    def test_pagerank_graph_is_skewed(self):
+        adj = pagerank_graph(128, mean_degree=8, seed=4)
+        in_degree = (adj > 0).sum(axis=0)
+        # Zipf-targets: the most popular node collects far more in-edges
+        # than the median node
+        assert in_degree.max() > 4 * max(1, np.median(in_degree))
+        assert np.diagonal(adj).sum() == 0.0
