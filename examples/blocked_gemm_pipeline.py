@@ -17,7 +17,6 @@ from repro.nvm import PAPER_PROTOTYPE, TINY_TEST
 from repro.systems import (BaselineSystem, HardwareNdsSystem, OracleSystem,
                            SoftwareNdsSystem)
 from repro.workloads import GemmWorkload, run_workload, speedup
-from repro.workloads.runner import ingest_datasets
 
 
 def functional_demo() -> None:

@@ -6,7 +6,7 @@ returns plain data structures (dicts of numbers) that callers format.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.accelerator import RTX2080
 from repro.interconnect import saturation_curve

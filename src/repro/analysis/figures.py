@@ -8,7 +8,7 @@ numbers as tables; this is the visual companion).
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence
+from typing import Dict
 
 __all__ = ["ascii_chart"]
 

@@ -19,8 +19,7 @@ from __future__ import annotations
 import abc
 import struct
 import zlib
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -62,26 +62,37 @@ class NdsController:
         self.allocate_line = Timeline("ctrl_alloc")
         self.assemble_line = Timeline("ctrl_assemble")
         self.stats = StatSet()
+        #: optional per-layer span recorder (set via the owning
+        #: system's ``set_trace``)
+        self.trace = None
+
+    def _span(self, resource: str, start: float, end: float,
+              name: str, **args) -> None:
+        if self.trace is not None:
+            self.trace.span(resource, start, end, name=name, **args)
 
     # ------------------------------------------------------------------
     def handle_command(self, earliest_start: float) -> float:
-        _s, end = self.command_line.reserve(earliest_start,
-                                            self.timing.command_handle)
+        start, end = self.command_line.reserve(earliest_start,
+                                               self.timing.command_handle)
         self.stats.count("ctrl_commands")
+        self._span("ctrl_cmd", start, end, "nvme_command")
         return end
 
     def translate(self, earliest_start: float, nodes_visited: int,
                   blocks: int) -> float:
         duration = (self.timing.translate_per_node * nodes_visited
                     + self.timing.translate_per_block * blocks)
-        _s, end = self.translate_line.reserve(earliest_start, duration)
+        start, end = self.translate_line.reserve(earliest_start, duration)
         self.stats.count("ctrl_translations")
+        self._span("ctrl_translate", start, end, "stl_translate")
         return end
 
     def allocate(self, earliest_start: float, units: int) -> float:
         duration = self.timing.allocate_per_unit * units
-        _s, end = self.allocate_line.reserve(earliest_start, duration)
+        start, end = self.allocate_line.reserve(earliest_start, duration)
         self.stats.count("ctrl_allocations", units)
+        self._span("ctrl_alloc", start, end, "stl_allocate")
         return end
 
     def assemble(self, earliest_start: float, num_bytes: int,
@@ -90,8 +101,9 @@ class NdsController:
         ``pages`` page-granular moves."""
         duration = (self.timing.assemble_per_page * pages
                     + num_bytes / self.timing.assemble_bandwidth)
-        _s, end = self.assemble_line.reserve(earliest_start, duration)
+        start, end = self.assemble_line.reserve(earliest_start, duration)
         self.stats.count("ctrl_assembled_bytes", num_bytes)
+        self._span("ctrl_assemble", start, end, "assemble", bytes=num_bytes)
         return end
 
     def reset_time(self) -> None:

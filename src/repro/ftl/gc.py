@@ -11,7 +11,7 @@ building-block placement (STL) invariants survive collection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.ftl.mapping import OutOfSpaceError, PageMapFTL
 from repro.nvm.address import PhysicalPageAddress, ppa_to_index

@@ -35,29 +35,41 @@ class HostCpu:
         #: 41 µs worst-case adder of §7.3 together with LightNVM I/O costs.
         self.stl_lookup_cost = stl_lookup_cost
         self.stats = StatSet()
+        #: optional per-layer span recorder (set via the owning
+        #: system's ``set_trace``)
+        self.trace = None
 
     # ------------------------------------------------------------------
     def issue_io(self, earliest_start: float) -> float:
         """Charge one request's software-stack cost; returns finish time."""
-        _start, end = self.issue_line.reserve(earliest_start, self.per_io_cost)
+        start, end = self.issue_line.reserve(earliest_start, self.per_io_cost)
         self.stats.count("host_ios")
         self.stats.add_time("host_issue", self.per_io_cost)
+        if self.trace is not None:
+            self.trace.span("host_issue", start, end, name="issue_io")
         return end
 
-    def run_issue_work(self, earliest_start: float, seconds: float) -> float:
-        """Charge arbitrary work to the issue core (e.g. host-side STL)."""
-        _start, end = self.issue_line.reserve(earliest_start, seconds)
+    def run_issue_work(self, earliest_start: float, seconds: float,
+                       label: str = "issue_work") -> float:
+        """Charge arbitrary work to the issue core (e.g. host-side STL);
+        ``label`` names the span in traces."""
+        start, end = self.issue_line.reserve(earliest_start, seconds)
         self.stats.add_time("host_issue", seconds)
+        if self.trace is not None:
+            self.trace.span("host_issue", start, end, name=label)
         return end
 
     def copy(self, num_bytes: int, earliest_start: float,
              chunk_bytes: int = 0) -> float:
         """Charge a (possibly chunked) marshalling copy; returns finish."""
         duration = self.memory.copy_time(num_bytes, chunk_bytes)
-        _start, end, _core = self.copy_lines.reserve(earliest_start, duration)
+        start, end, _core = self.copy_lines.reserve(earliest_start, duration)
         self.stats.count("host_copies")
         self.stats.count("host_copied_bytes", num_bytes)
         self.stats.add_time("host_copy", duration)
+        if self.trace is not None:
+            self.trace.span("host_copy", start, end, name="host_copy",
+                            bytes=num_bytes)
         return end
 
     def copy_duration(self, num_bytes: int, chunk_bytes: int = 0) -> float:

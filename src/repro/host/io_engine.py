@@ -9,7 +9,9 @@ for the baseline system (and the LightNVM flow of Figure 7(b)):
 A queue depth > 1 lets consecutive requests overlap, so the steady
 state is limited by the slowest resource — exactly how a real NVMe
 queue pair behaves. All resources are FCFS timelines, so the analytic
-schedule equals the event-driven one.
+schedule equals the event-driven one. The in-flight limit itself is
+the runtime's :class:`~repro.runtime.scheduler.QueueDepthWindow` — the
+same primitive that gates tenant streams in the request scheduler.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ import numpy as np
 from repro.ftl.ssd import BaselineSSD
 from repro.host.cpu import HostCpu
 from repro.interconnect.link import Link
+from repro.runtime.scheduler import QueueDepthWindow
 from repro.sim.resources import Timeline
 from repro.sim.stats import StatSet
 
@@ -90,20 +93,27 @@ class HostIoEngine:
         self.queue_depth = queue_depth
         self.controller_line = Timeline("device_ctrl")
         self.controller_command_time = ssd.profile.controller_command_time
+        #: optional per-layer span recorder (set via the owning
+        #: system's ``set_trace``)
+        self.trace = None
+
+    def _reserve_controller(self, earliest: float) -> float:
+        start, end = self.controller_line.reserve(
+            earliest, self.controller_command_time)
+        if self.trace is not None:
+            self.trace.span("device_ctrl", start, end, name="ftl_map")
+        return end
 
     # ------------------------------------------------------------------
     def run_reads(self, requests: Sequence[IoRequest], start_time: float = 0.0,
                   with_data: bool = False) -> IoRunResult:
         """Execute read requests in order under the queue-depth limit."""
         result = IoRunResult(start_time=start_time, end_time=start_time)
-        completions: List[float] = []
-        for index, request in enumerate(requests):
-            earliest = start_time
-            if index >= self.queue_depth:
-                earliest = max(earliest, completions[index - self.queue_depth])
+        window = QueueDepthWindow(self.queue_depth)
+        for request in requests:
+            earliest = window.earliest(start_time)
             issued = self.cpu.issue_io(max(earliest, start_time))
-            _s, ctrl_done = self.controller_line.reserve(
-                issued, self.controller_command_time)
+            ctrl_done = self._reserve_controller(issued)
             device = self.ssd.read_lpns(request.lpns, ctrl_done,
                                         with_data=with_data)
             fetched = len(request.lpns) * self.ssd.page_size
@@ -112,7 +122,7 @@ class HostIoEngine:
             if request.placement_chunk is not None:
                 done = self.cpu.copy(request.useful_bytes, done,
                                      request.placement_chunk)
-            completions.append(done)
+            window.complete(done)
             result.completions.append(done)
             result.useful_bytes += request.useful_bytes
             result.fetched_bytes += fetched
@@ -127,11 +137,9 @@ class HostIoEngine:
                    start_time: float = 0.0) -> IoRunResult:
         """Execute write requests in order under the queue-depth limit."""
         result = IoRunResult(start_time=start_time, end_time=start_time)
-        completions: List[float] = []
-        for index, request in enumerate(requests):
-            earliest = start_time
-            if index >= self.queue_depth:
-                earliest = max(earliest, completions[index - self.queue_depth])
+        window = QueueDepthWindow(self.queue_depth)
+        for request in requests:
+            earliest = window.earliest(start_time)
             issued = self.cpu.issue_io(max(earliest, start_time))
             if request.placement_chunk is not None:
                 # Host gathers scattered application data into the DMA
@@ -140,12 +148,11 @@ class HostIoEngine:
                                        request.placement_chunk)
             sent = len(request.lpns) * self.ssd.page_size
             transfer = self.link.transfer(sent, issued)
-            _s, ctrl_done = self.controller_line.reserve(
-                transfer.end_time, self.controller_command_time)
+            ctrl_done = self._reserve_controller(transfer.end_time)
             device = self.ssd.write_lpns(request.lpns, ctrl_done,
                                          data=request.payload)
             done = device.end_time
-            completions.append(done)
+            window.complete(done)
             result.completions.append(done)
             result.useful_bytes += request.useful_bytes
             result.fetched_bytes += sent

@@ -39,7 +39,8 @@ class PipelineResult:
 
 
 def run_pipeline(stage_times: Sequence[Sequence[float]],
-                 stage_names: Sequence[str] = ()) -> PipelineResult:
+                 stage_names: Sequence[str] = (),
+                 trace=None, stream: str = "pipeline") -> PipelineResult:
     """Schedule ``items × stages`` durations through an in-order pipeline.
 
     ``stage_times[i][s]`` is how long item ``i`` needs in stage ``s``.
@@ -50,6 +51,11 @@ def run_pipeline(stage_times: Sequence[Sequence[float]],
     (time a stage sat waiting between consecutive items — for the last
     stage this is the paper's "idle time before each pipelined compute
     kernel", Fig. 10(b)).
+
+    ``trace``, when given, is a
+    :class:`~repro.runtime.trace.TraceRecorder`: every stage activation
+    is recorded as a span on resource ``"<stream>/<stage>"`` so pipeline
+    occupancy lines up with the device-side spans in one Chrome trace.
     """
     items = len(stage_times)
     if items == 0:
@@ -84,6 +90,9 @@ def run_pipeline(stage_times: Sequence[Sequence[float]],
             stage_free[s] = end
             busy[s] += duration
             upstream_done = end
+            if trace is not None and duration > 0:
+                trace.span(f"{stream}/{names[s]}", start, end,
+                           name=names[s], item=i)
     total = finish[-1][-1]
     return PipelineResult(total_time=total, stage_names=names,
                           stage_busy=busy, stage_idle=idle,

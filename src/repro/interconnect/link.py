@@ -9,8 +9,7 @@ while ≥ 2 MB requests saturate (§2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass
 
 from repro.sim.resources import Timeline
 from repro.sim.stats import StatSet
@@ -53,6 +52,9 @@ class Link:
         self.command_overhead = command_overhead
         self.line = Timeline(name)
         self.stats = StatSet()
+        #: optional per-layer span recorder (set via the owning
+        #: system's ``set_trace``)
+        self.trace = None
 
     def transfer_duration(self, num_bytes: int) -> float:
         return self.command_overhead + num_bytes / self.bandwidth
@@ -65,6 +67,9 @@ class Link:
                                        self.transfer_duration(num_bytes))
         self.stats.count("transfers")
         self.stats.count("bytes", num_bytes)
+        if self.trace is not None:
+            self.trace.span("link", start, end, name="link_transfer",
+                            bytes=num_bytes)
         return LinkTransfer(start_time=start, end_time=end, num_bytes=num_bytes)
 
     def efficiency(self, request_bytes: int) -> float:

@@ -99,6 +99,9 @@ class FlashArray:
         #: model); pages whose content diverges raise on verified reads
         self._checksums: Dict[int, int] = {}
         self.stats = StatSet()
+        #: optional per-layer span recorder (set via the owning
+        #: system's ``set_trace``): records channel/bank occupancy
+        self.trace = None
 
     # ------------------------------------------------------------------
     # functional access
@@ -200,13 +203,17 @@ class FlashArray:
         # The command reaches the die after t_cmd (latency only: command
         # packets are tiny and interleave with data on the bus), the die
         # senses for t_read, then the page moves over the channel bus.
-        _read_start, read_end = bank.reserve(issue_time + self.timing.t_cmd,
-                                             self.timing.t_read)
+        read_start, read_end = bank.reserve(issue_time + self.timing.t_cmd,
+                                            self.timing.t_read)
         xfer = self.timing.transfer_time(self.geometry.page_size)
-        _xfer_start, xfer_end = channel.reserve(read_end, xfer)
+        xfer_start, xfer_end = channel.reserve(read_end, xfer)
         # The die's page register is held until the transfer drains.
         if bank.free_at < xfer_end:
             bank.free_at = xfer_end
+        if self.trace is not None:
+            self.trace.span(bank.name, read_start, read_end, name="nand_read")
+            self.trace.span(channel.name, xfer_start, xfer_end,
+                            name="page_out", bytes=self.geometry.page_size)
         return xfer_end
 
     def _program_one(self, ppa: PhysicalPageAddress, issue_time: float,
@@ -229,9 +236,14 @@ class FlashArray:
         channel = self.channel_lines[ppa.channel]
         bank = self.bank_lines[ppa.channel][ppa.bank]
         xfer = self.timing.transfer_time(self.geometry.page_size)
-        _xfer_start, xfer_end = channel.reserve(issue_time + self.timing.t_cmd,
-                                                xfer)
-        _prog_start, prog_end = bank.reserve(xfer_end, self.timing.t_program)
+        xfer_start, xfer_end = channel.reserve(issue_time + self.timing.t_cmd,
+                                               xfer)
+        prog_start, prog_end = bank.reserve(xfer_end, self.timing.t_program)
+        if self.trace is not None:
+            self.trace.span(channel.name, xfer_start, xfer_end,
+                            name="page_in", bytes=self.geometry.page_size)
+            self.trace.span(bank.name, prog_start, prog_end,
+                            name="nand_program")
         return prog_end
 
     # ------------------------------------------------------------------

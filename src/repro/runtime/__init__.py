@@ -1,0 +1,36 @@
+"""The request spine: typed tile requests, multi-tenant scheduling and
+per-layer tracing.
+
+Paper Figures 7–10 are statements about *how requests flow* — host
+software stack → link → controller → flash → link → host placement.
+This package makes that flow an explicit, schedulable object instead of
+a call stack:
+
+* :class:`~repro.runtime.tileop.TileOp` — one typed dataset-level
+  request (read/write/ingest a tile);
+* :class:`~repro.runtime.scheduler.RequestScheduler` — admits N
+  concurrent request streams (tenants) against one storage system's
+  shared resource timelines, with per-stream queue depth and FIFO or
+  round-robin arbitration;
+* :class:`~repro.runtime.trace.TraceRecorder` — per-layer spans (STL
+  translate, FTL map, channel/bank occupancy, link transfer, host copy)
+  with Chrome ``trace_event`` JSON export and aggregate per-resource
+  metrics.
+
+Single-stream schedules stay bit-identical to the direct analytic
+flows: the scheduler adds sequencing, never timing.
+"""
+
+from repro.runtime.scheduler import (QueueDepthWindow, RequestScheduler,
+                                     StreamHandle)
+from repro.runtime.tileop import TileOp
+from repro.runtime.trace import TraceRecorder, TraceSpan
+
+__all__ = [
+    "TileOp",
+    "RequestScheduler",
+    "StreamHandle",
+    "QueueDepthWindow",
+    "TraceRecorder",
+    "TraceSpan",
+]

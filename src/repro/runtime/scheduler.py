@@ -1,0 +1,245 @@
+"""Multi-tenant request scheduling over shared resource timelines.
+
+The scheduler is the admission layer of the request spine: N tenant
+streams submit :class:`~repro.runtime.tileop.TileOp`s; the scheduler
+orders them (global FIFO or per-stream round-robin), gates each stream
+at its queue depth, and executes them one after another against the
+owning system's analytic flow. Contention is carried entirely by the
+shared FCFS :class:`~repro.sim.resources.Timeline` servers the flows
+reserve — the scheduler adds *sequencing*, never timing — so a single
+stream reproduces the direct call path bit-for-bit, and any fixed
+submission order yields a deterministic schedule.
+
+:class:`QueueDepthWindow` is the one queue-depth primitive in the code
+base: the same sliding completion window limits NVMe queue pairs inside
+:class:`~repro.host.io_engine.HostIoEngine` and tenant streams here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.runtime.tileop import DEFAULT_STREAM, TileOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.trace import TraceRecorder
+
+__all__ = ["QueueDepthWindow", "StreamHandle", "RequestScheduler"]
+
+_ARBITRATIONS = ("fifo", "round_robin")
+
+
+class QueueDepthWindow:
+    """Sliding in-flight window: request ``k`` may not issue before
+    request ``k - depth`` completed (``depth=None`` = unbounded)."""
+
+    __slots__ = ("depth", "completions")
+
+    def __init__(self, depth: Optional[int] = None) -> None:
+        if depth is not None and depth < 1:
+            raise ValueError("queue depth must be >= 1 (or None)")
+        self.depth = depth
+        self.completions: List[float] = []
+
+    def earliest(self, submit_time: float) -> float:
+        """Earliest issue time for the next request, honouring the
+        window against all previously completed requests."""
+        if self.depth is not None and len(self.completions) >= self.depth:
+            return max(submit_time, self.completions[-self.depth])
+        return submit_time
+
+    def complete(self, time: float) -> None:
+        self.completions.append(time)
+
+    def reset(self) -> None:
+        self.completions.clear()
+
+
+class StreamHandle:
+    """One tenant stream: identity, queue depth and completion history."""
+
+    def __init__(self, name: str, queue_depth: Optional[int] = None) -> None:
+        self.name = name
+        self.window = QueueDepthWindow(queue_depth)
+        self.ops: List[TileOp] = []
+
+    @property
+    def queue_depth(self) -> Optional[int]:
+        return self.window.depth
+
+    @property
+    def completions(self) -> List[float]:
+        return [op.result.end_time for op in self.ops if op.result is not None]
+
+    @property
+    def latencies(self) -> List[float]:
+        return [op.latency for op in self.ops if op.result is not None]
+
+    @property
+    def makespan(self) -> float:
+        """Last completion over this stream (0.0 before any finish)."""
+        completions = self.completions
+        return max(completions) if completions else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = self.latencies
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def reset(self) -> None:
+        self.window.reset()
+        self.ops.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StreamHandle({self.name!r}, depth={self.queue_depth}, "
+                f"ops={len(self.ops)})")
+
+
+class RequestScheduler:
+    """Admits tenant streams of TileOps against one storage system.
+
+    Parameters
+    ----------
+    executor:
+        The owning system; must provide ``_execute_op(op,
+        earliest_start) -> SystemOpResult``.
+    arbitration:
+        ``"fifo"`` drains submissions in global submit order;
+        ``"round_robin"`` cycles over streams taking one op each.
+    trace:
+        Optional :class:`~repro.runtime.trace.TraceRecorder`; every
+        executed op gets a parent span and component spans inherit the
+        op's stream context.
+    """
+
+    def __init__(self, executor, arbitration: str = "fifo",
+                 trace: Optional["TraceRecorder"] = None) -> None:
+        if arbitration not in _ARBITRATIONS:
+            raise ValueError(
+                f"arbitration must be one of {_ARBITRATIONS}, "
+                f"got {arbitration!r}")
+        self.executor = executor
+        self.arbitration = arbitration
+        self.trace = trace
+        self.streams: Dict[str, StreamHandle] = {}
+        self.executed: List[TileOp] = []
+        self._pending: List[TileOp] = []
+        self._next_op_id = 0
+
+    # ------------------------------------------------------------------
+    # stream management
+    # ------------------------------------------------------------------
+    def stream(self, name: str = DEFAULT_STREAM,
+               queue_depth: Optional[int] = None) -> StreamHandle:
+        """Get or create the stream ``name``.
+
+        ``queue_depth`` is fixed at creation; pass it again only with
+        the same value.
+        """
+        handle = self.streams.get(name)
+        if handle is None:
+            handle = StreamHandle(name, queue_depth)
+            self.streams[name] = handle
+        elif queue_depth is not None and handle.queue_depth != queue_depth:
+            raise ValueError(
+                f"stream {name!r} already exists with queue depth "
+                f"{handle.queue_depth}, not {queue_depth}")
+        return handle
+
+    # ------------------------------------------------------------------
+    # submission and execution
+    # ------------------------------------------------------------------
+    def submit(self, op: TileOp) -> TileOp:
+        """Queue one op on its stream (created on first use)."""
+        self.stream(op.stream)
+        op.op_id = self._next_op_id
+        self._next_op_id += 1
+        self._pending.append(op)
+        return op
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def drain(self) -> List[TileOp]:
+        """Execute every pending op in arbitration order; returns the
+        executed ops (results attached) in execution order."""
+        batch = self._arbitrate()
+        self._pending.clear()
+        for op in batch:
+            self._run(op)
+        return batch
+
+    def execute(self, op: TileOp) -> "TileOp":
+        """Submit and immediately execute one op (the synchronous
+        facade used by ``StorageSystem.read_tile`` et al.). Pending
+        batched ops are left untouched."""
+        self.stream(op.stream)
+        op.op_id = self._next_op_id
+        self._next_op_id += 1
+        self._run(op)
+        return op
+
+    def reset(self) -> None:
+        """Forget completion history (streams persist). Pairs with the
+        systems' ``reset_time`` between measurement phases."""
+        for handle in self.streams.values():
+            handle.reset()
+        self.executed.clear()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def stream_report(self) -> Dict[str, Dict[str, float]]:
+        """Per-stream aggregate metrics after a drain."""
+        report: Dict[str, Dict[str, float]] = {}
+        for name, handle in self.streams.items():
+            if not handle.ops:
+                continue
+            latencies = handle.latencies
+            report[name] = {
+                "ops": len(handle.ops),
+                "makespan": handle.makespan,
+                "mean_latency": handle.mean_latency,
+                "max_latency": max(latencies) if latencies else 0.0,
+            }
+        return report
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _arbitrate(self) -> List[TileOp]:
+        if self.arbitration == "fifo":
+            return list(self._pending)
+        # round_robin: one op per stream per cycle, streams in first-
+        # submission order — deterministic for a fixed submission order.
+        queues: Dict[str, List[TileOp]] = {}
+        for op in self._pending:
+            queues.setdefault(op.stream, []).append(op)
+        order: List[TileOp] = []
+        while queues:
+            for name in list(queues):
+                order.append(queues[name].pop(0))
+                if not queues[name]:
+                    del queues[name]
+        return order
+
+    def _run(self, op: TileOp) -> None:
+        handle = self.streams[op.stream]
+        earliest = handle.window.earliest(op.submit_time)
+        if self.trace is not None:
+            self.trace.push_op(op.stream, op.op_id)
+        try:
+            result = self.executor._execute_op(op, earliest)
+        finally:
+            if self.trace is not None:
+                self.trace.pop_op()
+        op.result = result
+        handle.window.complete(result.end_time)
+        handle.ops.append(op)
+        self.executed.append(op)
+        if self.trace is not None:
+            self.trace.op_span(op.stream, op.op_id, op.label,
+                               result.start_time, result.end_time,
+                               kind=op.kind, dataset=op.dataset)

@@ -1,0 +1,151 @@
+"""Per-layer span recording with Chrome ``trace_event`` export.
+
+Every timed component (link, host CPU, SSD controller pipeline, flash
+channels/banks, I/O engine) accepts an optional recorder and emits one
+span per resource reservation: STL translation, FTL mapping,
+channel/bank occupancy, link transfers, host copies. The scheduler
+wraps each executed :class:`~repro.runtime.tileop.TileOp` in a parent
+span, so component spans nest inside the op that caused them.
+
+Export targets ``chrome://tracing`` / Perfetto: complete events
+(``"ph": "X"``) with microsecond timestamps, one process per tenant
+stream and one thread per resource. :meth:`TraceRecorder.
+resource_metrics` aggregates the same spans into per-resource busy
+time / span counts for quick reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["TraceSpan", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One half-open busy interval ``[start, end)`` on one resource."""
+
+    name: str
+    resource: str
+    stream: str
+    start: float
+    end: float
+    op_id: int = -1
+    args: Tuple[Tuple[str, Union[int, float, str]], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects spans; exports Chrome trace JSON and resource metrics."""
+
+    def __init__(self) -> None:
+        self.spans: List[TraceSpan] = []
+        #: (stream, op_id, label) context stack maintained by the
+        #: scheduler while an op executes; component spans recorded with
+        #: no explicit context inherit the innermost frame.
+        self._context: List[Tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # context management (scheduler side)
+    # ------------------------------------------------------------------
+    def push_op(self, stream: str, op_id: int) -> None:
+        self._context.append((stream, op_id))
+
+    def pop_op(self) -> None:
+        self._context.pop()
+
+    @property
+    def current_stream(self) -> str:
+        return self._context[-1][0] if self._context else "main"
+
+    @property
+    def current_op(self) -> int:
+        return self._context[-1][1] if self._context else -1
+
+    # ------------------------------------------------------------------
+    # recording (component side)
+    # ------------------------------------------------------------------
+    def span(self, resource: str, start: float, end: float,
+             name: Optional[str] = None, **args) -> None:
+        """Record one busy interval on ``resource``; the current op
+        context tags the span with its tenant stream and op id."""
+        if end < start:
+            raise ValueError(f"span on {resource!r} ends before it starts")
+        self.spans.append(TraceSpan(
+            name=name if name is not None else resource,
+            resource=resource, stream=self.current_stream,
+            start=start, end=end, op_id=self.current_op,
+            args=tuple(sorted(args.items()))))
+
+    def op_span(self, stream: str, op_id: int, label: str,
+                start: float, end: float, **args) -> None:
+        """Record the parent span of one executed TileOp."""
+        self.spans.append(TraceSpan(
+            name=label, resource="ops", stream=stream,
+            start=start, end=end, op_id=op_id,
+            args=tuple(sorted(args.items()))))
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def resource_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate busy time / span count / byte count per resource."""
+        metrics: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            entry = metrics.setdefault(
+                span.resource, {"busy_time": 0.0, "spans": 0, "bytes": 0})
+            entry["busy_time"] += span.duration
+            entry["spans"] += 1
+            for key, value in span.args:
+                if key == "bytes":
+                    entry["bytes"] += value
+        return metrics
+
+    def stream_spans(self, stream: str) -> List[TraceSpan]:
+        return [s for s in self.spans if s.stream == stream]
+
+    def op_children(self, op_id: int) -> List[TraceSpan]:
+        """Component spans recorded while ``op_id`` was executing."""
+        return [s for s in self.spans
+                if s.op_id == op_id and s.resource != "ops"]
+
+    # ------------------------------------------------------------------
+    # Chrome trace_event export
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> Dict[str, object]:
+        """Chrome ``trace_event`` JSON object (complete events)."""
+        streams = sorted({span.stream for span in self.spans})
+        pids = {stream: index + 1 for index, stream in enumerate(streams)}
+        events: List[Dict[str, object]] = []
+        for stream, pid in pids.items():
+            events.append({"ph": "M", "pid": pid, "tid": 0,
+                           "name": "process_name",
+                           "args": {"name": f"stream:{stream}"}})
+        for span in self.spans:
+            events.append({
+                "ph": "X",
+                "pid": pids[span.stream],
+                "tid": span.resource,
+                "name": span.name,
+                "cat": "op" if span.resource == "ops" else "resource",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "args": dict(span.args, op_id=span.op_id),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the Chrome trace JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome()))
+        return path
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._context.clear()

@@ -40,6 +40,7 @@ class Simulator:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._running = False
+        self._in_callback = False
 
     # ------------------------------------------------------------------
     # scheduling
@@ -63,20 +64,38 @@ class Simulator:
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Run the single next event. Returns False when no events remain."""
+        """Run the single next event. Returns False when no events remain.
+
+        Callbacks may schedule further events, including at exactly
+        ``now`` (same-time events run in FIFO scheduling order), but may
+        not drive the engine themselves: calling :meth:`step` or
+        :meth:`run` from inside a callback raises
+        :class:`SimulationError` instead of re-entering the event loop
+        mid-dispatch.
+        """
+        if self._in_callback:
+            raise SimulationError(
+                "step() called from inside an event callback")
         if not self._queue:
             return False
         time, _seq, callback = heapq.heappop(self._queue)
         self.now = time
-        callback()
+        self._in_callback = True
+        try:
+            callback()
+        finally:
+            self._in_callback = False
         return True
 
     def run(self, until: Optional[float] = None) -> float:
         """Run events until the queue drains (or the clock passes ``until``).
 
-        Returns the final simulation time.
+        Returns the final simulation time. A callback that raises aborts
+        the run with that exception; the engine stays consistent (the
+        failing event is consumed, the rest of the queue is intact) and
+        ``run()`` may be called again to resume.
         """
-        if self._running:
+        if self._running or self._in_callback:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         try:

@@ -14,6 +14,15 @@ cost model, and exposes dataset-level operations the workloads use:
 All three architectures implement the same interface, so workloads and
 benchmarks are architecture-agnostic — which is exactly the programming
 model NDS advocates (§5.1).
+
+Every dataset-level operation is a typed
+:class:`~repro.runtime.tileop.TileOp` routed through the system's
+:class:`~repro.runtime.scheduler.RequestScheduler`: the synchronous
+``read_tile``/``write_tile``/``ingest`` facade builds an op on the
+ungated default stream (bit-identical to the seed-era direct call
+path), while multi-tenant runs create named streams with queue depths
+and submit batches. Concrete systems implement the ``_execute_*``
+hooks, which hold the per-architecture analytic flows.
 """
 
 from __future__ import annotations
@@ -24,6 +33,9 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.runtime.scheduler import RequestScheduler
+from repro.runtime.tileop import DEFAULT_STREAM, TileOp
+from repro.runtime.trace import TraceRecorder
 from repro.sim.stats import StatSet
 
 __all__ = ["SystemOpResult", "StorageSystem", "row_runs"]
@@ -59,31 +71,113 @@ class StorageSystem(abc.ABC):
 
     name: str = "abstract"
 
-    @abc.abstractmethod
+    # ------------------------------------------------------------------
+    # the request spine
+    # ------------------------------------------------------------------
+    @property
+    def scheduler(self) -> RequestScheduler:
+        """The system's request scheduler (created on first use)."""
+        sched = getattr(self, "_scheduler", None)
+        if sched is None:
+            sched = RequestScheduler(self)
+            self._scheduler = sched
+        return sched
+
+    def set_trace(self, recorder: Optional[TraceRecorder]) -> None:
+        """Attach (or detach with None) a trace recorder to the
+        scheduler and to every instrumented component this system
+        exposes (host CPU, link, I/O engine, controller, flash)."""
+        self.scheduler.trace = recorder
+        for attr in ("cpu", "link", "engine", "controller"):
+            component = getattr(self, attr, None)
+            if component is not None and hasattr(component, "trace"):
+                component.trace = recorder
+        for holder in (self, getattr(self, "ssd", None)):
+            flash = getattr(holder, "flash", None)
+            if flash is not None and hasattr(flash, "trace"):
+                flash.trace = recorder
+
+    def _execute_op(self, op: TileOp, earliest_start: float) -> SystemOpResult:
+        """Dispatch one scheduled op to the architecture's flow."""
+        if op.kind == "read":
+            return self._execute_read(op.dataset, op.origin, op.extents,
+                                      earliest_start, op.with_data, op.dtype)
+        if op.kind == "write":
+            return self._execute_write(op.dataset, op.origin, op.extents,
+                                       op.data, earliest_start, **op.params)
+        if op.kind == "ingest":
+            return self._execute_ingest(op.dataset, op.extents,
+                                        op.element_size, op.data,
+                                        earliest_start, **op.params)
+        raise ValueError(f"unknown TileOp kind {op.kind!r}")
+
+    # ------------------------------------------------------------------
+    # synchronous facade (single stream, never queue-depth gated)
+    # ------------------------------------------------------------------
     def ingest(self, dataset: str, dims: Sequence[int], element_size: int,
                data: Optional[np.ndarray] = None,
-               start_time: float = 0.0) -> SystemOpResult:
+               start_time: float = 0.0, **params) -> SystemOpResult:
         """Store a dataset; ``data`` (shape ``dims``) enables functional
-        verification, None runs timing-only."""
+        verification, None runs timing-only. Extra keywords reach the
+        architecture (baseline: ``layout=``, oracle: ``tile=``)."""
+        op = TileOp.ingest(dataset, dims, element_size, data=data,
+                           submit_time=start_time, **params)
+        return self.scheduler.execute(op).result
 
-    @abc.abstractmethod
     def read_tile(self, dataset: str, origin: Sequence[int],
                   extents: Sequence[int], start_time: float = 0.0,
                   with_data: bool = False,
-                  dtype: Optional[np.dtype] = None) -> SystemOpResult:
+                  dtype: Optional[np.dtype] = None,
+                  stream: str = DEFAULT_STREAM) -> SystemOpResult:
         """Fetch a tile into host memory ready for the compute kernel."""
+        op = TileOp.read(dataset, origin, extents, submit_time=start_time,
+                         with_data=with_data, dtype=dtype, stream=stream)
+        return self.scheduler.execute(op).result
 
-    @abc.abstractmethod
     def write_tile(self, dataset: str, origin: Sequence[int],
                    extents: Sequence[int],
                    data: Optional[np.ndarray] = None,
-                   start_time: float = 0.0) -> SystemOpResult:
+                   start_time: float = 0.0,
+                   stream: str = DEFAULT_STREAM) -> SystemOpResult:
         """Store a tile back."""
+        op = TileOp.write(dataset, origin, extents, data=data,
+                          submit_time=start_time, stream=stream)
+        return self.scheduler.execute(op).result
+
+    # ------------------------------------------------------------------
+    # architecture hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _execute_ingest(self, dataset: str, dims: Tuple[int, ...],
+                        element_size: int, data: Optional[np.ndarray],
+                        start_time: float, **params) -> SystemOpResult:
+        """Architecture flow behind :meth:`ingest`."""
+
+    @abc.abstractmethod
+    def _execute_read(self, dataset: str, origin: Tuple[int, ...],
+                      extents: Tuple[int, ...], start_time: float,
+                      with_data: bool,
+                      dtype: Optional[np.dtype]) -> SystemOpResult:
+        """Architecture flow behind :meth:`read_tile`."""
+
+    @abc.abstractmethod
+    def _execute_write(self, dataset: str, origin: Tuple[int, ...],
+                       extents: Tuple[int, ...],
+                       data: Optional[np.ndarray],
+                       start_time: float) -> SystemOpResult:
+        """Architecture flow behind :meth:`write_tile`."""
 
     @abc.abstractmethod
     def reset_time(self) -> None:
         """Zero every timeline (contents preserved) for a fresh
-        measurement phase."""
+        measurement phase. Implementations call
+        :meth:`_reset_runtime` to clear scheduler history too."""
+
+    def _reset_runtime(self) -> None:
+        """Clear scheduler completion windows and op history."""
+        sched = getattr(self, "_scheduler", None)
+        if sched is not None:
+            sched.reset()
 
     # ------------------------------------------------------------------
     def tile_io_time(self, dataset: str, origin: Sequence[int],

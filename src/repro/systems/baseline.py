@@ -78,10 +78,11 @@ class BaselineSystem(StorageSystem):
         self._next_page = 0
 
     # ------------------------------------------------------------------
-    def ingest(self, dataset: str, dims: Sequence[int], element_size: int,
-               data: Optional[np.ndarray] = None,
-               start_time: float = 0.0,
-               layout: str = "row") -> SystemOpResult:
+    def _execute_ingest(self, dataset: str, dims: Sequence[int],
+                        element_size: int,
+                        data: Optional[np.ndarray] = None,
+                        start_time: float = 0.0,
+                        layout: str = "row") -> SystemOpResult:
         if dataset in self._datasets:
             raise ValueError(f"dataset {dataset!r} already ingested")
         if layout not in ("row", "col"):
@@ -112,10 +113,10 @@ class BaselineSystem(StorageSystem):
                               requests=len(requests), stats=result.stats)
 
     # ------------------------------------------------------------------
-    def read_tile(self, dataset: str, origin: Sequence[int],
-                  extents: Sequence[int], start_time: float = 0.0,
-                  with_data: bool = False,
-                  dtype: Optional[np.dtype] = None) -> SystemOpResult:
+    def _execute_read(self, dataset: str, origin: Sequence[int],
+                      extents: Sequence[int], start_time: float = 0.0,
+                      with_data: bool = False,
+                      dtype: Optional[np.dtype] = None) -> SystemOpResult:
         record = self._dataset(dataset)
         l_origin, l_extents = record.to_layout(origin, extents)
         runs = row_runs(record.layout_dims, l_origin, l_extents)
@@ -187,10 +188,10 @@ class BaselineSystem(StorageSystem):
                               stats=run_result.stats)
 
     # ------------------------------------------------------------------
-    def write_tile(self, dataset: str, origin: Sequence[int],
-                   extents: Sequence[int],
-                   data: Optional[np.ndarray] = None,
-                   start_time: float = 0.0) -> SystemOpResult:
+    def _execute_write(self, dataset: str, origin: Sequence[int],
+                       extents: Sequence[int],
+                       data: Optional[np.ndarray] = None,
+                       start_time: float = 0.0) -> SystemOpResult:
         record = self._dataset(dataset)
         l_origin, l_extents = record.to_layout(origin, extents)
         runs = row_runs(record.layout_dims, l_origin, l_extents)
@@ -241,6 +242,7 @@ class BaselineSystem(StorageSystem):
     # ------------------------------------------------------------------
     def reset_time(self) -> None:
         self.engine.reset_time()
+        self._reset_runtime()
 
     # ------------------------------------------------------------------
     # internals

@@ -72,14 +72,19 @@ class HardwareNdsSystem(StorageSystem):
         """Push bytes through the shared AES engine; returns finish."""
         if self.cipher is None:
             return earliest_start
-        _s, end = self.cipher_line.reserve(
+        start, end = self.cipher_line.reserve(
             earliest_start, self.cipher.crypt_time(num_bytes))
+        trace = self.scheduler.trace
+        if trace is not None:
+            trace.span("aes_engine", start, end, name="crypt",
+                       bytes=num_bytes)
         return end
 
     # ------------------------------------------------------------------
-    def ingest(self, dataset: str, dims: Sequence[int], element_size: int,
-               data: Optional[np.ndarray] = None,
-               start_time: float = 0.0) -> SystemOpResult:
+    def _execute_ingest(self, dataset: str, dims: Sequence[int],
+                        element_size: int,
+                        data: Optional[np.ndarray] = None,
+                        start_time: float = 0.0) -> SystemOpResult:
         if dataset in self._spaces:
             raise ValueError(f"dataset {dataset!r} already ingested")
         space = self.stl.create_space(
@@ -88,14 +93,14 @@ class HardwareNdsSystem(StorageSystem):
             # (§4.1 Eq. 3/4)
             use_3d_blocks=len(tuple(dims)) >= 3 and self.bb_override is None)
         self._spaces[dataset] = space.space_id
-        return self.write_tile(dataset, tuple(0 for _ in dims), dims,
-                               data=data, start_time=start_time)
+        return self._execute_write(dataset, tuple(0 for _ in dims), dims,
+                                   data=data, start_time=start_time)
 
     # ------------------------------------------------------------------
-    def read_tile(self, dataset: str, origin: Sequence[int],
-                  extents: Sequence[int], start_time: float = 0.0,
-                  with_data: bool = False,
-                  dtype: Optional[np.dtype] = None) -> SystemOpResult:
+    def _execute_read(self, dataset: str, origin: Sequence[int],
+                      extents: Sequence[int], start_time: float = 0.0,
+                      with_data: bool = False,
+                      dtype: Optional[np.dtype] = None) -> SystemOpResult:
         space_id = self._space_id(dataset)
         space = self.stl.get_space(space_id)
         accesses = self.stl.plan_region(space_id, origin, extents)
@@ -147,10 +152,10 @@ class HardwareNdsSystem(StorageSystem):
                               requests=1, data=data)
 
     # ------------------------------------------------------------------
-    def write_tile(self, dataset: str, origin: Sequence[int],
-                   extents: Sequence[int],
-                   data: Optional[np.ndarray] = None,
-                   start_time: float = 0.0) -> SystemOpResult:
+    def _execute_write(self, dataset: str, origin: Sequence[int],
+                       extents: Sequence[int],
+                       data: Optional[np.ndarray] = None,
+                       start_time: float = 0.0) -> SystemOpResult:
         space_id = self._space_id(dataset)
         space = self.stl.get_space(space_id)
         accesses = self.stl.plan_region(space_id, origin, extents)
@@ -212,6 +217,7 @@ class HardwareNdsSystem(StorageSystem):
         self.cpu.reset_time()
         self.controller.reset_time()
         self.cipher_line.reset()
+        self._reset_runtime()
 
     # ------------------------------------------------------------------
     def _space_id(self, dataset: str) -> int:

@@ -62,10 +62,11 @@ class OracleSystem(StorageSystem):
         self._next_page = 0
 
     # ------------------------------------------------------------------
-    def ingest(self, dataset: str, dims: Sequence[int], element_size: int,
-               data: Optional[np.ndarray] = None,
-               start_time: float = 0.0,
-               tile: Optional[Sequence[int]] = None) -> SystemOpResult:
+    def _execute_ingest(self, dataset: str, dims: Sequence[int],
+                        element_size: int,
+                        data: Optional[np.ndarray] = None,
+                        start_time: float = 0.0,
+                        tile: Optional[Sequence[int]] = None) -> SystemOpResult:
         """Store one tile-major copy of a dataset for tile shape
         ``tile`` (defaults to the whole dataset as a single tile).
         Call again with a different ``tile`` to add another copy."""
@@ -110,10 +111,10 @@ class OracleSystem(StorageSystem):
                               requests=len(requests), stats=result.stats)
 
     # ------------------------------------------------------------------
-    def read_tile(self, dataset: str, origin: Sequence[int],
-                  extents: Sequence[int], start_time: float = 0.0,
-                  with_data: bool = False,
-                  dtype: Optional[np.dtype] = None) -> SystemOpResult:
+    def _execute_read(self, dataset: str, origin: Sequence[int],
+                      extents: Sequence[int], start_time: float = 0.0,
+                      with_data: bool = False,
+                      dtype: Optional[np.dtype] = None) -> SystemOpResult:
         copy = self._match(dataset, extents)
         index = self._tile_index(copy, origin)
         first = copy.start_page + index * copy.tile_pages
@@ -147,10 +148,10 @@ class OracleSystem(StorageSystem):
                               requests=len(requests), data=data,
                               stats=run.stats)
 
-    def write_tile(self, dataset: str, origin: Sequence[int],
-                   extents: Sequence[int],
-                   data: Optional[np.ndarray] = None,
-                   start_time: float = 0.0) -> SystemOpResult:
+    def _execute_write(self, dataset: str, origin: Sequence[int],
+                       extents: Sequence[int],
+                       data: Optional[np.ndarray] = None,
+                       start_time: float = 0.0) -> SystemOpResult:
         copy = self._match(dataset, extents)
         index = self._tile_index(copy, origin)
         first = copy.start_page + index * copy.tile_pages
@@ -171,6 +172,7 @@ class OracleSystem(StorageSystem):
 
     def reset_time(self) -> None:
         self.engine.reset_time()
+        self._reset_runtime()
 
     def stored_bytes(self) -> int:
         """Total device bytes consumed by all copies (the oracle's

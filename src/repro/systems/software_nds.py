@@ -16,7 +16,7 @@ host-side B-tree walk and translation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.host.cpu import HostCpu
 from repro.interconnect.link import Link
 from repro.nvm.flash import FlashArray
 from repro.nvm.profiles import DeviceProfile
+from repro.runtime.scheduler import QueueDepthWindow
 from repro.systems.base import StorageSystem, SystemOpResult
 
 __all__ = ["SoftwareNdsSystem", "SoftwareStlCosts"]
@@ -75,9 +76,10 @@ class SoftwareNdsSystem(StorageSystem):
         self._spaces: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def ingest(self, dataset: str, dims: Sequence[int], element_size: int,
-               data: Optional[np.ndarray] = None,
-               start_time: float = 0.0) -> SystemOpResult:
+    def _execute_ingest(self, dataset: str, dims: Sequence[int],
+                        element_size: int,
+                        data: Optional[np.ndarray] = None,
+                        start_time: float = 0.0) -> SystemOpResult:
         if dataset in self._spaces:
             raise ValueError(f"dataset {dataset!r} already ingested")
         space = self.stl.create_space(
@@ -87,39 +89,39 @@ class SoftwareNdsSystem(StorageSystem):
             # axis would shatter depth-crossing accesses
             use_3d_blocks=len(tuple(dims)) >= 3 and self.bb_override is None)
         self._spaces[dataset] = space.space_id
-        return self.write_tile(dataset, tuple(0 for _ in dims), dims,
-                               data=data, start_time=start_time)
+        return self._execute_write(dataset, tuple(0 for _ in dims), dims,
+                                   data=data, start_time=start_time)
 
     # ------------------------------------------------------------------
-    def read_tile(self, dataset: str, origin: Sequence[int],
-                  extents: Sequence[int], start_time: float = 0.0,
-                  with_data: bool = False,
-                  dtype: Optional[np.dtype] = None) -> SystemOpResult:
+    def _execute_read(self, dataset: str, origin: Sequence[int],
+                      extents: Sequence[int], start_time: float = 0.0,
+                      with_data: bool = False,
+                      dtype: Optional[np.dtype] = None) -> SystemOpResult:
         space_id = self._space_id(dataset)
         space = self.stl.get_space(space_id)
         accesses = self.stl.plan_region(space_id, origin, extents)
         # Host-side request setup: API + space-translation arithmetic.
         setup_done = self.cpu.run_issue_work(
             start_time,
-            self.costs.request_base + self.costs.per_block * len(accesses))
+            self.costs.request_base + self.costs.per_block * len(accesses),
+            label="stl_translate")
 
         out = None
         if with_data and self.store_data:
             out = np.zeros(tuple(extents) + (space.element_size,),
                            dtype=np.uint8)
         elem = space.element_size
+        window = QueueDepthWindow(self.queue_depth)
         completions: List[float] = []
         fetched = 0
-        for index, access in enumerate(accesses):
-            earliest = setup_done
-            if index >= self.queue_depth:
-                earliest = max(earliest,
-                               completions[index - self.queue_depth])
+        for access in accesses:
+            earliest = window.earliest(setup_done)
             # One vectored LightNVM command per building block, plus the
             # host B-tree walk for that block.
             issued = self.cpu.run_issue_work(
                 earliest,
-                self.costs.per_command + self.costs.per_node * space.rank)
+                self.costs.per_command + self.costs.per_node * space.rank,
+                label="stl_translate")
             block = self.stl.read_block(space_id, access, issued, out=out)
             fetched += block.pages * self.page_size
             transfer = self.link.transfer(block.pages * self.page_size,
@@ -129,6 +131,7 @@ class SoftwareNdsSystem(StorageSystem):
             region_bytes = access.element_count() * elem
             row_bytes = access.extent()[-1] * elem
             done = self.cpu.copy(region_bytes, transfer.end_time, row_bytes)
+            window.complete(done)
             completions.append(done)
         end = max(completions, default=setup_done)
         useful = elem
@@ -142,16 +145,17 @@ class SoftwareNdsSystem(StorageSystem):
                               requests=len(accesses), data=data)
 
     # ------------------------------------------------------------------
-    def write_tile(self, dataset: str, origin: Sequence[int],
-                   extents: Sequence[int],
-                   data: Optional[np.ndarray] = None,
-                   start_time: float = 0.0) -> SystemOpResult:
+    def _execute_write(self, dataset: str, origin: Sequence[int],
+                       extents: Sequence[int],
+                       data: Optional[np.ndarray] = None,
+                       start_time: float = 0.0) -> SystemOpResult:
         space_id = self._space_id(dataset)
         space = self.stl.get_space(space_id)
         accesses = self.stl.plan_region(space_id, origin, extents)
         setup_done = self.cpu.run_issue_work(
             start_time,
-            self.costs.request_base + self.costs.per_block * len(accesses))
+            self.costs.request_base + self.costs.per_block * len(accesses),
+            label="stl_translate")
         raw = None
         if data is not None and self.store_data:
             array = np.ascontiguousarray(np.asarray(data))
@@ -161,13 +165,11 @@ class SoftwareNdsSystem(StorageSystem):
             raw = array.view(np.uint8).reshape(
                 tuple(extents) + (array.dtype.itemsize,))
         elem = space.element_size
+        window = QueueDepthWindow(self.queue_depth)
         completions: List[float] = []
         sent = 0
-        for index, access in enumerate(accesses):
-            earliest = setup_done
-            if index >= self.queue_depth:
-                earliest = max(earliest,
-                               completions[index - self.queue_depth])
+        for access in accesses:
+            earliest = window.earliest(setup_done)
             # Host breaks the source object into the block's layout:
             # one memcpy per block-row segment (the paper's 256 × 2 KB).
             region_bytes = access.element_count() * elem
@@ -177,7 +179,8 @@ class SoftwareNdsSystem(StorageSystem):
             issued = self.cpu.run_issue_work(
                 gathered,
                 self.costs.per_command + self.costs.per_node * space.rank
-                + self.costs.per_unit_write * pages)
+                + self.costs.per_unit_write * pages,
+                label="stl_translate")
             transfer = self.link.transfer(pages * self.page_size, issued)
             sent += pages * self.page_size
             region = None
@@ -186,6 +189,7 @@ class SoftwareNdsSystem(StorageSystem):
                 region = raw[slicer]
             block = self.stl.write_block(space_id, access, transfer.end_time,
                                          region=region)
+            window.complete(block.completion_time)
             completions.append(block.completion_time)
         end = max(completions, default=setup_done)
         useful = elem
@@ -200,6 +204,7 @@ class SoftwareNdsSystem(StorageSystem):
         self.flash.reset_time()
         self.link.reset_time()
         self.cpu.reset_time()
+        self._reset_runtime()
 
     # ------------------------------------------------------------------
     def _space_id(self, dataset: str) -> int:

@@ -10,8 +10,10 @@ from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.kmeans import KMeansWorkload
 from repro.workloads.knn import KnnWorkload
 from repro.workloads.pagerank import PageRankWorkload
-from repro.workloads.runner import (WorkloadRunResult, ingest_datasets,
-                                    measure_io_times, run_workload, speedup)
+from repro.workloads.runner import (CoRunResult, StreamRunResult,
+                                    WorkloadRunResult, co_run_workloads,
+                                    ingest_datasets, measure_io_times,
+                                    run_workload, speedup)
 from repro.workloads.sssp import SsspWorkload
 from repro.workloads.trace import (AccessTrace, TraceEvent, TracingSystem,
                                    replay_trace)
@@ -60,6 +62,9 @@ __all__ = [
     "ingest_datasets",
     "measure_io_times",
     "WorkloadRunResult",
+    "co_run_workloads",
+    "CoRunResult",
+    "StreamRunResult",
     "AccessTrace",
     "TraceEvent",
     "TracingSystem",

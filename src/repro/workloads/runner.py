@@ -1,4 +1,4 @@
-"""Pipelined end-to-end execution of a workload on a storage system.
+"""Pipelined end-to-end execution of workloads on a storage system.
 
 §6.2: "Each application is pipelined so that its I/O and data
 restructuring overlap with the compute kernels." The runner:
@@ -11,6 +11,15 @@ restructuring overlap with the compute kernels." The runner:
 3. schedules the tile plan through the 3-stage pipeline
    ``I/O → host-to-device copy → compute kernel`` and reports total
    latency plus the idle time before the compute kernel (Fig. 10(b)).
+
+:func:`co_run_workloads` goes beyond the paper's single-application
+setting: several workloads become tenant streams on one shared device.
+Each stream submits its tile plan as
+:class:`~repro.runtime.tileop.TileOp`s through the system's
+:class:`~repro.runtime.scheduler.RequestScheduler` under a per-stream
+queue depth; cross-tenant contention emerges from the shared resource
+timelines, and per-stream I/O completions feed each workload's own
+3-stage pipeline model.
 """
 
 from __future__ import annotations
@@ -21,11 +30,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.accelerator.gpu import GpuModel, RTX2080
 from repro.accelerator.kernels import KernelModel
 from repro.host.pipeline import PipelineResult, run_pipeline
+from repro.runtime.tileop import TileOp
+from repro.runtime.trace import TraceRecorder
 from repro.systems.base import StorageSystem
 from repro.systems.oracle import OracleSystem
 from repro.workloads.base import TileFetch, Workload
 
-__all__ = ["WorkloadRunResult", "run_workload", "speedup"]
+__all__ = ["WorkloadRunResult", "run_workload", "speedup",
+           "StreamRunResult", "CoRunResult", "co_run_workloads"]
 
 STAGE_NAMES = ("io", "h2d", "kernel")
 
@@ -107,6 +119,154 @@ def measure_io_times(workload: Workload, system: StorageSystem,
         steady = (ends[-1] - ends[0]) / (len(ends) - 1)
         durations[key] = max(steady, 1e-9)
     return durations
+
+
+@dataclass
+class StreamRunResult:
+    """One tenant's outcome inside a multi-workload co-run."""
+
+    workload_name: str
+    stream: str
+    tiles: int
+    #: last I/O completion of this stream (device-side makespan)
+    io_makespan: float
+    mean_io_latency: float
+    max_io_latency: float
+    completions: List[float] = field(repr=False, default_factory=list)
+    #: 3-stage pipeline totals fed by the contended I/O completions
+    total_time: float = 0.0
+    kernel_idle: float = 0.0
+    pipeline: PipelineResult = field(repr=False, default=None)
+
+
+@dataclass
+class CoRunResult:
+    """Outcome of several workloads sharing one storage system."""
+
+    streams: Dict[str, StreamRunResult]
+    #: end-to-end latency of the slowest tenant pipeline
+    total_time: float
+    #: last I/O completion over all tenants
+    io_makespan: float
+    arbitration: str
+    queue_depth: int
+    trace: Optional[TraceRecorder] = field(repr=False, default=None)
+
+    def stream(self, workload_name: str) -> StreamRunResult:
+        return self.streams[workload_name]
+
+
+def _co_ingest(workloads: Sequence[Workload],
+               system: StorageSystem) -> None:
+    """Ingest every dataset once; workloads may share datasets by name
+    (identical dims/element size), the oracle gets one tile-major copy
+    per distinct (dataset, fetch shape)."""
+    if isinstance(system, OracleSystem):
+        done = set()
+        for workload in workloads:
+            shapes: Dict[str, List[Tuple[int, ...]]] = {}
+            for fetch in workload.tile_plan():
+                shapes.setdefault(fetch.dataset, [])
+                if fetch.extents not in shapes[fetch.dataset]:
+                    shapes[fetch.dataset].append(fetch.extents)
+            for ds in workload.datasets():
+                for shape in shapes.get(ds.name, [ds.dims]):
+                    if (ds.name, shape) in done:
+                        continue
+                    done.add((ds.name, shape))
+                    system.ingest(ds.name, ds.dims, ds.element_size,
+                                  tile=shape)
+        return
+    seen: Dict[str, Tuple[Tuple[int, ...], int]] = {}
+    for workload in workloads:
+        for ds in workload.datasets():
+            signature = (ds.dims, ds.element_size)
+            if ds.name in seen:
+                if seen[ds.name] != signature:
+                    raise ValueError(
+                        f"dataset {ds.name!r} declared with conflicting "
+                        f"shapes across co-run workloads")
+                continue
+            seen[ds.name] = signature
+            system.ingest(ds.name, ds.dims, ds.element_size)
+
+
+def co_run_workloads(workloads: Sequence[Workload], system: StorageSystem,
+                     queue_depth: int = 8,
+                     arbitration: str = "round_robin",
+                     gpu: GpuModel = RTX2080,
+                     kernels: Optional[KernelModel] = None,
+                     trace: Optional[TraceRecorder] = None,
+                     ingest: bool = True) -> CoRunResult:
+    """Run several workloads concurrently on one shared system.
+
+    Each workload becomes a tenant stream: its whole tile plan is
+    submitted at t=0 and the scheduler admits ops under ``queue_depth``
+    in-flight per stream, arbitrating FIFO or round-robin across
+    tenants. Contention is carried by the shared resource timelines, so
+    per-stream latencies reflect exactly what the co-tenant costs.
+    Pass a :class:`TraceRecorder` to capture the per-layer Chrome trace
+    of the co-run (ingest is excluded from the trace).
+    """
+    if arbitration not in ("fifo", "round_robin"):
+        raise ValueError(f"unknown arbitration {arbitration!r}")
+    workloads = list(workloads)
+    names = [workload.name for workload in workloads]
+    if len(set(names)) != len(names):
+        raise ValueError("co-run workloads must have distinct names")
+    kernels = kernels if kernels is not None else KernelModel(gpu)
+    if ingest:
+        _co_ingest(workloads, system)
+    system.reset_time()
+    if trace is not None:
+        system.set_trace(trace)
+
+    scheduler = system.scheduler
+    scheduler.arbitration = arbitration
+    for workload in workloads:
+        scheduler.stream(workload.name, queue_depth)
+        for fetch in workload.tile_plan():
+            scheduler.submit(TileOp.read(fetch.dataset, fetch.origin,
+                                         fetch.extents, submit_time=0.0,
+                                         stream=workload.name))
+    scheduler.drain()
+
+    streams: Dict[str, StreamRunResult] = {}
+    for workload in workloads:
+        handle = scheduler.streams[workload.name]
+        completions = handle.completions
+        latencies = handle.latencies
+        plan = workload.tile_plan()
+        stage_times: List[List[float]] = []
+        previous = 0.0
+        for fetch, completion in zip(plan, completions):
+            io = max(completion - previous, 0.0)
+            previous = completion
+            stage_times.append([io, gpu.h2d_time(workload.tile_bytes(fetch)),
+                                workload.kernel_time(kernels, fetch)])
+        pipeline = run_pipeline(stage_times, STAGE_NAMES, trace=trace,
+                                stream=workload.name)
+        streams[workload.name] = StreamRunResult(
+            workload_name=workload.name,
+            stream=workload.name,
+            tiles=len(plan),
+            io_makespan=handle.makespan,
+            mean_io_latency=handle.mean_latency,
+            max_io_latency=max(latencies) if latencies else 0.0,
+            completions=completions,
+            total_time=pipeline.total_time,
+            kernel_idle=pipeline.idle_of("kernel"),
+            pipeline=pipeline,
+        )
+    return CoRunResult(
+        streams=streams,
+        total_time=max((s.total_time for s in streams.values()), default=0.0),
+        io_makespan=max((s.io_makespan for s in streams.values()),
+                        default=0.0),
+        arbitration=arbitration,
+        queue_depth=queue_depth,
+        trace=trace,
+    )
 
 
 def run_workload(workload: Workload, system: StorageSystem,

@@ -103,22 +103,22 @@ class TracingSystem(StorageSystem):
         self.trace = AccessTrace()
         self.name = f"traced-{inner.name}"
 
-    def ingest(self, dataset, dims, element_size, data=None,
-               start_time=0.0, **kwargs) -> SystemOpResult:
+    def _execute_ingest(self, dataset, dims, element_size, data=None,
+                        start_time=0.0, **params) -> SystemOpResult:
         self.trace.record_dataset(dataset, dims, element_size)
         return self.inner.ingest(dataset, dims, element_size, data=data,
-                                 start_time=start_time, **kwargs)
+                                 start_time=start_time, **params)
 
-    def read_tile(self, dataset, origin, extents, start_time=0.0,
-                  with_data=False, dtype=None) -> SystemOpResult:
+    def _execute_read(self, dataset, origin, extents, start_time=0.0,
+                      with_data=False, dtype=None) -> SystemOpResult:
         self.trace.append(TraceEvent("read", dataset, tuple(origin),
                                      tuple(extents)))
         return self.inner.read_tile(dataset, origin, extents,
                                     start_time=start_time,
                                     with_data=with_data, dtype=dtype)
 
-    def write_tile(self, dataset, origin, extents, data=None,
-                   start_time=0.0) -> SystemOpResult:
+    def _execute_write(self, dataset, origin, extents, data=None,
+                       start_time=0.0) -> SystemOpResult:
         self.trace.append(TraceEvent("write", dataset, tuple(origin),
                                      tuple(extents)))
         return self.inner.write_tile(dataset, origin, extents, data=data,
@@ -126,6 +126,7 @@ class TracingSystem(StorageSystem):
 
     def reset_time(self) -> None:
         self.inner.reset_time()
+        self._reset_runtime()
 
 
 def replay_trace(trace: AccessTrace, system: StorageSystem,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import (NdsApi, Space, SpaceTranslationLayer, TileGridView,
                         pages_for_region, translate_region)
-from repro.nvm import FlashArray, Geometry, NvmTiming, TINY_TEST
+from repro.nvm import FlashArray, Geometry, TINY_TEST
 
 
 @pytest.fixture

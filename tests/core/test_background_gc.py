@@ -1,8 +1,6 @@
 """Tests for background garbage collection (§6.1)."""
 
 import numpy as np
-import pytest
-
 from repro.core import SpaceTranslationLayer
 from repro.core.api import array_to_bytes, bytes_to_array
 from repro.nvm import FlashArray, Geometry, NvmTiming

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import SpaceTranslationLayer
-from repro.core.api import array_to_bytes, bytes_to_array
+from repro.core.api import array_to_bytes
 from repro.nvm import FlashArray, Geometry, NvmTiming
 from repro.systems import HardwareNdsSystem, SoftwareNdsSystem
 from repro.nvm.profiles import DeviceProfile

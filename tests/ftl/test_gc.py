@@ -45,8 +45,8 @@ class TestCollect:
 
     def test_collect_relocates_live_data(self, small_world):
         geometry, flash, ftl, gc = small_world
-        live = [_write(ftl, flash, gc, lpn, 100 + lpn, now=0.0)
-                for lpn in range(3)]
+        for lpn in range(3):
+            _write(ftl, flash, gc, lpn, 100 + lpn, now=0.0)
         # stale churn on another lpn to create victims
         for value in range(12):
             _write(ftl, flash, gc, 99, value, now=1.0)

@@ -6,7 +6,7 @@ import pytest
 from repro.ftl import BaselineSSD, GarbageCollector, PageMapFTL
 from repro.ftl.mapping import PlaneAllocator
 from repro.nvm import FlashArray, Geometry, NvmTiming
-from repro.nvm.profiles import DeviceProfile, TINY_TEST
+from repro.nvm.profiles import TINY_TEST
 
 
 @pytest.fixture

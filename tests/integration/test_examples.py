@@ -1,7 +1,6 @@
 """The runnable examples must stay runnable (fast ones, end to end)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest
@@ -31,3 +30,10 @@ class TestExamples:
         assert "NDS placement" in out
         assert "[P3]" in out
         assert "done." in out
+
+    def test_multi_tenant_trace(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = _run("multi_tenant_trace.py", capsys)
+        assert "co-run" in out
+        assert "vs solo" in out
+        assert (tmp_path / "multi_tenant.trace.json").exists()

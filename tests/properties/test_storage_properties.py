@@ -10,7 +10,7 @@ from repro.core import SpaceTranslationLayer
 from repro.core.api import array_to_bytes, bytes_to_array
 from repro.core.building_block import bb_size_min, block_bytes, block_dims
 from repro.host import run_pipeline
-from repro.nvm import FlashArray, Geometry, NvmTiming, TINY_TEST
+from repro.nvm import FlashArray, Geometry, TINY_TEST
 from repro.sim import Timeline
 
 SETTINGS = settings(max_examples=40, deadline=None,

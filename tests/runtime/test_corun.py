@@ -1,0 +1,132 @@
+"""Multi-tenant co-run tests (the acceptance scenario of the request
+spine): two workloads share one device, per-stream latencies come out,
+the Chrome trace is valid JSON with properly nested spans, and the
+contention the co-tenant adds is visible but never *negative* — a
+stream can only get slower when sharing, never faster.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.profiles import TINY_TEST
+from repro.runtime import TraceRecorder
+from repro.systems import (BaselineSystem, HardwareNdsSystem, OracleSystem,
+                           SoftwareNdsSystem)
+from repro.workloads import BfsWorkload, GemmWorkload, co_run_workloads
+
+
+def _gemm():
+    return GemmWorkload(n=64, tile=16, max_tiles=12)
+
+
+def _bfs():
+    return BfsWorkload(nodes=64, batch_rows=16)
+
+
+@pytest.mark.parametrize("cls", [BaselineSystem, SoftwareNdsSystem,
+                                 HardwareNdsSystem, OracleSystem])
+def test_two_tenant_corun_reports_per_stream_latencies(cls):
+    result = co_run_workloads([_gemm(), _bfs()],
+                              cls(TINY_TEST, store_data=False),
+                              queue_depth=4)
+    assert set(result.streams) == {"GEMM", "BFS"}
+    for stream in result.streams.values():
+        assert stream.tiles == len(stream.completions)
+        assert stream.tiles > 0
+        assert stream.mean_io_latency > 0
+        assert stream.max_io_latency >= stream.mean_io_latency
+        assert stream.io_makespan == pytest.approx(max(stream.completions))
+        assert stream.total_time >= stream.io_makespan
+    assert result.total_time == pytest.approx(
+        max(s.total_time for s in result.streams.values()))
+    assert result.io_makespan == pytest.approx(
+        max(s.io_makespan for s in result.streams.values()))
+
+
+def test_corun_trace_is_valid_chrome_json(tmp_path):
+    trace = TraceRecorder()
+    result = co_run_workloads([_gemm(), _bfs()],
+                              HardwareNdsSystem(TINY_TEST, store_data=False),
+                              queue_depth=4, trace=trace)
+    path = result.trace.save(tmp_path / "corun.json")
+    loaded = json.load(open(path))
+    events = loaded["traceEvents"]
+    assert events
+    # both tenants appear as processes, spans land on both
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert {"stream:GEMM", "stream:BFS"} <= names
+    # every component span nests inside its parent op span
+    ops = [s for s in trace.spans if s.resource == "ops"]
+    assert len(ops) == sum(s.tiles for s in result.streams.values())
+    for op in ops:
+        for child in trace.op_children(op.op_id):
+            assert child.start >= op.start - 1e-12
+            assert child.end <= op.end + 1e-12
+    # pipeline stage spans from both tenants made it into the trace
+    resources = {s.resource for s in trace.spans}
+    assert "GEMM/kernel" in resources and "BFS/kernel" in resources
+
+
+def test_corun_is_deterministic_across_fresh_instances():
+    def run_once():
+        result = co_run_workloads([_gemm(), _bfs()],
+                                  SoftwareNdsSystem(TINY_TEST,
+                                                    store_data=False),
+                                  queue_depth=2, arbitration="round_robin")
+        return {name: s.completions for name, s in result.streams.items()}
+
+    assert run_once() == run_once()
+
+
+def test_corun_shares_datasets_between_tenants():
+    # two BFS tenants traverse the same graph: ingested once
+    a = BfsWorkload(nodes=64, batch_rows=16)
+    b = BfsWorkload(nodes=64, batch_rows=32)
+    b.name = "BFS-2"
+    result = co_run_workloads([a, b],
+                              HardwareNdsSystem(TINY_TEST, store_data=False),
+                              queue_depth=2)
+    assert result.streams["BFS"].tiles == 4
+    assert result.streams["BFS-2"].tiles == 2
+
+
+def test_corun_rejects_duplicate_names_and_bad_arbitration():
+    with pytest.raises(ValueError, match="distinct names"):
+        co_run_workloads([_gemm(), _gemm()],
+                         HardwareNdsSystem(TINY_TEST, store_data=False))
+    with pytest.raises(ValueError, match="arbitration"):
+        co_run_workloads([_gemm()],
+                         HardwareNdsSystem(TINY_TEST, store_data=False),
+                         arbitration="lottery")
+
+
+@settings(max_examples=20, deadline=None)
+@given(queue_depth=st.integers(min_value=1, max_value=8),
+       arbitration=st.sampled_from(["fifo", "round_robin"]),
+       gemm_tiles=st.integers(min_value=2, max_value=10))
+def test_contention_never_speeds_a_stream_up(queue_depth, arbitration,
+                                             gemm_tiles):
+    """Per-op dominance: with FCFS resource timelines, adding a
+    co-tenant can only delay a stream's completions, op for op."""
+    gemm = GemmWorkload(n=64, tile=16, max_tiles=gemm_tiles)
+
+    solo = co_run_workloads([gemm],
+                            HardwareNdsSystem(TINY_TEST, store_data=False),
+                            queue_depth=queue_depth, arbitration=arbitration)
+    shared = co_run_workloads([gemm, _bfs()],
+                              HardwareNdsSystem(TINY_TEST, store_data=False),
+                              queue_depth=queue_depth,
+                              arbitration=arbitration)
+
+    solo_c = solo.streams["GEMM"].completions
+    shared_c = shared.streams["GEMM"].completions
+    assert len(solo_c) == len(shared_c) > 0
+    for alone, contended in zip(solo_c, shared_c):
+        assert contended >= alone - 1e-12
+    assert shared.streams["GEMM"].io_makespan >= \
+        solo.streams["GEMM"].io_makespan - 1e-12

@@ -1,0 +1,115 @@
+"""TraceRecorder tests: span recording, op context, metrics, and the
+Chrome ``trace_event`` export contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.nvm.profiles import TINY_TEST
+from repro.runtime import TraceRecorder
+from repro.systems import BaselineSystem, HardwareNdsSystem
+
+
+def test_span_records_current_op_context():
+    trace = TraceRecorder()
+    trace.span("link", 0.0, 1.0)                 # outside any op
+    trace.push_op("tenant", 7)
+    trace.span("link", 1.0, 2.0, name="xfer", bytes=4096)
+    trace.pop_op()
+    outside, inside = trace.spans
+    assert outside.stream == "main" and outside.op_id == -1
+    assert inside.stream == "tenant" and inside.op_id == 7
+    assert dict(inside.args) == {"bytes": 4096}
+
+
+def test_span_rejects_negative_interval():
+    trace = TraceRecorder()
+    with pytest.raises(ValueError):
+        trace.span("link", 2.0, 1.0)
+
+
+def test_resource_metrics_aggregate():
+    trace = TraceRecorder()
+    trace.span("link", 0.0, 1.0, bytes=100)
+    trace.span("link", 2.0, 4.0, bytes=300)
+    trace.span("ch0", 0.0, 0.5)
+    metrics = trace.resource_metrics()
+    assert metrics["link"]["busy_time"] == pytest.approx(3.0)
+    assert metrics["link"]["spans"] == 2
+    assert metrics["link"]["bytes"] == 400
+    assert metrics["ch0"]["busy_time"] == pytest.approx(0.5)
+
+
+def test_chrome_export_contract(tmp_path):
+    trace = TraceRecorder()
+    trace.push_op("t0", 0)
+    trace.span("link", 0.0, 1e-6, name="xfer", bytes=64)
+    trace.pop_op()
+    trace.op_span("t0", 0, "read d", 0.0, 2e-6, kind="read")
+    path = trace.save(tmp_path / "trace.json")
+
+    loaded = json.loads(path.read_text())
+    events = loaded["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["args"]["name"] for e in meta} == {"stream:t0"}
+    by_name = {e["name"]: e for e in spans}
+    assert by_name["xfer"]["ts"] == pytest.approx(0.0)
+    assert by_name["xfer"]["dur"] == pytest.approx(1.0)   # microseconds
+    assert by_name["xfer"]["args"]["op_id"] == 0
+    assert by_name["read d"]["cat"] == "op"
+    assert by_name["xfer"]["cat"] == "resource"
+    # all spans of one stream share the pid announced by its metadata
+    pid = meta[0]["pid"]
+    assert all(e["pid"] == pid for e in spans)
+
+
+def test_component_spans_nest_inside_their_op():
+    """Every component span recorded during an op lies inside the op's
+    parent span for all four span-emitting layers of a real system."""
+    system = HardwareNdsSystem(TINY_TEST, store_data=False)
+    system.ingest("d", (64, 64), 4)
+    system.reset_time()
+    trace = TraceRecorder()
+    system.set_trace(trace)
+    system.read_tile("d", (16, 16), (32, 32))
+    system.write_tile("d", (0, 0), (16, 16))
+
+    ops = [s for s in trace.spans if s.resource == "ops"]
+    assert len(ops) == 2
+    for op in ops:
+        children = trace.op_children(op.op_id)
+        assert children, f"op {op.name} produced no component spans"
+        for child in children:
+            assert child.start >= op.start - 1e-12
+            assert child.end <= op.end + 1e-12
+    # the read touched controller, flash and link layers
+    read_resources = {s.resource for s in trace.op_children(ops[0].op_id)}
+    assert "ctrl_translate" in read_resources
+    assert "link" in read_resources
+    assert any(r.startswith("ch") for r in read_resources)
+
+
+def test_baseline_spans_cover_host_layers():
+    system = BaselineSystem(TINY_TEST, store_data=False)
+    system.ingest("d", (64, 64), 4)
+    system.reset_time()
+    trace = TraceRecorder()
+    system.set_trace(trace)
+    system.read_tile("d", (16, 16), (16, 16))
+    resources = {s.resource for s in trace.spans}
+    # host marshalling is the baseline's defining cost: issue + copy
+    assert "host_issue" in resources
+    assert "host_copy" in resources
+    assert "device_ctrl" in resources
+
+
+def test_clear_empties_spans_and_context():
+    trace = TraceRecorder()
+    trace.push_op("t", 1)
+    trace.span("link", 0.0, 1.0)
+    trace.clear()
+    assert trace.spans == []
+    assert trace.current_stream == "main"

@@ -89,3 +89,74 @@ def test_run_is_not_reentrant():
     sim.at(1.0, reenter)
     sim.run()
     assert len(errors) == 1
+
+
+def test_callback_may_schedule_at_exactly_now():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(("first", sim.now))
+        # same-time events are legal and run after already-queued
+        # events at that timestamp, in FIFO scheduling order
+        sim.at(sim.now, lambda: seen.append(("chained", sim.now)))
+
+    sim.at(1.0, first)
+    sim.at(1.0, lambda: seen.append(("peer", sim.now)))
+    sim.run()
+    assert seen == [("first", 1.0), ("peer", 1.0), ("chained", 1.0)]
+
+
+def test_step_from_inside_callback_raises():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.step()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.at(1.0, reenter)
+    sim.at(2.0, lambda: None)
+    sim.run()
+    assert len(errors) == 1
+    # the queued event was not consumed by the illegal step()
+    assert sim.now == 2.0
+
+
+def test_run_via_step_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.at(1.0, reenter)
+    while sim.step():
+        pass
+    assert len(errors) == 1
+
+
+def test_engine_stays_usable_after_callback_raises():
+    sim = Simulator()
+    seen = []
+
+    def boom():
+        raise RuntimeError("callback failure")
+
+    sim.at(1.0, boom)
+    sim.at(2.0, lambda: seen.append(sim.now))
+    with pytest.raises(RuntimeError):
+        sim.run()
+    # the failing event is consumed, the rest of the queue is intact
+    assert sim.pending == 1
+    sim.run()
+    assert seen == [2.0]
+    # and the reentrancy guard was not left latched by the exception
+    sim.at(3.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.0, 3.0]

@@ -1,7 +1,5 @@
 """§5.3.3 end to end: an AES engine in the hardware NDS controller."""
 
-import pytest
-
 from repro.core import BlockCipherModel
 from repro.nvm import PAPER_PROTOTYPE
 from repro.systems import HardwareNdsSystem

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nvm import CONSUMER_SSD, PCM_PROTOTYPE, DeviceProfile, Geometry, NvmTiming
+from repro.nvm import CONSUMER_SSD, PCM_PROTOTYPE, DeviceProfile
 from repro.systems import BaselineSystem, HardwareNdsSystem
 
 

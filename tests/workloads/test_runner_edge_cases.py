@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.nvm import TINY_TEST
 from repro.nvm.profiles import DeviceProfile
 from repro.nvm import Geometry, NvmTiming
 from repro.systems import BaselineSystem, OracleSystem
