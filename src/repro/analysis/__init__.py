@@ -1,6 +1,7 @@
 """Reporting and paper-number calibration."""
 
 from repro.analysis.calibration import PAPER, PaperNumbers
+from repro.analysis.reliability import reliability_sweep
 from repro.analysis.report import (comparison_row, format_bandwidth,
                                    format_ratio, format_table)
 
@@ -11,4 +12,5 @@ __all__ = [
     "format_bandwidth",
     "format_ratio",
     "comparison_row",
+    "reliability_sweep",
 ]

@@ -1,0 +1,88 @@
+"""Reliability experiment: retry/latency behaviour versus device age.
+
+The ECC/read-retry model (:mod:`repro.faults`) makes raw bit-error rate
+a function of block wear and time since program. This experiment sweeps
+``initial_wear`` — modelling devices at different points of their P/E
+life — and measures, per system, how the read-retry ladder inflates
+tile-read latency and how often reads escalate past the ladder, the
+classic RBER → retry-rate → tail-latency chain (Cai et al., DATE 2012;
+Mielke et al., IRPS 2008).
+
+Everything is seeded: two calls with the same arguments produce
+identical numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.model import FaultConfig
+from repro.nvm.profiles import TINY_TEST, DeviceProfile
+from repro.systems.baseline import BaselineSystem
+from repro.systems.hardware_nds import HardwareNdsSystem
+from repro.systems.software_nds import SoftwareNdsSystem
+
+__all__ = ["reliability_sweep"]
+
+
+def _make_systems(profile: DeviceProfile, config: Optional[FaultConfig],
+                  store_data: bool) -> Dict[str, object]:
+    return {
+        "baseline": BaselineSystem(profile, store_data=store_data,
+                                   faults=config),
+        "software": SoftwareNdsSystem(profile, store_data=store_data,
+                                      faults=config),
+        "hardware": HardwareNdsSystem(profile, store_data=store_data,
+                                      faults=config),
+    }
+
+
+def reliability_sweep(wear_levels: Sequence[int] = (0, 3000, 9000, 18000),
+                      n: int = 64, elem: int = 1,
+                      profile: DeviceProfile = TINY_TEST,
+                      seed: int = 0xF417,
+                      rber_base: float = 1e-3,
+                      ) -> Dict[int, Dict[str, Dict[str, float]]]:
+    """Tile-read latency and retry counts per system per wear level.
+
+    Returns ``{wear: {system: {"elapsed", "retries", "uncorrectable",
+    "slowdown"}}}`` where ``slowdown`` is against the same system's
+    fault-free run.
+    """
+    data = np.random.default_rng(seed).integers(
+        0, 256, size=(n, n), dtype=np.uint8).astype(np.uint8)
+    origin, extents = (0, 0), (n, n)
+
+    clean_elapsed: Dict[str, float] = {}
+    clean = _make_systems(profile, None, store_data=True)
+    for name, system in clean.items():
+        system.ingest("r", (n, n), elem, data=data)
+        result = system.read_tile("r", origin, extents, start_time=1.0)
+        clean_elapsed[name] = result.elapsed
+
+    out: Dict[int, Dict[str, Dict[str, float]]] = {}
+    for wear in wear_levels:
+        config = FaultConfig(seed=seed, initial_wear=wear,
+                             rber_base=rber_base, parity=True)
+        systems = _make_systems(profile, config, store_data=True)
+        out[wear] = {}
+        for name, system in systems.items():
+            system.ingest("r", (n, n), elem, data=data)
+            result = system.read_tile("r", origin, extents, start_time=1.0)
+            flash = getattr(system, "flash", None)
+            if flash is None:
+                flash = system.ssd.flash
+            counters = flash.faults.counters()
+            out[wear][name] = {
+                "elapsed": result.elapsed,
+                "retries": float(counters.get("read_retries", 0)),
+                "uncorrectable": float(
+                    counters.get("uncorrectable_reads", 0)),
+                "reconstructed": float(
+                    counters.get("stl_pages_reconstructed", 0)),
+                "slowdown": (result.elapsed / clean_elapsed[name]
+                             if clean_elapsed[name] > 0 else 0.0),
+            }
+    return out

@@ -44,6 +44,13 @@ class NdsAllocator:
             for c in range(geometry.channels)
             for b in range(geometry.banks_per_channel)
         }
+        #: optional :class:`~repro.faults.injector.FaultInjector` shared
+        #: with the flash array — lets placement steer around dead
+        #: channels; None leaves every decision untouched
+        self.faults = None
+
+    def _channel_dead(self, channel: int) -> bool:
+        return self.faults is not None and self.faults.channel_dead(channel)
 
     # ------------------------------------------------------------------
     # free-space queries
@@ -107,12 +114,30 @@ class NdsAllocator:
             target = prefer
         else:
             target = self.choose_target(entry)
-        ppa = self._try_allocate(target)
+        ppa = None
+        if not self._channel_dead(target[0]):
+            ppa = self._try_allocate(target)
         if ppa is None:
             ppa = self._fallback_allocate(target)
         if ppa is None:
             raise CapacityError("no free access unit in any channel/bank")
         entry.record_alloc(ppa, position)
+        return ppa
+
+    def allocate_raw(self, prefer: Optional[Tuple[int, int]] = None):
+        """Allocate a physical unit outside any building block's
+        bookkeeping — used for cross-channel parity units."""
+        target = prefer
+        if target is None or self._channel_dead(target[0]):
+            live = [key for key in self.planes if not self._channel_dead(key[0])]
+            if not live:
+                raise CapacityError("no live channel for a raw allocation")
+            target = max(live, key=lambda key: self.planes[key].free_page_count())
+        ppa = self._try_allocate(target)
+        if ppa is None:
+            ppa = self._fallback_allocate(target)
+        if ppa is None:
+            raise CapacityError("no free access unit in any channel/bank")
         return ppa
 
     def _try_allocate(self, target: Tuple[int, int]):
@@ -126,7 +151,7 @@ class NdsAllocator:
         ordered = sorted(self.planes.keys(),
                          key=lambda key: -self.planes[key].free_page_count())
         for key in ordered:
-            if key == target:
+            if key == target or self._channel_dead(key[0]):
                 continue
             ppa = self._try_allocate(key)
             if ppa is not None:

@@ -1,6 +1,16 @@
-"""Exception hierarchy of the NDS core."""
+"""Exception hierarchy of the NDS core.
+
+Reliability errors (uncorrectable reads, degraded reads, program/erase
+status fails) live in :mod:`repro.faults.errors` — the flash substrate
+raises them, so they sit below this package — and are re-exported here
+as part of the public error surface.
+"""
 
 from __future__ import annotations
+
+from repro.faults.errors import (DegradedReadError, EraseFailError,
+                                 FaultError, ProgramFailError,
+                                 UncorrectableError)
 
 __all__ = [
     "NdsError",
@@ -9,6 +19,11 @@ __all__ = [
     "InvalidCoordinateError",
     "ViewVolumeError",
     "CapacityError",
+    "FaultError",
+    "UncorrectableError",
+    "DegradedReadError",
+    "ProgramFailError",
+    "EraseFailError",
 ]
 
 

@@ -12,11 +12,14 @@ patch the B-tree leaf in place. Relocation stays within the same
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.allocator import NdsAllocator
 from repro.core.btree import BlockEntry
+from repro.faults.errors import EraseFailError, ProgramFailError
+from repro.faults.parity import PARITY_POSITION
 from repro.ftl.mapping import OutOfSpaceError
 from repro.nvm.address import PhysicalPageAddress, ppa_to_index
 from repro.nvm.flash import FlashArray
@@ -63,6 +66,17 @@ class NdsGarbageCollector:
         self.reverse: Dict[int, ReverseEntry] = {}
         self.total_relocated = 0
         self.total_erased = 0
+        self.total_retired = 0
+        #: relocation callback for parity units (position
+        #: :data:`~repro.faults.parity.PARITY_POSITION` in the reverse
+        #: table): called as ``parity_patcher(space_id, coord, new_ppa)``
+        self.parity_patcher: Optional[Callable] = None
+
+    def _recovery(self):
+        """Suppress probabilistic fault draws inside relocation traffic
+        (the controller verifies its own moves)."""
+        faults = self.flash.faults
+        return faults.suppress() if faults is not None else nullcontext()
 
     # ------------------------------------------------------------------
     def note_alloc(self, ppa: PhysicalPageAddress, space_id: int,
@@ -91,6 +105,13 @@ class NdsGarbageCollector:
         GC cleans up to a higher watermark); ``max_victims`` bounds the
         work per invocation.
         """
+        with self._recovery():
+            return self._collect(channel, bank, now, target_fraction,
+                                 max_victims)
+
+    def _collect(self, channel: int, bank: int, now: float,
+                 target_fraction: float = None,
+                 max_victims: int = None) -> NdsGcResult:
         target = (target_fraction if target_fraction is not None
                   else self.threshold)
         result = NdsGcResult(ran=False, end_time=now)
@@ -120,14 +141,35 @@ class NdsGarbageCollector:
                     state.valid[page] = True
                     result.end_time = max(result.end_time, read.end_time)
                     return result
-                program = self.flash.program_pages([new_ppa], read.end_time,
-                                                   data=payload)
+                issue = read.end_time
+                while True:
+                    try:
+                        program = self.flash.program_pages([new_ppa], issue,
+                                                           data=payload)
+                        break
+                    except ProgramFailError as err:
+                        plane.invalidate(new_ppa)
+                        issue = self.retire_block(channel, bank,
+                                                  new_ppa.block,
+                                                  err.fail_time)
+                        try:
+                            new_ppa = plane.allocate_page()
+                        except OutOfSpaceError:
+                            state.valid[page] = True
+                            result.end_time = max(result.end_time, issue)
+                            return result
                 result.end_time = max(result.end_time, program.end_time)
                 result.units_relocated += 1
                 if back_ref is not None:
                     self._patch_entry(back_ref, old_ppa, new_ppa)
-            erase = self.flash.erase_block(channel, bank, victim,
-                                           result.end_time)
+            try:
+                erase = self.flash.erase_block(channel, bank, victim,
+                                               result.end_time)
+            except EraseFailError as err:
+                self._retire(plane, victim)
+                result.end_time = max(result.end_time, err.fail_time)
+                result.ran = True
+                continue
             plane.release_block(victim)
             result.end_time = max(result.end_time, erase.end_time)
             result.blocks_erased += 1
@@ -174,8 +216,60 @@ class NdsGarbageCollector:
         geometry = self.allocator.geometry
         self.reverse.pop(ppa_to_index(old_ppa, geometry), None)
         self.reverse[ppa_to_index(new_ppa, geometry)] = back_ref
+        if back_ref.position == PARITY_POSITION:
+            # parity units live in the STL's parity store, not a B-tree
+            if self.parity_patcher is not None:
+                self.parity_patcher(back_ref.space_id, back_ref.block_coord,
+                                    new_ppa)
+            return
         entry = self._entry_resolver(back_ref.space_id, back_ref.block_coord)
         if entry is None:
             return
         entry.record_release(back_ref.position)
         entry.record_alloc(new_ppa, back_ref.position)
+
+    # ------------------------------------------------------------------
+    # grown-bad-block management
+    # ------------------------------------------------------------------
+    def _retire(self, plane, block: int) -> None:
+        plane.retire_block(block)
+        self.total_retired += 1
+        if self.flash.faults is not None:
+            self.flash.faults.stats.count("grown_bad_blocks")
+
+    def retire_block(self, channel: int, bank: int, block: int,
+                     now: float) -> float:
+        """Relocate a grown-bad block's live units within the plane and
+        take the block out of service. Returns the finish time."""
+        plane = self.allocator.planes[(channel, bank)]
+        geometry = self.allocator.geometry
+        state = plane._state(block)
+        if plane.active_block == block:
+            plane.active_block = None
+        if block in plane.free_blocks:
+            plane.free_blocks.remove(block)
+        end = now
+        with self._recovery():
+            for page in range(geometry.pages_per_block):
+                if not state.valid[page]:
+                    continue
+                old_ppa = PhysicalPageAddress(channel, bank, block, page)
+                back_ref = self.reverse.get(ppa_to_index(old_ppa, geometry))
+                read = self.flash.read_pages([old_ppa], end)
+                payload = None
+                if self.flash.store_data:
+                    payload = [self.flash.page_data(old_ppa)]
+                state.valid[page] = False
+                try:
+                    new_ppa = plane.allocate_page()
+                except OutOfSpaceError:
+                    self._collect(channel, bank, read.end_time)
+                    new_ppa = plane.allocate_page()
+                program = self.flash.program_pages([new_ppa], read.end_time,
+                                                   data=payload)
+                if back_ref is not None:
+                    self._patch_entry(back_ref, old_ppa, new_ppa)
+                self.total_relocated += 1
+                end = max(end, program.end_time)
+            self._retire(plane, block)
+        return end

@@ -24,6 +24,7 @@ hardware NDS — is the systems layer's decision (paper Fig. 7).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,7 +37,10 @@ from repro.core.gc import NdsGarbageCollector
 from repro.core.space import Space
 from repro.core.translator import (BlockAccess, pages_for_region, translate,
                                    translate_region)
-from repro.nvm.flash import FlashArray
+from repro.faults.errors import (DegradedReadError, ProgramFailError,
+                                 UncorrectableError)
+from repro.faults.parity import PARITY_POSITION, ParityStore, xor_fold
+from repro.nvm.flash import EccError, FlashArray
 from repro.sim.stats import StatSet
 
 __all__ = ["SpaceTranslationLayer", "StlOpResult", "BlockOpResult"]
@@ -85,7 +89,8 @@ class SpaceTranslationLayer:
     def __init__(self, flash: FlashArray, gc_threshold: float = 0.10,
                  seed: int = 0x5D5, compressor=None,
                  elide_zero_pages: bool = False,
-                 gc_policy: str = "greedy") -> None:
+                 gc_policy: str = "greedy",
+                 parity: bool = False) -> None:
         self.flash = flash
         self.geometry = flash.geometry
         #: optional §5.3.4 building-block-granular compressor
@@ -102,11 +107,22 @@ class SpaceTranslationLayer:
         if elide_zero_pages and not flash.store_data:
             raise ValueError(
                 "zero-page elision needs functional mode (store_data=True)")
+        if parity and compressor is not None:
+            raise ValueError(
+                "parity groups and block compression are mutually exclusive")
+        if parity and not flash.store_data:
+            raise ValueError(
+                "parity groups need functional mode (store_data=True)")
         self.allocator = NdsAllocator(flash.geometry, seed=seed)
         self.gc = NdsGarbageCollector(self.allocator, flash,
                                       self._resolve_entry,
                                       threshold=gc_threshold,
                                       policy=gc_policy)
+        #: cross-channel XOR parity: one extra unit per building block,
+        #: reconstructed reads on uncorrectable errors (None = off)
+        self.parity: Optional[ParityStore] = ParityStore() if parity else None
+        if parity:
+            self.gc.parity_patcher = self._patch_parity
         self.spaces: Dict[int, Space] = {}
         self.indexes: Dict[int, BTreeIndex] = {}
         self._next_space_id = 1
@@ -149,6 +165,12 @@ class SpaceTranslationLayer:
                     self.allocator.invalidate(ppa)
                     self.gc.note_release(ppa)
                     released += 1
+        if self.parity is not None:
+            for coord, ppa in self.parity.iter_space(space_id):
+                self.parity.pop(space_id, coord)
+                self.allocator.invalidate(ppa)
+                self.gc.note_release(ppa)
+                released += 1
         space.deleted = True
         del self.indexes[space_id]
         self.stats.count("spaces_deleted")
@@ -197,6 +219,12 @@ class SpaceTranslationLayer:
                     self.allocator.invalidate(ppa)
                     self.gc.note_release(ppa)
                     released += 1
+            if self.parity is not None:
+                parity_ppa = self.parity.pop(space_id, entry.coord)
+                if parity_ppa is not None:
+                    self.allocator.invalidate(parity_ppa)
+                    self.gc.note_release(parity_ppa)
+                    released += 1
         self.spaces[space_id] = resized
         self.indexes[space_id] = new_index
         self.stats.count("spaces_resized")
@@ -227,6 +255,7 @@ class SpaceTranslationLayer:
         """Read one block access; scatter into ``out`` (request-shaped
         ``(*extents, element_size)`` uint8 array) when given."""
         space = self.get_space(space_id)
+        self._sync_faults()
         index = self.indexes[space_id]
         lookup = index.lookup(access.block_coord)
         positions = pages_for_region(space, access.block_slice)
@@ -237,13 +266,34 @@ class SpaceTranslationLayer:
                 # compressed blocks are stored whole: any read touches
                 # every (fewer) stored unit (§5.3.4)
                 ppas = lookup.entry.allocated_pages()
+                if ppas:
+                    op = self.flash.read_pages(ppas, issue_time)
+                    completion = op.end_time
+                    pages_read = len(ppas)
+            elif self.flash.faults is not None:
+                # pages read one by one so a single uncorrectable unit
+                # can be reconstructed without losing the batch (timing
+                # is identical: all pages are issued at ``issue_time``)
+                for position in positions:
+                    ppa = lookup.entry.pages[position]
+                    if ppa is None:
+                        continue
+                    try:
+                        op = self.flash.read_pages([ppa], issue_time)
+                        end = op.end_time
+                    except UncorrectableError as err:
+                        end = self._degraded_read(space_id, space,
+                                                  access.block_coord,
+                                                  lookup.entry, position, err)
+                    completion = max(completion, end)
+                    pages_read += 1
             else:
                 ppas = [lookup.entry.pages[p] for p in positions
                         if lookup.entry.pages[p] is not None]
-            if ppas:
-                op = self.flash.read_pages(ppas, issue_time)
-                completion = op.end_time
-                pages_read = len(ppas)
+                if ppas:
+                    op = self.flash.read_pages(ppas, issue_time)
+                    completion = op.end_time
+                    pages_read = len(ppas)
         if out is not None:
             self._scatter_block(space, access, lookup.entry, out)
         self.stats.count("stl_pages_read", pages_read)
@@ -257,6 +307,7 @@ class SpaceTranslationLayer:
         """Write one block access; ``region`` is the block-region-shaped
         ``(*extent, element_size)`` uint8 payload (None = timing only)."""
         space = self.get_space(space_id)
+        self._sync_faults()
         index = self.indexes[space_id]
         lookup = index.ensure(access.block_coord)
         entry = lookup.entry
@@ -326,9 +377,30 @@ class SpaceTranslationLayer:
                 continue
             ppa = self.allocator.allocate(entry, position, prefer=prefer)
             self.gc.note_alloc(ppa, space_id, access.block_coord, position)
-            op = self.flash.program_pages([ppa], rmw_done, data=payload)
+            issue = rmw_done
+            while True:
+                try:
+                    op = self.flash.program_pages([ppa], issue, data=payload)
+                    break
+                except ProgramFailError as err:
+                    # grown bad block: undo the binding, retire the
+                    # block, re-place the unit at a fresh append point
+                    entry.record_release(position)
+                    self.allocator.invalidate(ppa)
+                    self.gc.note_release(ppa)
+                    issue = self.gc.retire_block(ppa.channel, ppa.bank,
+                                                 ppa.block, err.fail_time)
+                    ppa = self.allocator.allocate(entry, position,
+                                                  prefer=None)
+                    self.gc.note_alloc(ppa, space_id, access.block_coord,
+                                       position)
             completion = max(completion, op.end_time)
             units += 1
+        if self.parity is not None:
+            parity_end = self._update_parity(space_id, space,
+                                             access.block_coord, entry,
+                                             new_content, rmw_done)
+            completion = max(completion, parity_end)
         self.stats.count("stl_pages_programmed", units)
         return BlockOpResult(access=access, issue_time=issue_time,
                              completion_time=completion, pages=units,
@@ -486,6 +558,108 @@ class SpaceTranslationLayer:
         if index is None:
             return None
         return index.lookup(block_coord).entry
+
+    # ------------------------------------------------------------------
+    # reliability internals
+    # ------------------------------------------------------------------
+    def _sync_faults(self) -> None:
+        """Placement steers around dead channels: keep the allocator's
+        view of the injector in step with the flash array's."""
+        if self.allocator.faults is not self.flash.faults:
+            self.allocator.faults = self.flash.faults
+
+    def _recovery(self):
+        faults = self.flash.faults
+        return faults.suppress() if faults is not None else nullcontext()
+
+    def _patch_parity(self, space_id: int, coord: Tuple[int, ...],
+                      new_ppa) -> None:
+        """GC relocation callback for parity units."""
+        self.parity.put(space_id, coord, new_ppa)
+
+    def _update_parity(self, space_id: int, space: Space,
+                       coord: Tuple[int, ...], entry: BlockEntry,
+                       content: Optional[np.ndarray],
+                       issue_time: float) -> float:
+        """Re-derive and program the block's XOR parity unit.
+
+        The parity unit covers every page slot of the block (unwritten
+        slots count as zeros, matching reconstruction); the old unit is
+        released first so the allocator can reuse its plane.
+        """
+        old = self.parity.pop(space_id, coord)
+        if old is not None:
+            self.allocator.invalidate(old)
+            self.gc.note_release(old)
+        if content is None:
+            content = self._block_buffer(space, entry)
+        payload = xor_fold(content, self._page_size)
+        issue = issue_time
+        with self._recovery():
+            while True:
+                ppa = self.allocator.allocate_raw()
+                try:
+                    op = self.flash.program_pages([ppa], issue,
+                                                  data=[payload])
+                    break
+                except ProgramFailError as err:
+                    self.allocator.invalidate(ppa)
+                    issue = self.gc.retire_block(ppa.channel, ppa.bank,
+                                                 ppa.block, err.fail_time)
+        self.parity.put(space_id, coord, ppa)
+        self.gc.note_alloc(ppa, space_id, coord, PARITY_POSITION)
+        self.stats.count("stl_parity_units_written")
+        return op.end_time
+
+    def _degraded_read(self, space_id: int, space: Space,
+                       coord: Tuple[int, ...], entry: BlockEntry,
+                       position: int, err: UncorrectableError) -> float:
+        """Reconstruct one unreadable unit from its parity group.
+
+        Reads every surviving unit of the block plus the parity unit
+        (recovery traffic: probabilistic draws suppressed), XORs them
+        back into the lost page, and relocates it to a fresh unit so
+        the next read is clean. Raises :class:`DegradedReadError` when
+        reconstruction is impossible, or re-raises the original error
+        when parity is off.
+        """
+        faults = self.flash.faults
+        faults.stats.count("stl_uncorrectable_reads")
+        if self.parity is None:
+            raise err
+        parity_ppa = self.parity.get(space_id, coord)
+        if parity_ppa is None:
+            raise DegradedReadError(
+                err.ppa, err.fail_time,
+                detail="no parity unit recorded for this block")
+        survivors = [(pos, ppa) for pos, ppa in enumerate(entry.pages)
+                     if ppa is not None and pos != position]
+        end = err.fail_time
+        page = np.zeros(self._page_size, dtype=np.uint8)
+        with faults.suppress():
+            try:
+                for _pos, ppa in survivors + [(PARITY_POSITION, parity_ppa)]:
+                    op = self.flash.read_pages([ppa], err.fail_time)
+                    end = max(end, op.end_time)
+                    page ^= self.flash.page_data(ppa)
+            except (EccError, UncorrectableError) as sibling_err:
+                raise DegradedReadError(
+                    err.ppa, end,
+                    detail=f"parity group member unreadable: {sibling_err}"
+                ) from err
+            # relocate the reconstructed unit off the failing page
+            failed = entry.pages[position]
+            entry.record_release(position)
+            self.allocator.invalidate(failed)
+            self.gc.note_release(failed)
+            new_ppa = self.allocator.allocate(entry, position, prefer=None)
+            self.gc.note_alloc(new_ppa, space_id, coord, position)
+            op = self.flash.program_pages([new_ppa], end, data=[page])
+            end = max(end, op.end_time)
+        faults.stats.count("stl_degraded_reads")
+        faults.stats.count("stl_pages_reconstructed")
+        self.stats.count("stl_degraded_reads")
+        return end
 
     def _block_buffer(self, space: Space, entry: BlockEntry) -> np.ndarray:
         """Materialize a block's full byte content (zeros where

@@ -1,0 +1,41 @@
+"""Deterministic fault injection, ECC/read-retry, bad blocks, parity.
+
+``repro.faults`` is the reliability subsystem: a seeded error model
+(RBER as a function of wear and retention), a tiered ECC read-retry
+ladder that charges real sensing time on the flash timelines, scripted
+fault plans (kill a channel, mark a block bad, corrupt a page),
+grown-bad-block bookkeeping, and XOR parity groups for NDS building
+blocks with degraded-read reconstruction.
+
+The package is a dependency leaf (stdlib + numpy + ``repro.sim``
+only): :mod:`repro.nvm.flash` imports it, and every higher layer
+reaches it through the flash array's optional ``faults`` attachment —
+with no injector attached, all timing is bit-identical to the
+fault-free model.
+"""
+
+from repro.faults.errors import (DegradedReadError, EraseFailError,
+                                 FaultError, ProgramFailError,
+                                 UncorrectableError)
+from repro.faults.injector import FaultInjector
+from repro.faults.model import ErrorModel, FaultConfig, ReadPlan, stable_unit
+from repro.faults.parity import PARITY_POSITION, ParityStore, xor_fold
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultEvent",
+    "ErrorModel",
+    "ReadPlan",
+    "ParityStore",
+    "PARITY_POSITION",
+    "xor_fold",
+    "stable_unit",
+    "FaultError",
+    "UncorrectableError",
+    "DegradedReadError",
+    "ProgramFailError",
+    "EraseFailError",
+]

@@ -1,0 +1,76 @@
+"""Scripted fault plans: deterministic, time-triggered injections.
+
+A :class:`FaultPlan` is a list of events the injector applies as model
+time passes the event time: kill a whole channel (every die behind it
+becomes unreachable), mark a block bad (programs and erases to it fail
+with status-fail), or corrupt one programmed page (its next reads walk
+the full retry ladder and fail). Events are observed lazily at the next
+flash operation at or after their trigger time, and once applied they
+stay applied — a killed channel does not come back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["FaultEvent", "FaultPlan"]
+
+_KINDS = ("kill_channel", "bad_block", "corrupt_page")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scripted injection."""
+
+    time: float
+    kind: str
+    channel: int = -1
+    bank: int = -1
+    block: int = -1
+    page: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault event kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("fault events cannot trigger before t=0")
+
+
+class FaultPlan:
+    """Builder for a scripted injection schedule (chainable)."""
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def kill_channel(self, channel: int, at: float = 0.0) -> "FaultPlan":
+        """All reads/programs/erases behind ``channel`` fail from ``at``
+        on — the scenario NDS cross-channel parity is built for."""
+        self.events.append(FaultEvent(at, "kill_channel", channel=channel))
+        return self
+
+    def mark_block_bad(self, channel: int, bank: int, block: int,
+                       at: float = 0.0) -> "FaultPlan":
+        """Programs and erases to the block report status-fail from
+        ``at`` on; already-programmed pages stay readable (the grown-
+        bad-block contract)."""
+        self.events.append(FaultEvent(at, "bad_block", channel=channel,
+                                      bank=bank, block=block))
+        return self
+
+    def corrupt_page(self, channel: int, bank: int, block: int, page: int,
+                     at: float = 0.0) -> "FaultPlan":
+        """The page's reads become uncorrectable (full ladder, then
+        failure) until its block is erased and it is reprogrammed."""
+        self.events.append(FaultEvent(at, "corrupt_page", channel=channel,
+                                      bank=bank, block=block, page=page))
+        return self
+
+    # ------------------------------------------------------------------
+    def sorted_events(self) -> Tuple[FaultEvent, ...]:
+        """Events in trigger order (stable for equal times)."""
+        return tuple(sorted(self.events, key=lambda e: e.time))
+
+    def __len__(self) -> int:
+        return len(self.events)

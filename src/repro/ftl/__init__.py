@@ -3,7 +3,7 @@
 from repro.ftl.gc import GarbageCollector, GcResult
 from repro.ftl.mapping import BlockState, OutOfSpaceError, PageMapFTL, PlaneAllocator
 from repro.ftl.ssd import BaselineSSD, DeviceOpResult
-from repro.ftl.wear import WearReport, wear_report
+from repro.ftl.wear import WearReport, erases_by_plane, wear_report
 
 __all__ = [
     "PageMapFTL",
@@ -16,4 +16,5 @@ __all__ = [
     "DeviceOpResult",
     "WearReport",
     "wear_report",
+    "erases_by_plane",
 ]

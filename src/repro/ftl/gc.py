@@ -10,9 +10,11 @@ building-block placement (STL) invariants survive collection.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.faults.errors import EraseFailError, ProgramFailError
 from repro.ftl.mapping import OutOfSpaceError, PageMapFTL
 from repro.nvm.address import PhysicalPageAddress, ppa_to_index
 from repro.nvm.flash import FlashArray
@@ -53,6 +55,13 @@ class GarbageCollector:
         self.reverse: Dict[int, int] = {}
         self.total_relocated = 0
         self.total_erased = 0
+        self.total_retired = 0
+
+    def _recovery(self):
+        """Context for internal relocation traffic: probabilistic fault
+        draws are suppressed (the controller verifies its own moves)."""
+        faults = self.flash.faults
+        return faults.suppress() if faults is not None else nullcontext()
 
     # ------------------------------------------------------------------
     # reverse-map maintenance (called by the SSD on every map change)
@@ -77,6 +86,10 @@ class GarbageCollector:
         Returns timing (reads + programs + erase are charged to the
         flash timelines) and relocation counts.
         """
+        with self._recovery():
+            return self._collect(channel, bank, now)
+
+    def _collect(self, channel: int, bank: int, now: float) -> GcResult:
         result = GcResult(ran=False, end_time=now)
         plane = self.ftl.planes[(channel, bank)]
         geometry = self.ftl.geometry
@@ -104,8 +117,26 @@ class GarbageCollector:
                     state.valid[page] = True
                     result.end_time = max(result.end_time, read.end_time)
                     return result
-                program = self.flash.program_pages([new_ppa], read.end_time,
-                                                   data=payload)
+                issue = read.end_time
+                while True:
+                    try:
+                        program = self.flash.program_pages([new_ppa], issue,
+                                                           data=payload)
+                        break
+                    except ProgramFailError as err:
+                        # structural bad block under the append point:
+                        # retire it (its other live pages move too) and
+                        # retry at the next free page
+                        plane.invalidate(new_ppa)
+                        issue = self.retire_block(channel, bank,
+                                                  new_ppa.block,
+                                                  err.fail_time)
+                        try:
+                            new_ppa = plane.allocate_page()
+                        except OutOfSpaceError:
+                            state.valid[page] = True
+                            result.end_time = max(result.end_time, issue)
+                            return result
                 if lpn is not None:
                     self.ftl.map[lpn] = new_ppa
                     self.reverse.pop(ppa_to_index(old_ppa, geometry), None)
@@ -113,8 +144,15 @@ class GarbageCollector:
                 result.end_time = max(result.end_time, program.end_time)
                 result.pages_relocated += 1
                 moved_any = True
-            erase = self.flash.erase_block(channel, bank, victim,
-                                           result.end_time)
+            try:
+                erase = self.flash.erase_block(channel, bank, victim,
+                                               result.end_time)
+            except EraseFailError as err:
+                # live pages are already out; the block is grown bad
+                self._retire(plane, victim)
+                result.end_time = max(result.end_time, err.fail_time)
+                result.ran = True
+                continue
             plane.release_block(victim)
             result.end_time = max(result.end_time, erase.end_time)
             result.blocks_erased += 1
@@ -124,3 +162,57 @@ class GarbageCollector:
         result.stats.count("gc_pages_relocated", result.pages_relocated)
         result.stats.count("gc_blocks_erased", result.blocks_erased)
         return result
+
+    # ------------------------------------------------------------------
+    # grown-bad-block management
+    # ------------------------------------------------------------------
+    def _retire(self, plane, block: int) -> None:
+        plane.retire_block(block)
+        self.total_retired += 1
+        if self.flash.faults is not None:
+            self.flash.faults.stats.count("grown_bad_blocks")
+
+    def retire_block(self, channel: int, bank: int, block: int,
+                     now: float) -> float:
+        """Grown-bad-block handling: relocate the block's live pages
+        within the plane, then take the block out of service for good.
+
+        Returns the model time when relocation traffic finished. Raises
+        :class:`~repro.ftl.mapping.OutOfSpaceError` when the plane
+        cannot absorb the survivors even after collection.
+        """
+        plane = self.ftl.planes[(channel, bank)]
+        geometry = self.ftl.geometry
+        state = plane._state(block)
+        # survivors must not land back in the block being retired
+        if plane.active_block == block:
+            plane.active_block = None
+        if block in plane.free_blocks:
+            plane.free_blocks.remove(block)
+        end = now
+        with self._recovery():
+            for page in range(geometry.pages_per_block):
+                if not state.valid[page]:
+                    continue
+                old_ppa = PhysicalPageAddress(channel, bank, block, page)
+                lpn = self.reverse.get(ppa_to_index(old_ppa, geometry))
+                read = self.flash.read_pages([old_ppa], end)
+                payload = None
+                if self.flash.store_data:
+                    payload = [self.flash.page_data(old_ppa)]
+                state.valid[page] = False
+                try:
+                    new_ppa = plane.allocate_page()
+                except OutOfSpaceError:
+                    self._collect(channel, bank, read.end_time)
+                    new_ppa = plane.allocate_page()
+                program = self.flash.program_pages([new_ppa], read.end_time,
+                                                   data=payload)
+                if lpn is not None:
+                    self.ftl.map[lpn] = new_ppa
+                    self.reverse.pop(ppa_to_index(old_ppa, geometry), None)
+                    self.reverse[ppa_to_index(new_ppa, geometry)] = lpn
+                self.total_relocated += 1
+                end = max(end, program.end_time)
+            self._retire(plane, block)
+        return end

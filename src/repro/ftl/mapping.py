@@ -38,6 +38,8 @@ class BlockState:
     #: monotone sequence number stamped when the block filled — the age
     #: proxy used by FIFO / cost-benefit victim selection
     filled_seq: int = -1
+    #: grown bad: never allocated from or erased again
+    retired: bool = False
 
     def live_pages(self) -> int:
         return sum(self.valid)
@@ -113,7 +115,7 @@ class PlaneAllocator:
         full = [
             b for b, state in self.blocks.items()
             if state.next_page == self.geometry.pages_per_block
-            and b != self.active_block
+            and b != self.active_block and not state.retired
         ]
         if policy == "greedy":
             return sorted(full, key=lambda b: self.blocks[b].live_pages())
@@ -135,6 +137,25 @@ class PlaneAllocator:
         state.valid = [False] * self.geometry.pages_per_block
         state.erase_count += 1
         self.free_blocks.append(block_id)
+
+    def retire_block(self, block_id: int) -> None:
+        """Take a grown-bad block out of service permanently.
+
+        The block leaves the free pool (if present), stops being the
+        active block, and is never offered as a GC victim again. Callers
+        must have relocated any live pages first.
+        """
+        state = self._state(block_id)
+        state.retired = True
+        state.valid = [False] * self.geometry.pages_per_block
+        state.next_page = self.geometry.pages_per_block
+        if block_id in self.free_blocks:
+            self.free_blocks.remove(block_id)
+        if self.active_block == block_id:
+            self.active_block = None
+
+    def retired_count(self) -> int:
+        return sum(1 for state in self.blocks.values() if state.retired)
 
 
 class PageMapFTL:

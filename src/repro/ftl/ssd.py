@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.faults.errors import ProgramFailError
 from repro.ftl.gc import GarbageCollector
 from repro.ftl.mapping import PageMapFTL
 from repro.nvm.flash import FlashArray
@@ -84,7 +85,23 @@ class BaselineSSD:
             payload = None
             if data is not None:
                 payload = [data[position]]
-            op = self.flash.program_pages([ppa], start_time, data=payload)
+            issue = start_time
+            while True:
+                try:
+                    op = self.flash.program_pages([ppa], issue, data=payload)
+                    break
+                except ProgramFailError as err:
+                    # grown bad block: undo the failed binding, retire
+                    # the block (relocating its other live pages), and
+                    # re-drive the program at a fresh append point
+                    plane = self.ftl.planes[(ppa.channel, ppa.bank)]
+                    plane.invalidate(ppa)
+                    self.gc.note_trim(ppa)
+                    self.ftl.map.pop(lpn, None)
+                    issue = self.gc.retire_block(ppa.channel, ppa.bank,
+                                                 ppa.block, err.fail_time)
+                    ppa, old = self.ftl.allocate(lpn)
+                    self.gc.note_alloc(lpn, ppa, old)
             end = max(end, op.end_time)
         stats.count("device_pages_written", len(lpns))
         return DeviceOpResult(start_time=start_time, end_time=end, stats=stats)

@@ -14,7 +14,7 @@ from typing import Dict, List, Tuple
 
 from repro.ftl.mapping import PageMapFTL
 
-__all__ = ["WearReport", "wear_report"]
+__all__ = ["WearReport", "wear_report", "erases_by_plane"]
 
 
 @dataclass(frozen=True)
@@ -25,6 +25,8 @@ class WearReport:
     min_erases: int
     max_erases: int
     mean_erases: float
+    #: grown-bad blocks taken out of service
+    retired_blocks: int = 0
 
     @property
     def spread(self) -> int:
@@ -40,10 +42,17 @@ def wear_report(ftl: PageMapFTL) -> WearReport:
     """
     counts: List[int] = []
     total_blocks = 0
+    retired = 0
     for plane in ftl.planes.values():
         total_blocks += plane.geometry.blocks_per_bank
         for state in plane.blocks.values():
             counts.append(state.erase_count)
+            if state.retired:
+                retired += 1
+    if total_blocks == 0:
+        # degenerate geometry (no planes materialized): an all-zero
+        # report, not a ValueError/ZeroDivisionError
+        return WearReport(0, 0, 0, 0.0)
     untouched = total_blocks - len(counts)
     total = sum(counts)
     return WearReport(
@@ -51,6 +60,7 @@ def wear_report(ftl: PageMapFTL) -> WearReport:
         min_erases=0 if untouched else min(counts),
         max_erases=max(counts) if counts else 0,
         mean_erases=total / total_blocks,
+        retired_blocks=retired,
     )
 
 

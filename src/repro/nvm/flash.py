@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.faults.errors import (EraseFailError, ProgramFailError,
+                                 UncorrectableError)
 from repro.nvm.address import PhysicalPageAddress, ppa_to_index
 from repro.nvm.geometry import Geometry
 from repro.nvm.timing import NvmTiming
@@ -102,6 +104,15 @@ class FlashArray:
         #: optional per-layer span recorder (set via the owning
         #: system's ``set_trace``): records channel/bank occupancy
         self.trace = None
+        #: optional :class:`~repro.faults.injector.FaultInjector`; with
+        #: None (default) every path is bit-identical to the fault-free
+        #: model — no bookkeeping, no draws, no extra reservations
+        self.faults = None
+
+    def attach_faults(self, injector) -> None:
+        """Attach a fault injector (None detaches). Attach before any
+        timed operations so wear/retention bookkeeping is complete."""
+        self.faults = injector
 
     # ------------------------------------------------------------------
     # functional access
@@ -180,8 +191,18 @@ class FlashArray:
                     start_time: float = 0.0) -> FlashOpResult:
         """Erase one block: the bank is busy for ``t_erase`` and all
         pages in the block return to the erased state."""
+        faults = self.faults
+        verdict = None
+        if faults is not None:
+            faults.advance(start_time)
+            verdict = faults.erase_check((channel, bank, block))
         line = self.bank_lines[channel][bank]
         start, end = line.reserve(start_time, self.timing.t_erase)
+        if verdict is not None:
+            self.stats.count("erase_fails")
+            faults.stats.count("erase_fails")
+            raise EraseFailError(channel, bank, block, fail_time=end,
+                                 reason=verdict)
         if self.store_data:
             base = PhysicalPageAddress(channel, bank, block, 0)
             base_idx = ppa_to_index(base, self.geometry)
@@ -189,6 +210,11 @@ class FlashArray:
                 self._programmed.discard(base_idx + offset)
                 self._pages.pop(base_idx + offset, None)
                 self._checksums.pop(base_idx + offset, None)
+        if faults is not None:
+            base = PhysicalPageAddress(channel, bank, block, 0)
+            faults.note_erase((channel, bank, block),
+                              ppa_to_index(base, self.geometry),
+                              self.geometry.pages_per_block, end)
         self.stats.count("blocks_erased")
         result = FlashOpResult(start_time=start, end_time=end, completions=[end])
         result.stats.count("blocks_erased")
@@ -198,6 +224,13 @@ class FlashArray:
     # internals
     # ------------------------------------------------------------------
     def _read_one(self, ppa: PhysicalPageAddress, issue_time: float) -> float:
+        faults = self.faults
+        if faults is not None:
+            faults.advance(issue_time)
+            if faults.channel_dead(ppa.channel):
+                faults.stats.count("dead_channel_reads")
+                raise UncorrectableError(ppa, fail_time=issue_time,
+                                         reason="channel_dead")
         channel = self.channel_lines[ppa.channel]
         bank = self.bank_lines[ppa.channel][ppa.bank]
         # The command reaches the die after t_cmd (latency only: command
@@ -214,11 +247,55 @@ class FlashArray:
             self.trace.span(bank.name, read_start, read_end, name="nand_read")
             self.trace.span(channel.name, xfer_start, xfer_end,
                             name="page_out", bytes=self.geometry.page_size)
-        return xfer_end
+        if faults is None:
+            return xfer_end
+        return self._apply_read_faults(ppa, bank, channel, xfer,
+                                       read_start, xfer_end)
+
+    def _apply_read_faults(self, ppa: PhysicalPageAddress, bank: Timeline,
+                           channel: Timeline, xfer: float,
+                           sense_start: float, first_end: float) -> float:
+        """Walk the ECC read-retry ladder: each retry re-senses at a
+        tuned reference voltage (longer than a default sense) and moves
+        the page out again so the ECC engine can re-decode."""
+        idx = ppa_to_index(ppa, self.geometry)
+        plan = self.faults.read_plan(
+            idx, (ppa.channel, ppa.bank, ppa.block, ppa.page), sense_start)
+        end = first_end
+        for factor in plan.sense_factors:
+            retry_start, retry_end = bank.reserve(end,
+                                                  self.timing.t_read * factor)
+            xfer_start, xfer_end = channel.reserve(retry_end, xfer)
+            if bank.free_at < xfer_end:
+                bank.free_at = xfer_end
+            if self.trace is not None:
+                self.trace.span(bank.name, retry_start, retry_end,
+                                name="read_retry")
+                self.trace.span(channel.name, xfer_start, xfer_end,
+                                name="page_out_retry",
+                                bytes=self.geometry.page_size)
+            end = xfer_end
+        if plan.retries:
+            self.stats.count("read_retries", plan.retries)
+            self.faults.stats.count("read_retries", plan.retries)
+        if plan.uncorrectable:
+            self.stats.count("uncorrectable_reads")
+            self.faults.stats.count("uncorrectable_reads")
+            raise UncorrectableError(ppa, fail_time=end,
+                                     retries=plan.retries,
+                                     reason=plan.reason)
+        return end
 
     def _program_one(self, ppa: PhysicalPageAddress, issue_time: float,
                      payload: Optional[np.ndarray]) -> float:
-        if self.store_data:
+        faults = self.faults
+        verdict = None
+        if faults is not None:
+            faults.advance(issue_time)
+            idx = ppa_to_index(ppa, self.geometry)
+            verdict = faults.program_check(
+                idx, (ppa.channel, ppa.bank, ppa.block, ppa.page))
+        if self.store_data and verdict is None:
             idx = ppa_to_index(ppa, self.geometry)
             if idx in self._programmed:
                 raise FlashStateError(
@@ -244,6 +321,14 @@ class FlashArray:
                             name="page_in", bytes=self.geometry.page_size)
             self.trace.span(bank.name, prog_start, prog_end,
                             name="nand_program")
+        if verdict is not None:
+            # the attempt cost real bus and array time before the status
+            # register reported the failure
+            self.stats.count("program_fails")
+            faults.stats.count("program_fails")
+            raise ProgramFailError(ppa, fail_time=prog_end, reason=verdict)
+        if faults is not None:
+            faults.note_program(ppa_to_index(ppa, self.geometry), prog_end)
         return prog_end
 
     # ------------------------------------------------------------------
@@ -259,3 +344,5 @@ class FlashArray:
         for bank_row in self.bank_lines:
             for line in bank_row:
                 line.reset()
+        if self.faults is not None:
+            self.faults.note_time_reset()

@@ -125,6 +125,10 @@ class RequestScheduler:
         self.executed: List[TileOp] = []
         self._pending: List[TileOp] = []
         self._next_op_id = 0
+        #: per-stream deltas of the executor's fault counters (empty
+        #: unless the executor exposes ``fault_counters`` and an
+        #: injector is attached)
+        self._fault_totals: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # stream management
@@ -187,6 +191,7 @@ class RequestScheduler:
             handle.reset()
         self.executed.clear()
         self._pending.clear()
+        self._fault_totals.clear()
 
     # ------------------------------------------------------------------
     # reporting
@@ -206,9 +211,32 @@ class RequestScheduler:
             }
         return report
 
+    def stream_fault_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-stream fault/retry/error counters accumulated across all
+        executed ops (empty when no injector is attached or nothing
+        fired). Keys mirror the injector's counters, plus
+        ``ops_failed`` for ops that raised a typed storage error."""
+        return {name: dict(counters)
+                for name, counters in self._fault_totals.items() if counters}
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _account_faults(self, op: TileOp, before: Dict[str, int],
+                        after: Optional[Dict[str, int]],
+                        failed: bool = False, result=None) -> None:
+        if after is None:
+            return
+        totals = self._fault_totals.setdefault(op.stream, {})
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                totals[name] = totals.get(name, 0) + delta
+                if result is not None:
+                    result.stats.count(name, delta)
+        if failed:
+            totals["ops_failed"] = totals.get("ops_failed", 0) + 1
+
     def _arbitrate(self) -> List[TileOp]:
         if self.arbitration == "fifo":
             return list(self._pending)
@@ -228,14 +256,22 @@ class RequestScheduler:
     def _run(self, op: TileOp) -> None:
         handle = self.streams[op.stream]
         earliest = handle.window.earliest(op.submit_time)
+        probe = getattr(self.executor, "fault_counters", None)
+        before = probe() if probe is not None else None
         if self.trace is not None:
             self.trace.push_op(op.stream, op.op_id)
         try:
             result = self.executor._execute_op(op, earliest)
+        except Exception:
+            if before is not None:
+                self._account_faults(op, before, probe(), failed=True)
+            raise
         finally:
             if self.trace is not None:
                 self.trace.pop_op()
         op.result = result
+        if before is not None:
+            self._account_faults(op, before, probe(), result=result)
         handle.window.complete(result.end_time)
         handle.ops.append(op)
         self.executed.append(op)

@@ -97,6 +97,16 @@ class StorageSystem(abc.ABC):
             if flash is not None and hasattr(flash, "trace"):
                 flash.trace = recorder
 
+    def fault_counters(self) -> Optional[dict]:
+        """Snapshot of the flash fault injector's counters (None when no
+        injector is attached) — the scheduler diffs this around each op
+        for per-stream error/retry metrics."""
+        for holder in (self, getattr(self, "ssd", None)):
+            flash = getattr(holder, "flash", None)
+            if flash is not None and getattr(flash, "faults", None) is not None:
+                return flash.faults.counters()
+        return None
+
     def _execute_op(self, op: TileOp, earliest_start: float) -> SystemOpResult:
         """Dispatch one scheduled op to the architecture's flow."""
         if op.kind == "read":

@@ -18,6 +18,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultConfig
 from repro.ftl.ssd import BaselineSSD
 from repro.host.cpu import HostCpu
 from repro.host.io_engine import HostIoEngine, IoRequest
@@ -60,10 +62,13 @@ class BaselineSystem(StorageSystem):
                  queue_depth: int = 32,
                  max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
                  cpu: Optional[HostCpu] = None,
-                 cache_pages: int = 0) -> None:
+                 cache_pages: int = 0,
+                 faults: Optional["FaultConfig"] = None) -> None:
         self.profile = profile
         self.store_data = store_data
         self.ssd = BaselineSSD(profile, store_data=store_data)
+        if faults is not None:
+            self.ssd.flash.attach_faults(FaultInjector(faults))
         self.link = Link(profile.link_bandwidth, profile.link_command_overhead)
         self.cpu = cpu if cpu is not None else HostCpu()
         self.engine = HostIoEngine(self.ssd, self.link, self.cpu,

@@ -24,6 +24,8 @@ from repro.core.api import bytes_to_array
 from repro.core.controller import ControllerTiming, NdsController
 from repro.core.stl import SpaceTranslationLayer
 from repro.core.translator import pages_for_region
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultConfig
 from repro.host.cpu import HostCpu
 from repro.interconnect.link import Link
 from repro.nvm.flash import FlashArray
@@ -47,13 +49,18 @@ class HardwareNdsSystem(StorageSystem):
                  segment_bytes: int = DEFAULT_SEGMENT_BYTES,
                  bb_override: Optional[Sequence[int]] = None,
                  cpu: Optional[HostCpu] = None,
-                 cipher=None) -> None:
+                 cipher=None,
+                 faults: Optional[FaultConfig] = None) -> None:
         self.profile = profile
         self.store_data = store_data
         self.flash = FlashArray(profile.geometry, profile.timing,
                                 store_data=store_data)
+        if faults is not None:
+            self.flash.attach_faults(FaultInjector(faults))
         self.stl = SpaceTranslationLayer(self.flash,
-                                         gc_threshold=profile.overprovisioning)
+                                         gc_threshold=profile.overprovisioning,
+                                         parity=faults.parity
+                                         if faults is not None else False)
         self.controller = NdsController(controller_timing)
         self.link = Link(profile.link_bandwidth, profile.link_command_overhead)
         self.cpu = cpu if cpu is not None else HostCpu()

@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.core.api import bytes_to_array
 from repro.core.stl import SpaceTranslationLayer
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultConfig
 from repro.host.cpu import HostCpu
 from repro.interconnect.link import Link
 from repro.nvm.flash import FlashArray
@@ -60,13 +62,18 @@ class SoftwareNdsSystem(StorageSystem):
                  queue_depth: int = 32,
                  costs: SoftwareStlCosts = SoftwareStlCosts(),
                  bb_override: Optional[Sequence[int]] = None,
-                 cpu: Optional[HostCpu] = None) -> None:
+                 cpu: Optional[HostCpu] = None,
+                 faults: Optional[FaultConfig] = None) -> None:
         self.profile = profile
         self.store_data = store_data
         self.flash = FlashArray(profile.geometry, profile.timing,
                                 store_data=store_data)
+        if faults is not None:
+            self.flash.attach_faults(FaultInjector(faults))
         self.stl = SpaceTranslationLayer(self.flash,
-                                         gc_threshold=profile.overprovisioning)
+                                         gc_threshold=profile.overprovisioning,
+                                         parity=faults.parity
+                                         if faults is not None else False)
         self.link = Link(profile.link_bandwidth, profile.link_command_overhead)
         self.cpu = cpu if cpu is not None else HostCpu()
         self.queue_depth = queue_depth

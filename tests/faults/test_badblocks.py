@@ -1,0 +1,97 @@
+"""Grown-bad-block management in the baseline FTL, and the wear-report
+regressions (empty device, retired-block accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults import FaultConfig, FaultInjector, FaultPlan
+from repro.ftl import (BaselineSSD, PageMapFTL, WearReport, erases_by_plane,
+                       wear_report)
+from repro.nvm import TINY_TEST
+
+
+def _planeless_ftl() -> PageMapFTL:
+    """An FTL with zero materialized planes (degenerate geometry)."""
+    ftl = PageMapFTL(TINY_TEST.geometry)
+    ftl.planes = {}
+    return ftl
+
+
+def _ssd(plan=None) -> BaselineSSD:
+    ssd = BaselineSSD(TINY_TEST, store_data=True)
+    if plan is not None:
+        ssd.flash.attach_faults(FaultInjector(FaultConfig(plan=plan)))
+    return ssd
+
+
+class TestGrownBadBlocks:
+    def test_program_fail_retires_block_and_data_survives(self):
+        """A plan-marked bad block fails its first program; the FTL must
+        retire it, re-drive the write elsewhere, and keep every byte."""
+        ssd = _ssd(FaultPlan().mark_block_bad(0, 0, 0, at=0.0))
+        lpns = list(range(32))
+        payload = [np.full(ssd.page_size, i, dtype=np.uint8) for i in lpns]
+        write = ssd.write_lpns(lpns, 0.0, data=payload)
+        assert write.end_time > 0.0
+        readback = ssd.read_lpns(lpns, write.end_time, with_data=True)
+        for expected, got in zip(payload, readback.data):
+            assert np.array_equal(expected, got)
+        faults = ssd.flash.faults
+        assert faults.stats.counters["program_fails"] >= 1
+        assert faults.stats.counters["grown_bad_blocks"] >= 1
+        assert ssd.gc.total_retired >= 1
+
+    def test_retired_block_is_out_of_service(self):
+        ssd = _ssd(FaultPlan().mark_block_bad(0, 0, 0, at=0.0))
+        lpns = list(range(32))
+        ssd.write_lpns(lpns, 0.0,
+                       data=[np.zeros(ssd.page_size, np.uint8) for _ in lpns])
+        plane = ssd.ftl.planes[(0, 0)]
+        state = plane.blocks[0]
+        assert state.retired
+        assert 0 not in plane.free_blocks
+        assert all(victim != 0 for victim in plane.victim_candidates())
+        assert plane.retired_count() == 1
+
+    def test_wear_report_counts_retired_blocks(self):
+        ssd = _ssd(FaultPlan().mark_block_bad(0, 0, 0, at=0.0))
+        lpns = list(range(16))
+        ssd.write_lpns(lpns, 0.0,
+                       data=[np.zeros(ssd.page_size, np.uint8) for _ in lpns])
+        report = wear_report(ssd.ftl)
+        assert report.retired_blocks == 1
+
+
+class TestWearReportRegressions:
+    def test_empty_ftl_is_all_zero_not_an_exception(self):
+        """Zero materialized blocks used to ValueError/ZeroDivisionError
+        (``min()``/``max()`` of an empty list, division by zero); both
+        the fresh device and the degenerate no-planes case must yield an
+        all-zero report."""
+        for ftl in (PageMapFTL(TINY_TEST.geometry), _planeless_ftl()):
+            report = wear_report(ftl)
+            assert isinstance(report, WearReport)
+            assert report.total_erases == 0
+            assert report.min_erases == 0 and report.max_erases == 0
+            assert report.mean_erases == 0.0
+            assert report.retired_blocks == 0
+            assert report.spread == 0
+
+    def test_fresh_device_after_one_write_is_still_zero_wear(self):
+        ssd = _ssd()
+        ssd.write_lpns([0], 0.0, data=[np.zeros(ssd.page_size, np.uint8)])
+        report = wear_report(ssd.ftl)
+        assert report.total_erases == 0
+        assert report.mean_erases == 0.0
+
+    def test_erases_by_plane_is_exported_and_consistent(self):
+        ssd = _ssd()
+        lpns = list(range(48))
+        data = [np.zeros(ssd.page_size, np.uint8) for _ in lpns]
+        end = 0.0
+        for _ in range(16):  # overwrite churn to force GC erases
+            end = ssd.write_lpns(lpns, end, data=data).end_time
+        per_plane = erases_by_plane(ssd.ftl)
+        assert sum(per_plane.values()) == wear_report(ssd.ftl).total_erases
+        assert sum(per_plane.values()) > 0

@@ -1,0 +1,79 @@
+"""Unit tests for the seeded error model and fault plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ErrorModel, FaultConfig, FaultEvent, FaultPlan
+from repro.faults.model import stable_unit
+
+
+class TestStableUnit:
+    def test_deterministic_and_in_unit_interval(self):
+        values = [stable_unit(1, 2, 3), stable_unit(1, 2, 3)]
+        assert values[0] == values[1]
+        assert 0.0 <= values[0] < 1.0
+
+    def test_key_sensitivity(self):
+        assert stable_unit(1, 2, 3) != stable_unit(1, 2, 4)
+        assert stable_unit(1, 2, 3) != stable_unit(3, 2, 1)
+
+    def test_spread(self):
+        """Draws cover the unit interval roughly uniformly."""
+        draws = [stable_unit(0xF417, i) for i in range(2000)]
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55
+        assert min(draws) < 0.02 and max(draws) > 0.98
+
+
+class TestErrorModel:
+    def test_rber_monotone_in_wear_and_retention(self):
+        model = ErrorModel(FaultConfig())
+        assert model.rber(100, 0.0) > model.rber(0, 0.0)
+        assert model.rber(0, 1e6) > model.rber(0, 0.0)
+
+    def test_clean_read_below_ecc_threshold(self):
+        model = ErrorModel(FaultConfig())
+        plan = model.read_outcome(0.5, 1e-6)
+        assert plan.retries == 0 and not plan.uncorrectable
+
+    def test_ladder_escalates_with_rber(self):
+        config = FaultConfig(jitter_log2=0.0)  # no per-read jitter
+        model = ErrorModel(config)
+        retries = [model.read_outcome(0.5, config.ecc_rber * gain * 0.99
+                                      ).retries
+                   for gain in (1.0, *config.retry_rber_gain)]
+        assert retries == sorted(retries)
+        hopeless = model.read_outcome(
+            0.5, config.ecc_rber * config.retry_rber_gain[-1] * 2)
+        assert hopeless.uncorrectable
+        assert hopeless.retries == len(config.retry_rber_gain)
+
+    def test_full_ladder_is_uncorrectable(self):
+        model = ErrorModel(FaultConfig())
+        plan = model.full_ladder("corrupt")
+        assert plan.uncorrectable and plan.reason == "corrupt"
+        assert plan.retries == len(model.config.retry_rber_gain)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FaultConfig(rber_base=-1.0)
+        with pytest.raises(ValueError):
+            FaultConfig(retry_rber_gain=(2.0,), retry_sense_factors=(1.5, 2.0))
+
+
+class TestFaultPlan:
+    def test_builder_chains_and_sorts(self):
+        plan = (FaultPlan()
+                .mark_block_bad(0, 1, 2, at=3.0)
+                .kill_channel(1, at=1.0)
+                .corrupt_page(2, 0, 1, 5, at=2.0))
+        times = [event.time for event in plan.sorted_events()]
+        assert times == sorted(times)
+        assert len(plan) == 3
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "meteor_strike")
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, "kill_channel", channel=0)

@@ -1,0 +1,85 @@
+"""Per-stream fault/retry metrics through the request scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import UncorrectableError
+from repro.faults import FaultConfig, FaultPlan
+from repro.nvm import TINY_TEST
+from repro.systems import BaselineSystem, SoftwareNdsSystem
+
+N = 64
+
+
+def _data() -> np.ndarray:
+    return np.random.default_rng(11).integers(
+        0, 256, size=(N, N), dtype=np.uint8).astype(np.uint8)
+
+
+def _corrupt_config(parity: bool) -> FaultConfig:
+    return FaultConfig(parity=parity,
+                       plan=FaultPlan().corrupt_page(0, 0, 0, 0, at=0.01))
+
+
+class TestStreamFaultReport:
+    def test_faults_attributed_to_the_issuing_stream(self):
+        system = SoftwareNdsSystem(TINY_TEST, store_data=True,
+                                   faults=_corrupt_config(parity=True))
+        system.ingest("d", (N, N), 1, data=_data())
+        system.read_tile("d", (0, 0), (N, N), start_time=0.1,
+                         with_data=True, stream="tenant-a")
+        system.read_tile("d", (0, 0), (N, N), start_time=0.2,
+                         with_data=True, stream="tenant-b")
+        report = system.scheduler.stream_fault_report()
+        # the corruption fired during tenant-a's read; tenant-b's later
+        # read hits the already-relocated unit and stays clean
+        assert report["tenant-a"]["uncorrectable_reads"] == 1
+        assert report["tenant-a"]["read_retries"] > 0
+        assert report["tenant-a"]["stl_pages_reconstructed"] == 1
+        assert "tenant-b" not in report
+        # retry charges also land on the op's own result stats
+        op = next(op for op in system.scheduler.executed
+                  if op.stream == "tenant-a")
+        assert op.result.stats.counters["read_retries"] > 0
+
+    def test_failed_ops_are_counted(self):
+        system = BaselineSystem(TINY_TEST, store_data=True,
+                                faults=_corrupt_config(parity=False))
+        system.ingest("d", (N, N), 1, data=_data())
+        with pytest.raises(UncorrectableError):
+            system.read_tile("d", (0, 0), (N, N), start_time=0.1,
+                             with_data=True, stream="victim")
+        report = system.scheduler.stream_fault_report()
+        assert report["victim"]["ops_failed"] == 1
+        assert report["victim"]["uncorrectable_reads"] == 1
+
+    def test_no_injector_means_empty_report(self):
+        system = SoftwareNdsSystem(TINY_TEST, store_data=True)
+        system.ingest("d", (N, N), 1, data=_data())
+        system.read_tile("d", (0, 0), (N, N), start_time=0.1)
+        assert system.fault_counters() is None
+        assert system.scheduler.stream_fault_report() == {}
+
+    def test_stream_report_keys_are_unchanged(self):
+        """The PR-1 stream_report contract must not grow fault keys —
+        dashboards parse it."""
+        system = SoftwareNdsSystem(TINY_TEST, store_data=True,
+                                   faults=_corrupt_config(parity=True))
+        system.ingest("d", (N, N), 1, data=_data())
+        system.read_tile("d", (0, 0), (N, N), start_time=0.1,
+                         stream="tenant-a", with_data=True)
+        for metrics in system.scheduler.stream_report().values():
+            assert set(metrics) == {"ops", "makespan", "mean_latency",
+                                    "max_latency"}
+
+    def test_reset_clears_fault_totals(self):
+        system = SoftwareNdsSystem(TINY_TEST, store_data=True,
+                                   faults=_corrupt_config(parity=True))
+        system.ingest("d", (N, N), 1, data=_data())
+        system.read_tile("d", (0, 0), (N, N), start_time=0.1,
+                         with_data=True, stream="tenant-a")
+        assert system.scheduler.stream_fault_report()
+        system.scheduler.reset()
+        assert system.scheduler.stream_fault_report() == {}
