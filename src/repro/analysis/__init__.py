@@ -1,6 +1,7 @@
 """Reporting and paper-number calibration."""
 
 from repro.analysis.calibration import PAPER, PaperNumbers
+from repro.analysis.isolation import channel_overlap, isolation_sweep
 from repro.analysis.reliability import reliability_sweep
 from repro.analysis.report import (comparison_row, format_bandwidth,
                                    format_ratio, format_table)
@@ -13,4 +14,6 @@ __all__ = [
     "format_ratio",
     "comparison_row",
     "reliability_sweep",
+    "isolation_sweep",
+    "channel_overlap",
 ]

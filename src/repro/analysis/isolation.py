@@ -1,0 +1,186 @@
+"""Multi-tenant isolation experiment: interference with and without QoS.
+
+Two tenants (GEMM and BFS) share one NDS device under four regimes —
+each alone, co-run with plain round-robin, co-run with 3:1 weighted
+shares, and co-run with disjoint per-tenant channel shards — and the
+sweep quantifies what each regime buys: per-stream slowdown against the
+solo run, service-time shares, SLO accounting, and how much busy time
+the tenants overlap on *shared flash channels* (the physical source of
+interference). With disjoint shards the overlap is exactly zero: hard
+isolation in the FlashBlox sense, enforced by the STL allocator rather
+than the scheduler.
+
+Everything is deterministic: two calls with the same arguments produce
+identical numbers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.nvm.profiles import TINY_TEST, DeviceProfile
+from repro.runtime import QosSpec, ShardSpec, TraceRecorder
+from repro.systems.software_nds import SoftwareNdsSystem
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.gemm import GemmWorkload
+from repro.workloads.runner import co_run_workloads
+
+__all__ = ["channel_overlap", "isolation_sweep"]
+
+_CHANNEL_LINE = re.compile(r"^ch\d+$")
+
+
+def _busy_intervals(trace: TraceRecorder, stream: str
+                    ) -> Dict[str, List[Tuple[float, float]]]:
+    """Busy intervals per flash *channel line* for one stream.
+
+    Bank lines (``ch{c}/bk{b}``) are excluded: bank busy time nests
+    inside its channel, so channel lines alone decide whether two
+    tenants ever touched the same physical resource."""
+    intervals: Dict[str, List[Tuple[float, float]]] = {}
+    for span in trace.spans:
+        if span.instant or span.stream != stream:
+            continue
+        if not _CHANNEL_LINE.match(span.resource):
+            continue
+        intervals.setdefault(span.resource, []).append(
+            (span.start, span.end))
+    for spans in intervals.values():
+        spans.sort()
+    return intervals
+
+
+def channel_overlap(trace: TraceRecorder, stream_a: str, stream_b: str
+                    ) -> Dict[str, object]:
+    """Where two tenants' flash-channel busy intervals land on the same
+    channels.
+
+    Channel timelines are exclusive FCFS servers, so two tenants'
+    intervals on one channel interleave rather than intersect in time —
+    interference shows up as *footprint* overlap: a channel both
+    tenants keep busy means each tenant's ops queue behind the other's.
+    Returns ``{"channels": {ch: {stream: busy_seconds}},
+    "shared_channels": [...], "shared_busy_time": seconds}`` where
+    ``shared_channels`` lists channels on which *both* streams had busy
+    intervals and ``shared_busy_time`` totals both tenants' busy time
+    on those channels. Zero shared channels is the signature of hard
+    (shard) isolation.
+    """
+    busy_a = _busy_intervals(trace, stream_a)
+    busy_b = _busy_intervals(trace, stream_b)
+
+    def total(spans: List[Tuple[float, float]]) -> float:
+        return sum(end - start for start, end in spans)
+
+    channels: Dict[str, Dict[str, float]] = {}
+    for channel in sorted(set(busy_a) | set(busy_b)):
+        channels[channel] = {
+            stream_a: total(busy_a.get(channel, [])),
+            stream_b: total(busy_b.get(channel, [])),
+        }
+    shared = [ch for ch, busy in channels.items()
+              if busy[stream_a] > 0.0 and busy[stream_b] > 0.0]
+    return {
+        "channels": channels,
+        "shared_channels": shared,
+        "shared_busy_time": sum(sum(channels[ch].values())
+                                for ch in shared),
+    }
+
+
+def _workloads() -> List[object]:
+    return [GemmWorkload(n=64, tile=16, max_tiles=12),
+            BfsWorkload(nodes=64, batch_rows=16)]
+
+
+def _stream_summary(stream, solo_makespan: float) -> Dict[str, float]:
+    summary = {
+        "tiles": stream.tiles,
+        "io_makespan": stream.io_makespan,
+        "slowdown": (stream.io_makespan / solo_makespan
+                     if solo_makespan > 0 else 0.0),
+        "mean_io_latency": stream.mean_io_latency,
+        "p95_io_latency": stream.p95_io_latency,
+        "weight": stream.weight,
+        "service_time": stream.service_time,
+    }
+    if stream.latency_target is not None:
+        summary["slo"] = {"target": stream.latency_target,
+                          "met": stream.slo_met,
+                          "violated": stream.slo_violated}
+    return summary
+
+
+def isolation_sweep(profile: DeviceProfile = TINY_TEST,
+                    queue_depth: int = 4,
+                    weight: float = 3.0,
+                    latency_target: Optional[float] = None,
+                    shard_channels: Optional[Tuple[Sequence[int],
+                                                   Sequence[int]]] = None,
+                    ) -> Dict[str, object]:
+    """Interference sweep: solo → shared → weighted → sharded.
+
+    ``weight`` is the favoured tenant's (GEMM's) share against the
+    co-tenant's implicit 1.0; ``shard_channels`` overrides the default
+    half/half channel split of the sharded regime. Returns a
+    JSON-serialisable summary plus the shared- and sharded-regime
+    :class:`TraceRecorder` objects under ``"traces"`` (pop that key
+    before serialising).
+    """
+    workloads = _workloads()
+    names = [w.name for w in workloads]
+    if shard_channels is None:
+        half = profile.geometry.channels // 2
+        if half == 0:
+            raise ValueError("profile needs at least 2 channels to shard")
+        shard_channels = (tuple(range(half)),
+                         tuple(range(half, profile.geometry.channels)))
+
+    def system():
+        return SoftwareNdsSystem(profile, store_data=False)
+
+    solo: Dict[str, float] = {}
+    for workload in _workloads():
+        result = co_run_workloads([workload], system(),
+                                  queue_depth=queue_depth)
+        solo[workload.name] = result.streams[workload.name].io_makespan
+
+    scenarios: Dict[str, Dict[str, object]] = {}
+    traces: Dict[str, TraceRecorder] = {}
+
+    def run(key: str, arbitration: str,
+            qos: Optional[Dict[str, QosSpec]]) -> None:
+        trace = TraceRecorder()
+        result = co_run_workloads(_workloads(), system(),
+                                  queue_depth=queue_depth,
+                                  arbitration=arbitration,
+                                  trace=trace, qos=qos)
+        scenarios[key] = {
+            "arbitration": arbitration,
+            "streams": {name: _stream_summary(stream, solo[name])
+                        for name, stream in result.streams.items()},
+            "overlap": channel_overlap(trace, names[0], names[1]),
+        }
+        traces[key] = trace
+
+    run("shared", "round_robin", None)
+    run("weighted", "weighted",
+        {names[0]: QosSpec(weight=weight, latency_target=latency_target),
+         names[1]: QosSpec(weight=1.0, latency_target=latency_target)})
+    run("sharded", "weighted",
+        {names[0]: QosSpec(weight=weight, latency_target=latency_target,
+                           shard=ShardSpec(tuple(shard_channels[0]))),
+         names[1]: QosSpec(weight=1.0, latency_target=latency_target,
+                           shard=ShardSpec(tuple(shard_channels[1])))})
+
+    return {
+        "profile": profile.name,
+        "queue_depth": queue_depth,
+        "weight": weight,
+        "shard_channels": [list(shard_channels[0]),
+                           list(shard_channels[1])],
+        "solo_makespan": solo,
+        "scenarios": scenarios,
+        "traces": traces,
+    }

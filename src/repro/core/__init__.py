@@ -16,6 +16,7 @@ from repro.core.errors import (CapacityError, InvalidCoordinateError,
                                NdsError, SpaceClosedError,
                                SpaceNotFoundError, ViewVolumeError)
 from repro.core.gc import NdsGarbageCollector, NdsGcResult
+from repro.core.sharding import ShardSpec
 from repro.core.space import Space
 from repro.core.stl import BlockOpResult, SpaceTranslationLayer, StlOpResult
 from repro.core.translator import (BlockAccess, pages_for_region, translate,
@@ -25,6 +26,7 @@ from repro.core.views import (IdentityView, RegionMap, ReshapeView,
 
 __all__ = [
     "Space",
+    "ShardSpec",
     "SpaceTranslationLayer",
     "StlOpResult",
     "BlockOpResult",

@@ -23,7 +23,7 @@ FTL underneath, it just *places* differently.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.core.btree import BlockEntry
 from repro.core.errors import CapacityError
@@ -31,6 +31,9 @@ from repro.ftl.mapping import OutOfSpaceError, PlaneAllocator
 from repro.nvm.geometry import Geometry
 
 __all__ = ["NdsAllocator"]
+
+#: type alias: the (channel, bank) planes a shard may allocate from
+Planes = FrozenSet[Tuple[int, int]]
 
 
 class NdsAllocator:
@@ -65,10 +68,18 @@ class NdsAllocator:
     # ------------------------------------------------------------------
     # §4.2 placement rules
     # ------------------------------------------------------------------
-    def choose_target(self, entry: BlockEntry) -> Tuple[int, int]:
+    def choose_target(self, entry: BlockEntry,
+                      allowed: Optional[Planes] = None) -> Tuple[int, int]:
         """Pick the (channel, bank) the next unit of ``entry`` should
-        come from, before consulting free space."""
+        come from, before consulting free space.
+
+        ``allowed`` restricts every rule to a shard's plane subset; with
+        None (the default) the rules see the whole array and the RNG
+        draw sequence is identical to the pre-sharding allocator.
+        """
         g = self.geometry
+        if allowed is not None:
+            return self._choose_target_sharded(entry, allowed)
         if entry.last_alloc is None:
             # Rule 1: brand-new block — random channel and bank.
             return (self.rng.randrange(g.channels),
@@ -83,19 +94,51 @@ class NdsAllocator:
         channel = self._least_used_channel(entry, bank)
         return channel, bank
 
-    def _least_used_bank(self, entry: BlockEntry) -> int:
-        usage = [0] * self.geometry.banks_per_channel
+    def _choose_target_sharded(self, entry: BlockEntry,
+                               allowed: Planes) -> Tuple[int, int]:
+        """The same rules 1–3, with "every channel/bank" meaning the
+        shard's channels/banks."""
+        planes = sorted(allowed)
+        if entry.last_alloc is None:
+            return planes[self.rng.randrange(len(planes))]
+        bank = entry.last_alloc.bank
+        shard_channels_in_bank = {c for (c, b) in allowed if b == bank}
+        used_in_bank = {c for (c, b) in entry.bank_use if b == bank}
+        if not shard_channels_in_bank or \
+                used_in_bank >= shard_channels_in_bank:
+            bank = self._least_used_bank(entry, allowed)
+        channel = self._least_used_channel(entry, bank, allowed)
+        return channel, bank
+
+    def _least_used_bank(self, entry: BlockEntry,
+                         allowed: Optional[Planes] = None) -> int:
+        if allowed is None:
+            usage = [0] * self.geometry.banks_per_channel
+            for (_c, b), count in entry.bank_use.items():
+                usage[b] += count
+            least = min(usage)
+            candidates = [b for b, u in enumerate(usage) if u == least]
+            return self.rng.choice(candidates)
+        banks = sorted({b for (_c, b) in allowed})
+        usage = {b: 0 for b in banks}
         for (_c, b), count in entry.bank_use.items():
-            usage[b] += count
-        least = min(usage)
-        candidates = [b for b, u in enumerate(usage) if u == least]
+            if b in usage:
+                usage[b] += count
+        least = min(usage.values())
+        candidates = [b for b in banks if usage[b] == least]
         return self.rng.choice(candidates)
 
-    def _least_used_channel(self, entry: BlockEntry, bank: int) -> int:
-        usage = [entry.bank_use.get((c, bank), 0)
-                 for c in range(self.geometry.channels)]
-        least = min(usage)
-        candidates = [c for c, u in enumerate(usage) if u == least]
+    def _least_used_channel(self, entry: BlockEntry, bank: int,
+                            allowed: Optional[Planes] = None) -> int:
+        if allowed is None:
+            channels = range(self.geometry.channels)
+        else:
+            channels = sorted({c for (c, b) in allowed if b == bank})
+            if not channels:
+                channels = sorted({c for (c, _b) in allowed})
+        usage = [(entry.bank_use.get((c, bank), 0), c) for c in channels]
+        least = min(u for u, _c in usage)
+        candidates = [c for u, c in usage if u == least]
         # Tie-break on overall per-channel use so blocks larger than one
         # stripe still spread evenly.
         candidates.sort(key=lambda c: entry.channel_use.get(c, 0))
@@ -103,39 +146,45 @@ class NdsAllocator:
 
     # ------------------------------------------------------------------
     def allocate(self, entry: BlockEntry, position: int,
-                 prefer: Optional[Tuple[int, int]] = None):
+                 prefer: Optional[Tuple[int, int]] = None,
+                 allowed: Optional[Planes] = None):
         """Allocate a physical unit for block position ``position``.
 
         ``prefer`` pins (channel, bank) — used for overwrites, which must
         land in the same channel and bank as the replaced unit (§4.2).
-        Falls back over banks/channels (rule 4) before giving up.
+        ``allowed`` confines every choice (including the rule-4
+        fallback) to a shard's planes. Falls back over banks/channels
+        (rule 4) before giving up.
         """
         if prefer is not None:
             target = prefer
         else:
-            target = self.choose_target(entry)
+            target = self.choose_target(entry, allowed=allowed)
         ppa = None
         if not self._channel_dead(target[0]):
             ppa = self._try_allocate(target)
         if ppa is None:
-            ppa = self._fallback_allocate(target)
+            ppa = self._fallback_allocate(target, allowed=allowed)
         if ppa is None:
             raise CapacityError("no free access unit in any channel/bank")
         entry.record_alloc(ppa, position)
         return ppa
 
-    def allocate_raw(self, prefer: Optional[Tuple[int, int]] = None):
+    def allocate_raw(self, prefer: Optional[Tuple[int, int]] = None,
+                     allowed: Optional[Planes] = None):
         """Allocate a physical unit outside any building block's
         bookkeeping — used for cross-channel parity units."""
         target = prefer
         if target is None or self._channel_dead(target[0]):
-            live = [key for key in self.planes if not self._channel_dead(key[0])]
+            live = [key for key in (self.planes if allowed is None
+                                    else sorted(allowed))
+                    if not self._channel_dead(key[0])]
             if not live:
                 raise CapacityError("no live channel for a raw allocation")
             target = max(live, key=lambda key: self.planes[key].free_page_count())
         ppa = self._try_allocate(target)
         if ppa is None:
-            ppa = self._fallback_allocate(target)
+            ppa = self._fallback_allocate(target, allowed=allowed)
         if ppa is None:
             raise CapacityError("no free access unit in any channel/bank")
         return ppa
@@ -146,9 +195,12 @@ class NdsAllocator:
         except OutOfSpaceError:
             return None
 
-    def _fallback_allocate(self, target: Tuple[int, int]):
-        """Rule 4: scan least-used (most-free) planes first."""
-        ordered = sorted(self.planes.keys(),
+    def _fallback_allocate(self, target: Tuple[int, int],
+                           allowed: Optional[Planes] = None):
+        """Rule 4: scan least-used (most-free) planes first (within the
+        shard, when one is given — the shard boundary is absolute)."""
+        keys = self.planes.keys() if allowed is None else sorted(allowed)
+        ordered = sorted(keys,
                          key=lambda key: -self.planes[key].free_page_count())
         for key in ordered:
             if key == target or self._channel_dead(key[0]):

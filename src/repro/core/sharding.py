@@ -1,0 +1,75 @@
+"""Per-tenant physical space sharding (hard isolation).
+
+Shared-SSD QoS systems distinguish *soft* isolation — a share-aware
+scheduler arbitrating a common device — from *hard* isolation, where
+each tenant's data is pinned to a disjoint subset of the physical
+channels/banks so co-tenants never contend on the same flash timelines
+(FlashBlox-style channel partitioning). :class:`ShardSpec` names such a
+subset; the STL's allocator, garbage collector and parity writer all
+keep a sharded space's units inside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.nvm.geometry import Geometry
+
+__all__ = ["ShardSpec"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A channel (and optionally bank) subset of one flash array.
+
+    ``channels`` lists the channels this shard owns; ``banks`` (None =
+    every bank of those channels) narrows it further. Two shards are
+    disjoint when they share no (channel, bank) plane.
+    """
+
+    channels: Tuple[int, ...]
+    banks: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "channels",
+                           tuple(sorted({int(c) for c in self.channels})))
+        if self.banks is not None:
+            object.__setattr__(self, "banks",
+                               tuple(sorted({int(b) for b in self.banks})))
+        if not self.channels:
+            raise ValueError("a shard needs at least one channel")
+        if self.banks is not None and not self.banks:
+            raise ValueError("banks=() would leave the shard empty; "
+                             "use banks=None for every bank")
+
+    # ------------------------------------------------------------------
+    def validate(self, geometry: Geometry) -> None:
+        for channel in self.channels:
+            if not 0 <= channel < geometry.channels:
+                raise ValueError(
+                    f"shard channel {channel} outside geometry "
+                    f"(0..{geometry.channels - 1})")
+        for bank in self.banks or ():
+            if not 0 <= bank < geometry.banks_per_channel:
+                raise ValueError(
+                    f"shard bank {bank} outside geometry "
+                    f"(0..{geometry.banks_per_channel - 1})")
+
+    def planes(self, geometry: Geometry) -> FrozenSet[Tuple[int, int]]:
+        """The (channel, bank) plane keys this shard owns."""
+        self.validate(geometry)
+        banks = (self.banks if self.banks is not None
+                 else tuple(range(geometry.banks_per_channel)))
+        return frozenset((c, b) for c in self.channels for b in banks)
+
+    def overlaps(self, other: "ShardSpec", geometry: Geometry) -> bool:
+        return bool(self.planes(geometry) & other.planes(geometry))
+
+    @classmethod
+    def normalize(cls, shard: "ShardSpec | Sequence[int] | None",
+                  ) -> Optional["ShardSpec"]:
+        """Accept a ShardSpec, a bare channel sequence, or None."""
+        if shard is None or isinstance(shard, cls):
+            return shard
+        return cls(channels=tuple(shard))

@@ -34,6 +34,7 @@ from repro.core.allocator import NdsAllocator
 from repro.core.btree import BlockEntry, BTreeIndex
 from repro.core.errors import SpaceNotFoundError
 from repro.core.gc import NdsGarbageCollector
+from repro.core.sharding import ShardSpec
 from repro.core.space import Space
 from repro.core.translator import (BlockAccess, pages_for_region, translate,
                                    translate_region)
@@ -125,6 +126,10 @@ class SpaceTranslationLayer:
             self.gc.parity_patcher = self._patch_parity
         self.spaces: Dict[int, Space] = {}
         self.indexes: Dict[int, BTreeIndex] = {}
+        #: per-space shard (hard QoS isolation): space_id -> ShardSpec;
+        #: allocation, GC relocation and parity never leave the shard
+        self.shards: Dict[int, ShardSpec] = {}
+        self._shard_planes: Dict[int, frozenset] = {}
         self._next_space_id = 1
         self.stats = StatSet()
         #: page-sized byte count of one block page slot
@@ -135,15 +140,32 @@ class SpaceTranslationLayer:
     # ------------------------------------------------------------------
     def create_space(self, dims: Sequence[int], element_size: int,
                      bb_override: Optional[Sequence[int]] = None,
-                     use_3d_blocks: bool = False) -> Space:
+                     use_3d_blocks: bool = False,
+                     shard: Optional[ShardSpec] = None) -> Space:
         space = Space.create(self._next_space_id, dims, element_size,
                              self.geometry, bb_override=bb_override,
                              use_3d_blocks=use_3d_blocks)
         self._next_space_id += 1
         self.spaces[space.space_id] = space
         self.indexes[space.space_id] = BTreeIndex(space)
+        shard = ShardSpec.normalize(shard)
+        if shard is not None:
+            planes = shard.planes(self.geometry)
+            capacity = len(planes) * self.geometry.pages_per_bank \
+                * self._page_size
+            if space.total_bytes > capacity:
+                raise ValueError(
+                    f"space of {space.total_bytes} B exceeds shard "
+                    f"capacity {capacity} B ({len(planes)} planes)")
+            self.shards[space.space_id] = shard
+            self._shard_planes[space.space_id] = planes
+            self.stats.count("spaces_sharded")
         self.stats.count("spaces_created")
         return space
+
+    def shard_of(self, space_id: int) -> Optional[ShardSpec]:
+        """The shard a space is pinned to (None = whole array)."""
+        return self.shards.get(space_id)
 
     def get_space(self, space_id: int) -> Space:
         space = self.spaces.get(space_id)
@@ -173,6 +195,8 @@ class SpaceTranslationLayer:
                 released += 1
         space.deleted = True
         del self.indexes[space_id]
+        self.shards.pop(space_id, None)
+        self._shard_planes.pop(space_id, None)
         self.stats.count("spaces_deleted")
         return released
 
@@ -360,7 +384,8 @@ class SpaceTranslationLayer:
                 self.allocator.invalidate(old)
                 self.gc.note_release(old)
             else:
-                prefer = self.allocator.choose_target(entry)
+                prefer = self.allocator.choose_target(
+                    entry, allowed=self._shard_planes.get(space_id))
             if self.gc.needs_collection(*prefer):
                 gc_result = self.gc.collect(prefer[0], prefer[1], completion)
                 gc_time += max(0.0, gc_result.end_time - completion)
@@ -375,7 +400,9 @@ class SpaceTranslationLayer:
                 # all-zero page; the empty leaf slot reads back as zeros
                 self.stats.count("stl_pages_elided")
                 continue
-            ppa = self.allocator.allocate(entry, position, prefer=prefer)
+            ppa = self.allocator.allocate(
+                entry, position, prefer=prefer,
+                allowed=self._shard_planes.get(space_id))
             self.gc.note_alloc(ppa, space_id, access.block_coord, position)
             issue = rmw_done
             while True:
@@ -390,8 +417,9 @@ class SpaceTranslationLayer:
                     self.gc.note_release(ppa)
                     issue = self.gc.retire_block(ppa.channel, ppa.bank,
                                                  ppa.block, err.fail_time)
-                    ppa = self.allocator.allocate(entry, position,
-                                                  prefer=None)
+                    ppa = self.allocator.allocate(
+                        entry, position, prefer=None,
+                        allowed=self._shard_planes.get(space_id))
                     self.gc.note_alloc(ppa, space_id, access.block_coord,
                                        position)
             completion = max(completion, op.end_time)
@@ -532,12 +560,15 @@ class SpaceTranslationLayer:
             if position < len(old_planes):
                 prefer = old_planes[position]
             else:
-                prefer = self.allocator.choose_target(entry)
+                prefer = self.allocator.choose_target(
+                    entry, allowed=self._shard_planes.get(space_id))
             if self.gc.needs_collection(*prefer):
                 gc_result = self.gc.collect(prefer[0], prefer[1], completion)
                 gc_time += max(0.0, gc_result.end_time - completion)
                 completion = max(completion, gc_result.end_time)
-            ppa = self.allocator.allocate(entry, position, prefer=prefer)
+            ppa = self.allocator.allocate(
+                entry, position, prefer=prefer,
+                allowed=self._shard_planes.get(space_id))
             self.gc.note_alloc(ppa, space_id, access.block_coord, position)
             chunk = stored[position * page_bytes:(position + 1) * page_bytes]
             op = self.flash.program_pages([ppa], rmw_done, data=[chunk])
@@ -597,7 +628,8 @@ class SpaceTranslationLayer:
         issue = issue_time
         with self._recovery():
             while True:
-                ppa = self.allocator.allocate_raw()
+                ppa = self.allocator.allocate_raw(
+                    allowed=self._shard_planes.get(space_id))
                 try:
                     op = self.flash.program_pages([ppa], issue,
                                                   data=[payload])
@@ -652,7 +684,9 @@ class SpaceTranslationLayer:
             entry.record_release(position)
             self.allocator.invalidate(failed)
             self.gc.note_release(failed)
-            new_ppa = self.allocator.allocate(entry, position, prefer=None)
+            new_ppa = self.allocator.allocate(
+                entry, position, prefer=None,
+                allowed=self._shard_planes.get(space_id))
             self.gc.note_alloc(new_ppa, space_id, coord, position)
             op = self.flash.program_pages([new_ppa], end, data=[page])
             end = max(end, op.end_time)

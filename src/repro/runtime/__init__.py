@@ -21,8 +21,9 @@ Single-stream schedules stay bit-identical to the direct analytic
 flows: the scheduler adds sequencing, never timing.
 """
 
+from repro.runtime.qos import QosSpec, ShardSpec
 from repro.runtime.scheduler import (QueueDepthWindow, RequestScheduler,
-                                     StreamHandle)
+                                     StreamHandle, percentile)
 from repro.runtime.tileop import TileOp
 from repro.runtime.trace import TraceRecorder, TraceSpan
 
@@ -31,6 +32,9 @@ __all__ = [
     "RequestScheduler",
     "StreamHandle",
     "QueueDepthWindow",
+    "QosSpec",
+    "ShardSpec",
+    "percentile",
     "TraceRecorder",
     "TraceSpan",
 ]

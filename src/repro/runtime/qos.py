@@ -1,0 +1,38 @@
+"""Per-tenant quality-of-service configuration.
+
+One :class:`QosSpec` per tenant stream bundles the three QoS levers the
+spine offers:
+
+* ``weight`` — the stream's share under ``"weighted"`` arbitration
+  (deficit/virtual-time scheduling over per-op service time: a weight-3
+  stream receives ~3× the service share of a weight-1 co-tenant);
+* ``latency_target`` — a per-op latency SLO in seconds; the scheduler
+  counts met/violated ops and marks violations in the trace;
+* ``shard`` — a :class:`~repro.core.sharding.ShardSpec` pinning the
+  tenant's datasets to a disjoint channel/bank subset (hard isolation:
+  co-tenants never contend on the same flash timelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.sharding import ShardSpec
+
+__all__ = ["QosSpec", "ShardSpec"]
+
+
+@dataclass(frozen=True)
+class QosSpec:
+    """QoS levers for one tenant stream."""
+
+    weight: float = 1.0
+    latency_target: Optional[float] = None
+    shard: Optional[ShardSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("stream weight must be > 0")
+        if self.latency_target is not None and self.latency_target <= 0:
+            raise ValueError("latency target must be > 0 seconds")

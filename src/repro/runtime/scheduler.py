@@ -2,13 +2,20 @@
 
 The scheduler is the admission layer of the request spine: N tenant
 streams submit :class:`~repro.runtime.tileop.TileOp`s; the scheduler
-orders them (global FIFO or per-stream round-robin), gates each stream
-at its queue depth, and executes them one after another against the
-owning system's analytic flow. Contention is carried entirely by the
-shared FCFS :class:`~repro.sim.resources.Timeline` servers the flows
-reserve — the scheduler adds *sequencing*, never timing — so a single
-stream reproduces the direct call path bit-for-bit, and any fixed
-submission order yields a deterministic schedule.
+orders them (global FIFO, per-stream round-robin, or weighted
+virtual-time shares), gates each stream at its queue depth, and
+executes them one after another against the owning system's analytic
+flow. Contention is carried entirely by the shared FCFS
+:class:`~repro.sim.resources.Timeline` servers the flows reserve — the
+scheduler adds *sequencing*, never timing — so a single stream
+reproduces the direct call path bit-for-bit, and any fixed submission
+order yields a deterministic schedule.
+
+QoS: each stream carries a ``weight`` (its service share under
+``"weighted"`` arbitration — deficit/virtual-time scheduling over the
+per-op service time actually consumed) and an optional
+``latency_target`` SLO; the scheduler accounts met/violated ops and
+latency percentiles per stream and marks violations in the trace.
 
 :class:`QueueDepthWindow` is the one queue-depth primitive in the code
 base: the same sliding completion window limits NVMe queue pairs inside
@@ -17,6 +24,7 @@ base: the same sliding completion window limits NVMe queue pairs inside
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.runtime.tileop import DEFAULT_STREAM, TileOp
@@ -24,14 +32,32 @@ from repro.runtime.tileop import DEFAULT_STREAM, TileOp
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.trace import TraceRecorder
 
-__all__ = ["QueueDepthWindow", "StreamHandle", "RequestScheduler"]
+__all__ = ["QueueDepthWindow", "StreamHandle", "RequestScheduler",
+           "percentile"]
 
-_ARBITRATIONS = ("fifo", "round_robin")
+_ARBITRATIONS = ("fifo", "round_robin", "weighted")
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
 
 
 class QueueDepthWindow:
     """Sliding in-flight window: request ``k`` may not issue before
-    request ``k - depth`` completed (``depth=None`` = unbounded)."""
+    ``k - depth`` of the previously issued requests completed
+    (``depth=None`` = unbounded).
+
+    Completion times are kept **sorted**: under multi-stream round-robin
+    drains, end times arrive out of order, and the correct gate for the
+    next request is the k-th *smallest* completion — not the k-th most
+    recently appended one.
+    """
 
     __slots__ = ("depth", "completions")
 
@@ -49,23 +75,47 @@ class QueueDepthWindow:
         return submit_time
 
     def complete(self, time: float) -> None:
-        self.completions.append(time)
+        insort(self.completions, time)
 
     def reset(self) -> None:
         self.completions.clear()
 
 
 class StreamHandle:
-    """One tenant stream: identity, queue depth and completion history."""
+    """One tenant stream: identity, queue depth, QoS parameters,
+    completion history and SLO accounting."""
 
-    def __init__(self, name: str, queue_depth: Optional[int] = None) -> None:
+    def __init__(self, name: str, queue_depth: Optional[int] = None,
+                 weight: float = 1.0,
+                 latency_target: Optional[float] = None) -> None:
+        if weight <= 0:
+            raise ValueError("stream weight must be > 0")
+        if latency_target is not None and latency_target <= 0:
+            raise ValueError("latency target must be > 0 seconds")
         self.name = name
         self.window = QueueDepthWindow(queue_depth)
         self.ops: List[TileOp] = []
+        #: service share under ``"weighted"`` arbitration
+        self.weight = float(weight)
+        #: per-op latency SLO in seconds (None = no target)
+        self.latency_target = latency_target
+        #: accumulated device service time (sum of op elapsed times)
+        self.service_time = 0.0
+        #: SLO accounting (only advances when a target is set)
+        self.slo_met = 0
+        self.slo_violated = 0
 
     @property
     def queue_depth(self) -> Optional[int]:
         return self.window.depth
+
+    @property
+    def virtual_time(self) -> float:
+        """Weighted-fair virtual time: service consumed over weight.
+        The weighted arbiter always serves the backlogged stream with
+        the smallest virtual time, so long-run service shares converge
+        to the weight ratios."""
+        return self.service_time / self.weight
 
     @property
     def completions(self) -> List[float]:
@@ -86,13 +136,28 @@ class StreamHandle:
         latencies = self.latencies
         return sum(latencies) / len(latencies) if latencies else 0.0
 
+    def note_result(self, elapsed: float, latency: float) -> bool:
+        """Account one completed op; returns True when the op violated
+        this stream's latency target."""
+        self.service_time += max(elapsed, 0.0)
+        if self.latency_target is None:
+            return False
+        if latency > self.latency_target:
+            self.slo_violated += 1
+            return True
+        self.slo_met += 1
+        return False
+
     def reset(self) -> None:
         self.window.reset()
         self.ops.clear()
+        self.service_time = 0.0
+        self.slo_met = 0
+        self.slo_violated = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"StreamHandle({self.name!r}, depth={self.queue_depth}, "
-                f"ops={len(self.ops)})")
+                f"weight={self.weight}, ops={len(self.ops)})")
 
 
 class RequestScheduler:
@@ -105,11 +170,15 @@ class RequestScheduler:
         earliest_start) -> SystemOpResult``.
     arbitration:
         ``"fifo"`` drains submissions in global submit order;
-        ``"round_robin"`` cycles over streams taking one op each.
+        ``"round_robin"`` cycles over streams taking one op each;
+        ``"weighted"`` serves the backlogged stream with the smallest
+        virtual time (service consumed / weight), so a weight-3 stream
+        receives ~3× the service share of a weight-1 co-tenant.
     trace:
         Optional :class:`~repro.runtime.trace.TraceRecorder`; every
         executed op gets a parent span and component spans inherit the
-        op's stream context.
+        op's stream context. SLO violations are marked as instant
+        events.
     """
 
     def __init__(self, executor, arbitration: str = "fifo",
@@ -134,20 +203,34 @@ class RequestScheduler:
     # stream management
     # ------------------------------------------------------------------
     def stream(self, name: str = DEFAULT_STREAM,
-               queue_depth: Optional[int] = None) -> StreamHandle:
+               queue_depth: Optional[int] = None,
+               weight: Optional[float] = None,
+               latency_target: Optional[float] = None) -> StreamHandle:
         """Get or create the stream ``name``.
 
         ``queue_depth`` is fixed at creation; pass it again only with
-        the same value.
+        the same value. ``weight`` and ``latency_target`` may be set at
+        creation or updated later (the next drain uses the new values).
         """
         handle = self.streams.get(name)
         if handle is None:
-            handle = StreamHandle(name, queue_depth)
+            handle = StreamHandle(name, queue_depth,
+                                  weight=weight if weight is not None else 1.0,
+                                  latency_target=latency_target)
             self.streams[name] = handle
-        elif queue_depth is not None and handle.queue_depth != queue_depth:
+            return handle
+        if queue_depth is not None and handle.queue_depth != queue_depth:
             raise ValueError(
                 f"stream {name!r} already exists with queue depth "
                 f"{handle.queue_depth}, not {queue_depth}")
+        if weight is not None:
+            if weight <= 0:
+                raise ValueError("stream weight must be > 0")
+            handle.weight = float(weight)
+        if latency_target is not None:
+            if latency_target <= 0:
+                raise ValueError("latency target must be > 0 seconds")
+            handle.latency_target = latency_target
         return handle
 
     # ------------------------------------------------------------------
@@ -167,12 +250,62 @@ class RequestScheduler:
 
     def drain(self) -> List[TileOp]:
         """Execute every pending op in arbitration order; returns the
-        executed ops (results attached) in execution order."""
-        batch = self._arbitrate()
-        self._pending.clear()
-        for op in batch:
+        executed ops (results attached) in execution order.
+
+        Error policy: an op that raises a typed storage error is
+        *consumed* (its fault counters land on its stream), the error
+        propagates, and every not-yet-executed op **stays pending** — a
+        later ``drain()`` resumes exactly where this one stopped.
+        """
+        executed: List[TileOp] = []
+        rotation: List[str] = []
+        for op in self._pending:
+            if op.stream not in rotation:
+                rotation.append(op.stream)
+        rr_index = 0
+        while self._pending:
+            if self.arbitration == "round_robin":
+                op, rr_index = self._pick_round_robin(rotation, rr_index)
+            elif self.arbitration == "weighted":
+                op = self._pick_weighted(rotation)
+            else:
+                op = self._pending[0]
+            # remove *before* executing: a raising op is consumed, the
+            # rest of the batch survives for the next drain
+            self._pending.remove(op)
             self._run(op)
-        return batch
+            executed.append(op)
+        return executed
+
+    def _pick_round_robin(self, rotation: List[str], rr_index: int):
+        """One op per stream per cycle, streams in first-submission
+        order — deterministic for a fixed submission order."""
+        for _ in range(len(rotation)):
+            name = rotation[rr_index % len(rotation)]
+            rr_index += 1
+            for op in self._pending:
+                if op.stream == name:
+                    return op, rr_index
+        return self._pending[0], rr_index
+
+    def _pick_weighted(self, rotation: List[str]) -> TileOp:
+        """Virtual-time weighted fairness: serve the backlogged stream
+        whose accumulated service/weight is smallest (ties broken by
+        first-submission order), then charge it the op's actual service
+        time. Long-run shares converge to the weight ratios without
+        needing per-op costs up front."""
+        backlogged = [name for name in rotation
+                      if any(op.stream == name for op in self._pending)]
+        for op in self._pending:
+            if op.stream not in backlogged:
+                backlogged.append(op.stream)
+        chosen = min(backlogged,
+                     key=lambda name: (self.streams[name].virtual_time,
+                                       backlogged.index(name)))
+        for op in self._pending:
+            if op.stream == chosen:
+                return op
+        raise AssertionError("backlogged stream without a pending op")
 
     def execute(self, op: TileOp) -> "TileOp":
         """Submit and immediately execute one op (the synchronous
@@ -185,30 +318,56 @@ class RequestScheduler:
         return op
 
     def reset(self) -> None:
-        """Forget completion history (streams persist). Pairs with the
-        systems' ``reset_time`` between measurement phases."""
+        """Forget completion history and restart op-id numbering
+        (streams and their QoS parameters persist). Pairs with the
+        systems' ``reset_time`` between measurement phases; when a
+        :class:`~repro.runtime.trace.TraceRecorder` is attached, call
+        its ``clear()`` alongside so post-reset op ids (starting again
+        at 0) cannot collide with pre-reset spans."""
         for handle in self.streams.values():
             handle.reset()
         self.executed.clear()
         self._pending.clear()
+        self._next_op_id = 0
         self._fault_totals.clear()
 
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def stream_report(self) -> Dict[str, Dict[str, float]]:
-        """Per-stream aggregate metrics after a drain."""
-        report: Dict[str, Dict[str, float]] = {}
+    def stream_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-stream aggregate metrics after a drain.
+
+        Always includes op counts, makespan, mean/max/p50/p95 latency,
+        the stream's weight and accumulated ``service_time`` plus its
+        ``service_share`` of all streams' service; when a latency
+        target is set, an ``slo`` sub-dict carries the target and the
+        met/violated counts.
+        """
+        total_service = sum(h.service_time for h in self.streams.values())
+        report: Dict[str, Dict[str, object]] = {}
         for name, handle in self.streams.items():
             if not handle.ops:
                 continue
             latencies = handle.latencies
-            report[name] = {
+            entry: Dict[str, object] = {
                 "ops": len(handle.ops),
                 "makespan": handle.makespan,
                 "mean_latency": handle.mean_latency,
                 "max_latency": max(latencies) if latencies else 0.0,
+                "p50_latency": percentile(latencies, 0.50),
+                "p95_latency": percentile(latencies, 0.95),
+                "weight": handle.weight,
+                "service_time": handle.service_time,
+                "service_share": (handle.service_time / total_service
+                                  if total_service > 0 else 0.0),
             }
+            if handle.latency_target is not None:
+                entry["slo"] = {
+                    "target": handle.latency_target,
+                    "met": handle.slo_met,
+                    "violated": handle.slo_violated,
+                }
+            report[name] = entry
         return report
 
     def stream_fault_report(self) -> Dict[str, Dict[str, int]]:
@@ -237,22 +396,6 @@ class RequestScheduler:
         if failed:
             totals["ops_failed"] = totals.get("ops_failed", 0) + 1
 
-    def _arbitrate(self) -> List[TileOp]:
-        if self.arbitration == "fifo":
-            return list(self._pending)
-        # round_robin: one op per stream per cycle, streams in first-
-        # submission order — deterministic for a fixed submission order.
-        queues: Dict[str, List[TileOp]] = {}
-        for op in self._pending:
-            queues.setdefault(op.stream, []).append(op)
-        order: List[TileOp] = []
-        while queues:
-            for name in list(queues):
-                order.append(queues[name].pop(0))
-                if not queues[name]:
-                    del queues[name]
-        return order
-
     def _run(self, op: TileOp) -> None:
         handle = self.streams[op.stream]
         earliest = handle.window.earliest(op.submit_time)
@@ -275,7 +418,15 @@ class RequestScheduler:
         handle.window.complete(result.end_time)
         handle.ops.append(op)
         self.executed.append(op)
+        violated = handle.note_result(result.end_time - result.start_time,
+                                      result.end_time - op.submit_time)
         if self.trace is not None:
             self.trace.op_span(op.stream, op.op_id, op.label,
                                result.start_time, result.end_time,
                                kind=op.kind, dataset=op.dataset)
+            if violated:
+                self.trace.instant(
+                    "slo", result.end_time, name="slo_violation",
+                    stream=op.stream, op_id=op.op_id,
+                    latency=result.end_time - op.submit_time,
+                    target=handle.latency_target)

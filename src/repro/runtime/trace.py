@@ -26,7 +26,10 @@ __all__ = ["TraceSpan", "TraceRecorder"]
 
 @dataclass(frozen=True)
 class TraceSpan:
-    """One half-open busy interval ``[start, end)`` on one resource."""
+    """One half-open busy interval ``[start, end)`` on one resource.
+
+    ``instant=True`` marks a point event (SLO violation, fault mark):
+    ``start == end`` and the Chrome export uses an instant event."""
 
     name: str
     resource: str
@@ -35,6 +38,7 @@ class TraceSpan:
     end: float
     op_id: int = -1
     args: Tuple[Tuple[str, Union[int, float, str]], ...] = ()
+    instant: bool = False
 
     @property
     def duration(self) -> float:
@@ -91,6 +95,25 @@ class TraceRecorder:
             start=start, end=end, op_id=op_id,
             args=tuple(sorted(args.items()))))
 
+    def instant(self, resource: str, time: float,
+                name: Optional[str] = None, stream: Optional[str] = None,
+                op_id: Optional[int] = None, **args) -> None:
+        """Record a point event (e.g. an SLO violation mark) on
+        ``resource`` at ``time``; stream/op context default to the
+        innermost executing op."""
+        self.spans.append(TraceSpan(
+            name=name if name is not None else resource,
+            resource=resource,
+            stream=stream if stream is not None else self.current_stream,
+            start=time, end=time,
+            op_id=op_id if op_id is not None else self.current_op,
+            args=tuple(sorted(args.items())), instant=True))
+
+    def instants(self, resource: Optional[str] = None) -> List[TraceSpan]:
+        """All point events, optionally filtered by resource."""
+        return [s for s in self.spans if s.instant
+                and (resource is None or s.resource == resource)]
+
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
@@ -128,6 +151,18 @@ class TraceRecorder:
                            "name": "process_name",
                            "args": {"name": f"stream:{stream}"}})
         for span in self.spans:
+            if span.instant:
+                events.append({
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pids[span.stream],
+                    "tid": span.resource,
+                    "name": span.name,
+                    "cat": "mark",
+                    "ts": span.start * 1e6,
+                    "args": dict(span.args, op_id=span.op_id),
+                })
+                continue
             events.append({
                 "ph": "X",
                 "pid": pids[span.stream],

@@ -91,11 +91,13 @@ class HardwareNdsSystem(StorageSystem):
     def _execute_ingest(self, dataset: str, dims: Sequence[int],
                         element_size: int,
                         data: Optional[np.ndarray] = None,
-                        start_time: float = 0.0) -> SystemOpResult:
+                        start_time: float = 0.0,
+                        shard=None) -> SystemOpResult:
         if dataset in self._spaces:
             raise ValueError(f"dataset {dataset!r} already ingested")
         space = self.stl.create_space(
             dims, element_size, bb_override=self.bb_override,
+            shard=shard,
             # rank >= 3: 3-D cube blocks over bank-level parallelism
             # (§4.1 Eq. 3/4)
             use_3d_blocks=len(tuple(dims)) >= 3 and self.bb_override is None)

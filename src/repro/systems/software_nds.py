@@ -86,11 +86,13 @@ class SoftwareNdsSystem(StorageSystem):
     def _execute_ingest(self, dataset: str, dims: Sequence[int],
                         element_size: int,
                         data: Optional[np.ndarray] = None,
-                        start_time: float = 0.0) -> SystemOpResult:
+                        start_time: float = 0.0,
+                        shard=None) -> SystemOpResult:
         if dataset in self._spaces:
             raise ValueError(f"dataset {dataset!r} already ingested")
         space = self.stl.create_space(
             dims, element_size, bb_override=self.bb_override,
+            shard=shard,
             # rank >= 3: use bank-level parallelism for 3-D cube blocks
             # (§4.1 Eq. 3/4) — 2-D blocks orthogonal to the innermost
             # axis would shatter depth-crossing accesses

@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.accelerator.gpu import GpuModel, RTX2080
 from repro.accelerator.kernels import KernelModel
 from repro.host.pipeline import PipelineResult, run_pipeline
+from repro.runtime.qos import QosSpec
+from repro.runtime.scheduler import percentile
 from repro.runtime.tileop import TileOp
 from repro.runtime.trace import TraceRecorder
 from repro.systems.base import StorageSystem
@@ -137,6 +139,14 @@ class StreamRunResult:
     total_time: float = 0.0
     kernel_idle: float = 0.0
     pipeline: PipelineResult = field(repr=False, default=None)
+    #: QoS accounting (weighted arbitration / latency SLOs)
+    weight: float = 1.0
+    service_time: float = 0.0
+    p50_io_latency: float = 0.0
+    p95_io_latency: float = 0.0
+    latency_target: Optional[float] = None
+    slo_met: int = 0
+    slo_violated: int = 0
 
 
 @dataclass
@@ -151,16 +161,50 @@ class CoRunResult:
     arbitration: str
     queue_depth: int
     trace: Optional[TraceRecorder] = field(repr=False, default=None)
+    #: per-workload QoS specs the run was configured with
+    qos: Optional[Dict[str, QosSpec]] = field(repr=False, default=None)
 
     def stream(self, workload_name: str) -> StreamRunResult:
         return self.streams[workload_name]
 
 
+def _dataset_shards(workloads: Sequence[Workload],
+                    system: StorageSystem,
+                    qos: Optional[Dict[str, QosSpec]]) -> Dict[str, object]:
+    """Map dataset name -> shard from its owning tenants' QoS specs.
+
+    A shared dataset must be shard-consistent across tenants; sharding
+    requires an STL system (baseline/oracle have no space allocator to
+    pin)."""
+    shards: Dict[str, object] = {}
+    if not qos:
+        return shards
+    for workload in workloads:
+        spec = qos.get(workload.name)
+        if spec is None or spec.shard is None:
+            continue
+        if getattr(system, "stl", None) is None:
+            raise ValueError(
+                f"per-tenant sharding needs an STL system; "
+                f"{system.name!r} has no space allocator to pin")
+        for ds in workload.datasets():
+            existing = shards.get(ds.name)
+            if existing is not None and existing != spec.shard:
+                raise ValueError(
+                    f"dataset {ds.name!r} is shared across tenants with "
+                    f"conflicting shards")
+            shards[ds.name] = spec.shard
+    return shards
+
+
 def _co_ingest(workloads: Sequence[Workload],
-               system: StorageSystem) -> None:
+               system: StorageSystem,
+               qos: Optional[Dict[str, QosSpec]] = None) -> None:
     """Ingest every dataset once; workloads may share datasets by name
     (identical dims/element size), the oracle gets one tile-major copy
-    per distinct (dataset, fetch shape)."""
+    per distinct (dataset, fetch shape). Tenants with a QoS shard get
+    their datasets pinned to that shard (STL systems only)."""
+    shards = _dataset_shards(workloads, system, qos)
     if isinstance(system, OracleSystem):
         done = set()
         for workload in workloads:
@@ -188,7 +232,11 @@ def _co_ingest(workloads: Sequence[Workload],
                         f"shapes across co-run workloads")
                 continue
             seen[ds.name] = signature
-            system.ingest(ds.name, ds.dims, ds.element_size)
+            if ds.name in shards:
+                system.ingest(ds.name, ds.dims, ds.element_size,
+                              shard=shards[ds.name])
+            else:
+                system.ingest(ds.name, ds.dims, ds.element_size)
 
 
 def co_run_workloads(workloads: Sequence[Workload], system: StorageSystem,
@@ -197,26 +245,38 @@ def co_run_workloads(workloads: Sequence[Workload], system: StorageSystem,
                      gpu: GpuModel = RTX2080,
                      kernels: Optional[KernelModel] = None,
                      trace: Optional[TraceRecorder] = None,
-                     ingest: bool = True) -> CoRunResult:
+                     ingest: bool = True,
+                     qos: Optional[Dict[str, QosSpec]] = None) -> CoRunResult:
     """Run several workloads concurrently on one shared system.
 
     Each workload becomes a tenant stream: its whole tile plan is
     submitted at t=0 and the scheduler admits ops under ``queue_depth``
-    in-flight per stream, arbitrating FIFO or round-robin across
-    tenants. Contention is carried by the shared resource timelines, so
-    per-stream latencies reflect exactly what the co-tenant costs.
-    Pass a :class:`TraceRecorder` to capture the per-layer Chrome trace
-    of the co-run (ingest is excluded from the trace).
+    in-flight per stream, arbitrating FIFO, round-robin or weighted
+    shares across tenants. Contention is carried by the shared resource
+    timelines, so per-stream latencies reflect exactly what the
+    co-tenant costs. Pass a :class:`TraceRecorder` to capture the
+    per-layer Chrome trace of the co-run (ingest is excluded from the
+    trace).
+
+    ``qos`` maps workload names to :class:`~repro.runtime.qos.QosSpec`:
+    the spec's ``weight`` feeds ``"weighted"`` arbitration, its
+    ``latency_target`` arms per-op SLO accounting, and its ``shard``
+    pins the tenant's datasets to a disjoint channel/bank subset
+    (STL systems only — hard isolation).
     """
-    if arbitration not in ("fifo", "round_robin"):
+    if arbitration not in ("fifo", "round_robin", "weighted"):
         raise ValueError(f"unknown arbitration {arbitration!r}")
     workloads = list(workloads)
     names = [workload.name for workload in workloads]
     if len(set(names)) != len(names):
         raise ValueError("co-run workloads must have distinct names")
+    qos = dict(qos) if qos else {}
+    unknown = set(qos) - set(names)
+    if unknown:
+        raise ValueError(f"qos specs for unknown workloads: {sorted(unknown)}")
     kernels = kernels if kernels is not None else KernelModel(gpu)
     if ingest:
-        _co_ingest(workloads, system)
+        _co_ingest(workloads, system, qos)
     system.reset_time()
     if trace is not None:
         system.set_trace(trace)
@@ -224,7 +284,10 @@ def co_run_workloads(workloads: Sequence[Workload], system: StorageSystem,
     scheduler = system.scheduler
     scheduler.arbitration = arbitration
     for workload in workloads:
-        scheduler.stream(workload.name, queue_depth)
+        spec = qos.get(workload.name)
+        scheduler.stream(workload.name, queue_depth,
+                         weight=spec.weight if spec else None,
+                         latency_target=spec.latency_target if spec else None)
         for fetch in workload.tile_plan():
             scheduler.submit(TileOp.read(fetch.dataset, fetch.origin,
                                          fetch.extents, submit_time=0.0,
@@ -257,6 +320,13 @@ def co_run_workloads(workloads: Sequence[Workload], system: StorageSystem,
             total_time=pipeline.total_time,
             kernel_idle=pipeline.idle_of("kernel"),
             pipeline=pipeline,
+            weight=handle.weight,
+            service_time=handle.service_time,
+            p50_io_latency=percentile(latencies, 0.50),
+            p95_io_latency=percentile(latencies, 0.95),
+            latency_target=handle.latency_target,
+            slo_met=handle.slo_met,
+            slo_violated=handle.slo_violated,
         )
     return CoRunResult(
         streams=streams,
@@ -266,6 +336,7 @@ def co_run_workloads(workloads: Sequence[Workload], system: StorageSystem,
         arbitration=arbitration,
         queue_depth=queue_depth,
         trace=trace,
+        qos=qos or None,
     )
 
 

@@ -1,0 +1,80 @@
+"""Isolation sweep: structure, determinism, and the overlap helper."""
+
+from __future__ import annotations
+
+from repro.analysis.isolation import channel_overlap, isolation_sweep
+from repro.runtime import TraceRecorder
+
+
+def _span(trace, resource, stream, start, end):
+    trace.push_op(stream, 0)
+    trace.span(resource, start, end)
+    trace.pop_op()
+
+
+class TestChannelOverlap:
+    def test_footprint_overlap_detected(self):
+        trace = TraceRecorder()
+        _span(trace, "ch0", "a", 0.0, 1.0)
+        _span(trace, "ch0", "b", 1.0, 2.0)       # same channel, later
+        _span(trace, "ch1", "a", 0.0, 1.0)       # a only
+        result = channel_overlap(trace, "a", "b")
+        assert result["shared_channels"] == ["ch0"]
+        assert result["shared_busy_time"] == 2.0
+        assert result["channels"]["ch1"] == {"a": 1.0, "b": 0.0}
+
+    def test_disjoint_footprints(self):
+        trace = TraceRecorder()
+        _span(trace, "ch0", "a", 0.0, 1.0)
+        _span(trace, "ch1", "b", 0.0, 1.0)
+        result = channel_overlap(trace, "a", "b")
+        assert result["shared_channels"] == []
+        assert result["shared_busy_time"] == 0.0
+
+    def test_bank_lines_and_other_resources_ignored(self):
+        trace = TraceRecorder()
+        _span(trace, "ch0/bk1", "a", 0.0, 1.0)
+        _span(trace, "ch0/bk1", "b", 0.0, 1.0)
+        _span(trace, "link", "a", 0.0, 1.0)
+        _span(trace, "link", "b", 0.0, 1.0)
+        assert channel_overlap(trace, "a", "b")["channels"] == {}
+
+
+class TestIsolationSweep:
+    def test_structure_and_hard_isolation(self):
+        sweep = isolation_sweep()
+        traces = sweep.pop("traces")
+        assert set(traces) == {"shared", "weighted", "sharded"}
+        assert set(sweep["scenarios"]) == {"shared", "weighted", "sharded"}
+        assert set(sweep["solo_makespan"]) == {"GEMM", "BFS"}
+        # without QoS the tenants collide; with shards they never do
+        assert sweep["scenarios"]["shared"]["overlap"]["shared_channels"]
+        sharded = sweep["scenarios"]["sharded"]["overlap"]
+        assert sharded["shared_channels"] == []
+        assert sharded["shared_busy_time"] == 0.0
+        # co-running always costs something against solo
+        for scenario in sweep["scenarios"].values():
+            for stream in scenario["streams"].values():
+                assert stream["slowdown"] >= 1.0 - 1e-9
+        # weighted regime favours the weight-3 tenant over round-robin
+        assert (sweep["scenarios"]["weighted"]["streams"]["GEMM"]["slowdown"]
+                <= sweep["scenarios"]["shared"]["streams"]["GEMM"]["slowdown"]
+                + 1e-9)
+
+    def test_sweep_is_deterministic(self):
+        def run():
+            sweep = isolation_sweep(latency_target=5e-4)
+            sweep.pop("traces")
+            return sweep
+
+        assert run() == run()
+
+    def test_slo_reported_when_target_set(self):
+        sweep = isolation_sweep(latency_target=1e-9)
+        sweep.pop("traces")
+        # the no-QoS "shared" regime carries no targets by design
+        assert all("slo" not in stream for stream
+                   in sweep["scenarios"]["shared"]["streams"].values())
+        for key in ("weighted", "sharded"):
+            for stream in sweep["scenarios"][key]["streams"].values():
+                assert stream["slo"]["violated"] == stream["tiles"]

@@ -62,9 +62,10 @@ class TestStreamFaultReport:
         assert system.fault_counters() is None
         assert system.scheduler.stream_fault_report() == {}
 
-    def test_stream_report_keys_are_unchanged(self):
-        """The PR-1 stream_report contract must not grow fault keys —
-        dashboards parse it."""
+    def test_stream_report_keys_are_stable(self):
+        """The stream_report contract must not grow fault keys —
+        dashboards parse it. (QoS added latency percentiles and service
+        accounting; ``slo`` appears only when a target is set.)"""
         system = SoftwareNdsSystem(TINY_TEST, store_data=True,
                                    faults=_corrupt_config(parity=True))
         system.ingest("d", (N, N), 1, data=_data())
@@ -72,7 +73,9 @@ class TestStreamFaultReport:
                          stream="tenant-a", with_data=True)
         for metrics in system.scheduler.stream_report().values():
             assert set(metrics) == {"ops", "makespan", "mean_latency",
-                                    "max_latency"}
+                                    "max_latency", "p50_latency",
+                                    "p95_latency", "weight",
+                                    "service_time", "service_share"}
 
     def test_reset_clears_fault_totals(self):
         system = SoftwareNdsSystem(TINY_TEST, store_data=True,

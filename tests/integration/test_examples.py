@@ -37,3 +37,12 @@ class TestExamples:
         assert "co-run" in out
         assert "vs solo" in out
         assert (tmp_path / "multi_tenant.trace.json").exists()
+
+    def test_qos_isolation(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr("sys.argv", ["qos_isolation.py"])
+        out = _run("qos_isolation.py", capsys)
+        assert "isolation sweep" in out
+        assert "shared channels: none" in out
+        assert (tmp_path / "qos_isolation.metrics.json").exists()
+        assert (tmp_path / "qos_isolation.sharded.trace.json").exists()

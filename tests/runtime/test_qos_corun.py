@@ -1,0 +1,136 @@
+"""QoS through co_run_workloads on real systems — the acceptance
+scenarios: weighted 3:1 service delivery within 10%, hard isolation
+with zero shared channels, and QoS config validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.isolation import channel_overlap
+from repro.nvm.profiles import TINY_TEST
+from repro.runtime import QosSpec, ShardSpec, TraceRecorder
+from repro.systems import BaselineSystem, SoftwareNdsSystem
+from repro.workloads import BfsWorkload, GemmWorkload, co_run_workloads
+
+
+def _gemm(name=None, max_tiles=12):
+    workload = GemmWorkload(n=64, tile=16, max_tiles=max_tiles)
+    if name is not None:
+        workload.name = name
+    return workload
+
+
+def _bfs():
+    return BfsWorkload(nodes=64, batch_rows=16)
+
+
+def test_weighted_corun_delivers_three_to_one_service():
+    """Acceptance: weights 3:1 between two identical tenants — while
+    both are backlogged the delivered service-time shares are within
+    10% of 3:1."""
+    system = SoftwareNdsSystem(TINY_TEST, store_data=False)
+    heavy = _gemm("heavy", max_tiles=40)
+    light = _gemm("light", max_tiles=40)
+    result = co_run_workloads(
+        [heavy, light], system, queue_depth=4, arbitration="weighted",
+        qos={"heavy": QosSpec(weight=3.0), "light": QosSpec(weight=1.0)})
+
+    assert result.streams["heavy"].weight == 3.0
+    # both-backlogged window ends when the first stream drains
+    horizon = min(s.io_makespan for s in result.streams.values())
+    delivered = {}
+    for name in ("heavy", "light"):
+        ops = [op for op in system.scheduler.executed
+               if op.stream == name and op.result is not None
+               and op.result.end_time <= horizon + 1e-12]
+        delivered[name] = sum(op.result.end_time - op.result.start_time
+                              for op in ops)
+    ratio = delivered["heavy"] / delivered["light"]
+    assert 2.7 <= ratio <= 3.3, f"service ratio {ratio:.2f} not ~3:1"
+    # the favoured tenant must also finish no later than its co-tenant
+    assert result.streams["heavy"].io_makespan <= \
+        result.streams["light"].io_makespan + 1e-12
+
+
+def test_disjoint_shards_share_zero_channels():
+    """Acceptance: with per-tenant shards the tenants' flash-timeline
+    busy intervals land on zero shared channels."""
+    trace = TraceRecorder()
+    result = co_run_workloads(
+        [_gemm(), _bfs()], SoftwareNdsSystem(TINY_TEST, store_data=False),
+        queue_depth=4, arbitration="weighted", trace=trace,
+        qos={"GEMM": QosSpec(weight=3.0, shard=ShardSpec(channels=(0, 1))),
+             "BFS": QosSpec(weight=1.0, shard=ShardSpec(channels=(2, 3)))})
+    overlap = channel_overlap(trace, "GEMM", "BFS")
+    assert overlap["shared_channels"] == []
+    assert overlap["shared_busy_time"] == 0.0
+    # both tenants did real flash work on their own channels
+    gemm_channels = {ch for ch, busy in overlap["channels"].items()
+                     if busy["GEMM"] > 0}
+    bfs_channels = {ch for ch, busy in overlap["channels"].items()
+                    if busy["BFS"] > 0}
+    assert gemm_channels <= {"ch0", "ch1"} and gemm_channels
+    assert bfs_channels <= {"ch2", "ch3"} and bfs_channels
+    assert result.qos is not None
+
+
+def test_without_shards_tenants_collide_on_channels():
+    trace = TraceRecorder()
+    co_run_workloads([_gemm(), _bfs()],
+                     SoftwareNdsSystem(TINY_TEST, store_data=False),
+                     queue_depth=4, trace=trace)
+    overlap = channel_overlap(trace, "GEMM", "BFS")
+    assert overlap["shared_channels"]
+    assert overlap["shared_busy_time"] > 0.0
+
+
+def test_corun_slo_fields_populated():
+    result = co_run_workloads(
+        [_gemm(), _bfs()], SoftwareNdsSystem(TINY_TEST, store_data=False),
+        queue_depth=4,
+        qos={"GEMM": QosSpec(latency_target=1e-9)})   # impossibly tight
+    gemm = result.streams["GEMM"]
+    assert gemm.latency_target == 1e-9
+    assert gemm.slo_violated == gemm.tiles and gemm.slo_met == 0
+    assert gemm.p95_io_latency >= gemm.p50_io_latency > 0.0
+    bfs = result.streams["BFS"]
+    assert bfs.latency_target is None
+    assert bfs.slo_met == 0 and bfs.slo_violated == 0
+
+
+def test_qos_for_unknown_workload_rejected():
+    with pytest.raises(ValueError, match="unknown workloads"):
+        co_run_workloads([_gemm()],
+                         SoftwareNdsSystem(TINY_TEST, store_data=False),
+                         qos={"nope": QosSpec(weight=2.0)})
+
+
+def test_sharding_needs_an_stl_system():
+    with pytest.raises(ValueError, match="STL"):
+        co_run_workloads(
+            [_gemm()], BaselineSystem(TINY_TEST, store_data=False),
+            qos={"GEMM": QosSpec(shard=ShardSpec(channels=(0,)))})
+
+
+def test_shared_dataset_with_conflicting_shards_rejected():
+    a = BfsWorkload(nodes=64, batch_rows=16)
+    b = BfsWorkload(nodes=64, batch_rows=32)
+    b.name = "BFS-2"
+    with pytest.raises(ValueError, match="shard"):
+        co_run_workloads(
+            [a, b], SoftwareNdsSystem(TINY_TEST, store_data=False),
+            qos={"BFS": QosSpec(shard=ShardSpec(channels=(0, 1))),
+                 "BFS-2": QosSpec(shard=ShardSpec(channels=(2, 3)))})
+
+
+def test_weighted_corun_is_deterministic():
+    def run():
+        result = co_run_workloads(
+            [_gemm(), _bfs()],
+            SoftwareNdsSystem(TINY_TEST, store_data=False),
+            queue_depth=2, arbitration="weighted",
+            qos={"GEMM": QosSpec(weight=3.0)})
+        return {name: s.completions for name, s in result.streams.items()}
+
+    assert run() == run()

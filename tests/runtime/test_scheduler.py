@@ -44,11 +44,13 @@ def test_window_gates_on_kth_previous_completion():
     assert window.earliest(13.0) == 13.0        # submit time dominates
 
 
-def test_window_matches_seed_era_indexing():
+def test_window_matches_seed_era_indexing_for_monotone_completions():
     # the seed-era HostIoEngine loop: if index >= depth:
     #     earliest = max(earliest, completions[index - depth])
+    # — identical to the sorted window whenever completion times are
+    # nondecreasing (every single-stream analytic flow).
     depth = 3
-    completions = [1.0, 4.0, 2.0, 8.0, 6.0, 9.0]
+    completions = [1.0, 2.0, 4.0, 6.0, 8.0, 9.0]
     window = QueueDepthWindow(depth)
     for index, done in enumerate(completions):
         expected = 0.0
@@ -56,6 +58,29 @@ def test_window_matches_seed_era_indexing():
             expected = max(expected, completions[index - depth])
         assert window.earliest(0.0) == expected
         window.complete(done)
+
+
+def test_window_gates_on_kth_smallest_for_out_of_order_completions():
+    """Regression: under round-robin multi-stream drains end times need
+    not be monotone; the gate is the k-th *smallest* completion, not
+    the k-th most recently appended one (which can mis-gate)."""
+    depth = 3
+    window = QueueDepthWindow(depth)
+    for done in (1.0, 4.0, 2.0):
+        window.complete(done)
+    # 3 completions recorded, depth 3: the next request may issue once
+    # the first of them (in *time*) finished — at 1.0, not at append
+    # order's completions[-3] == 1.0; push the asymmetry further:
+    assert window.earliest(0.0) == 1.0
+    window.complete(8.0)
+    # appended order would gate on completions[-3] == 2.0; sorted order
+    # gates on the 2nd smallest of {1,2,4,8} == 2.0 — agree here...
+    assert window.earliest(0.0) == 2.0
+    window.complete(3.0)
+    # ...but now append order [1,4,2,8,3][-3] == 2.0 gates too early
+    # (4.0 and 8.0 are still "in flight" at 2.0); the correct gate is
+    # the 3rd smallest of {1,2,3,4,8} == 3.0
+    assert window.earliest(0.0) == 3.0
 
 
 def test_window_rejects_bad_depth():
