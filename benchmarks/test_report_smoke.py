@@ -1,0 +1,57 @@
+"""Perf baseline for the report path: ``BENCH_report.json``.
+
+Times one ``build_report`` over all four systems on a fixed small GEMM
+and records both costs that matter for later PRs:
+
+* **wall-clock** — how long the profiler pipeline itself takes (the
+  only nondeterministic number in the whole observability stack, which
+  is why it lives in a BENCH artifact and not in the report JSON);
+* **simulated time** — per-system service time and makespan, which
+  must NOT move when someone optimises the analyzer.
+
+Later PRs diff their ``BENCH_report.json`` against this baseline:
+wall-clock may improve, simulated numbers must hold.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.obs.report import build_report
+from repro.workloads.gemm import GemmWorkload
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_report.json"
+
+SYSTEMS = ("baseline", "software-nds", "hardware-nds", "software-oracle")
+
+
+def test_report_smoke(benchmark):
+    def build():
+        return build_report(
+            workload=GemmWorkload(n=256, tile=64, max_tiles=12),
+            systems=SYSTEMS, queue_depth=4, windows=8)
+
+    start = time.perf_counter()
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    wall = time.perf_counter() - start
+
+    simulated = {}
+    for name in SYSTEMS:
+        totals = report["systems"][name]["attribution"]["totals"]
+        streams = report["systems"][name]["streams"]["GEMM"]
+        simulated[name] = {
+            "ops": totals["ops"],
+            "service_time_s": totals["service_time"],
+            "queue_wait_s": totals["queue_wait"],
+            "io_makespan_s": streams["makespan"],
+        }
+        assert totals["service_time"] > 0.0
+
+    OUT.write_text(json.dumps({
+        "workload": "GEMM n=256 tile=64 max_tiles=12 qd=4",
+        "wallclock_s": round(wall, 4),
+        "simulated": simulated,
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {OUT} (wall-clock {wall:.2f}s)")

@@ -141,6 +141,48 @@ def _cmd_table1(_args: argparse.Namespace) -> None:
                        rows, title="Table 1 (scaled)"))
 
 
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.obs.report import (analyze_trace, build_report,
+                                  format_report, report_json,
+                                  write_utilization_csvs)
+
+    if args.trace:
+        from repro.runtime.trace import TraceRecorder
+        report = analyze_trace(TraceRecorder.load(args.trace),
+                               windows=args.windows,
+                               include_ops=not args.no_ops)
+    else:
+        from repro.workloads.gemm import GemmWorkload
+        workload = GemmWorkload(n=args.size, tile=args.tile,
+                                max_tiles=args.tiles)
+        report = build_report(workload=workload, systems=args.systems,
+                              queue_depth=args.queue_depth,
+                              windows=args.windows,
+                              include_ops=not args.no_ops,
+                              prometheus=bool(args.prom))
+    if args.prom:
+        if args.trace:
+            print("--prom needs a live run (saved traces carry no "
+                  "metrics registry); skipped", file=sys.stderr)
+        else:
+            text = "".join(section.pop("prometheus", "")
+                           for section in report["systems"].values())
+            prom_path = Path(args.prom)
+            prom_path.parent.mkdir(parents=True, exist_ok=True)
+            prom_path.write_text(text)
+            print(f"wrote {args.prom}")
+    if args.json:
+        json_path = Path(args.json)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(report_json(report))
+        print(f"wrote {args.json}")
+    if args.csv_dir:
+        for path in write_utilization_csvs(report, args.csv_dir):
+            print(f"wrote {path}")
+    if not args.json or args.text:
+        print(format_report(report))
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     for command in (_cmd_table1, _cmd_fig3, _cmd_fig9, _cmd_overhead,
                     _cmd_fig10):
@@ -170,6 +212,36 @@ def build_parser() -> argparse.ArgumentParser:
     fig10.add_argument("--csv", default=None, metavar="DIR",
                        help="also write tidy CSV into DIR")
     fig10.set_defaults(fn=_cmd_fig10)
+    report = sub.add_parser(
+        "report", help="critical-path / metrics / utilization report")
+    report.add_argument("--trace", default=None, metavar="PATH",
+                        help="analyze a saved Chrome trace JSON instead "
+                             "of running a workload")
+    report.add_argument("--systems", nargs="*",
+                        default=["baseline", "software-nds", "hardware-nds",
+                                 "software-oracle"],
+                        help="systems to run (default: all four)")
+    report.add_argument("--size", type=int, default=512,
+                        help="GEMM matrix dimension (default 512)")
+    report.add_argument("--tile", type=int, default=128,
+                        help="GEMM tile dimension (default 128)")
+    report.add_argument("--tiles", type=int, default=24,
+                        help="max tile fetches (default 24)")
+    report.add_argument("--queue-depth", type=int, default=8,
+                        help="per-stream queue depth (default 8)")
+    report.add_argument("--windows", type=int, default=16,
+                        help="utilization windows (default 16)")
+    report.add_argument("--json", default=None, metavar="PATH",
+                        help="write the byte-stable JSON report to PATH")
+    report.add_argument("--csv-dir", default=None, metavar="DIR",
+                        help="write per-system utilization CSVs into DIR")
+    report.add_argument("--prom", default=None, metavar="PATH",
+                        help="write Prometheus text-format metrics to PATH")
+    report.add_argument("--no-ops", action="store_true",
+                        help="omit the per-op attribution list")
+    report.add_argument("--text", action="store_true",
+                        help="print the text report even with --json")
+    report.set_defaults(fn=_cmd_report)
     sub.add_parser("overhead", help="Sec 7.3 overheads").set_defaults(
         fn=_cmd_overhead)
     sub.add_parser("scorecard",

@@ -65,11 +65,17 @@ class NdsController:
         #: optional per-layer span recorder (set via the owning
         #: system's ``set_trace``)
         self.trace = None
+        #: optional metrics registry (set via ``set_metrics``)
+        self.metrics = None
 
     def _span(self, resource: str, start: float, end: float,
               name: str, **args) -> None:
         if self.trace is not None:
             self.trace.span(resource, start, end, name=name, **args)
+
+    def _observe(self, metric: str, seconds: float) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(metric, seconds)
 
     # ------------------------------------------------------------------
     def handle_command(self, earliest_start: float) -> float:
@@ -77,6 +83,7 @@ class NdsController:
                                                self.timing.command_handle)
         self.stats.count("ctrl_commands")
         self._span("ctrl_cmd", start, end, "nvme_command")
+        self._observe("ctrl.command", end - start)
         return end
 
     def translate(self, earliest_start: float, nodes_visited: int,
@@ -86,6 +93,7 @@ class NdsController:
         start, end = self.translate_line.reserve(earliest_start, duration)
         self.stats.count("ctrl_translations")
         self._span("ctrl_translate", start, end, "stl_translate")
+        self._observe("ctrl.translate", end - start)
         return end
 
     def allocate(self, earliest_start: float, units: int) -> float:
@@ -93,6 +101,7 @@ class NdsController:
         start, end = self.allocate_line.reserve(earliest_start, duration)
         self.stats.count("ctrl_allocations", units)
         self._span("ctrl_alloc", start, end, "stl_allocate")
+        self._observe("ctrl.allocate", end - start)
         return end
 
     def assemble(self, earliest_start: float, num_bytes: int,
@@ -104,6 +113,9 @@ class NdsController:
         start, end = self.assemble_line.reserve(earliest_start, duration)
         self.stats.count("ctrl_assembled_bytes", num_bytes)
         self._span("ctrl_assemble", start, end, "assemble", bytes=num_bytes)
+        if self.metrics is not None:
+            self.metrics.observe("ctrl.assemble", end - start)
+            self.metrics.count("ctrl.assemble.bytes", num_bytes)
         return end
 
     def reset_time(self) -> None:

@@ -67,6 +67,9 @@ class NdsGarbageCollector:
         self.total_relocated = 0
         self.total_erased = 0
         self.total_retired = 0
+        #: optional metrics registry (set via the owning system's
+        #: ``set_metrics``)
+        self.metrics = None
         #: relocation callback for parity units (position
         #: :data:`~repro.faults.parity.PARITY_POSITION` in the reverse
         #: table): called as ``parity_patcher(space_id, coord, new_ppa)``
@@ -106,8 +109,15 @@ class NdsGarbageCollector:
         work per invocation.
         """
         with self._recovery():
-            return self._collect(channel, bank, now, target_fraction,
-                                 max_victims)
+            result = self._collect(channel, bank, now, target_fraction,
+                                   max_victims)
+        if self.metrics is not None and result.ran:
+            self.metrics.observe("stl.gc", result.end_time - now)
+            self.metrics.count("stl.gc.collections")
+            self.metrics.count("stl.gc.units_relocated",
+                               result.units_relocated)
+            self.metrics.count("stl.gc.blocks_erased", result.blocks_erased)
+        return result
 
     def _collect(self, channel: int, bank: int, now: float,
                  target_fraction: float = None,

@@ -56,6 +56,9 @@ class GarbageCollector:
         self.total_relocated = 0
         self.total_erased = 0
         self.total_retired = 0
+        #: optional metrics registry (set via the owning system's
+        #: ``set_metrics``)
+        self.metrics = None
 
     def _recovery(self):
         """Context for internal relocation traffic: probabilistic fault
@@ -87,7 +90,14 @@ class GarbageCollector:
         flash timelines) and relocation counts.
         """
         with self._recovery():
-            return self._collect(channel, bank, now)
+            result = self._collect(channel, bank, now)
+        if self.metrics is not None and result.ran:
+            self.metrics.observe("ftl.gc", result.end_time - now)
+            self.metrics.count("ftl.gc.collections")
+            self.metrics.count("ftl.gc.pages_relocated",
+                               result.pages_relocated)
+            self.metrics.count("ftl.gc.blocks_erased", result.blocks_erased)
+        return result
 
     def _collect(self, channel: int, bank: int, now: float) -> GcResult:
         result = GcResult(ran=False, end_time=now)

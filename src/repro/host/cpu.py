@@ -38,6 +38,8 @@ class HostCpu:
         #: optional per-layer span recorder (set via the owning
         #: system's ``set_trace``)
         self.trace = None
+        #: optional metrics registry (set via ``set_metrics``)
+        self.metrics = None
 
     # ------------------------------------------------------------------
     def issue_io(self, earliest_start: float) -> float:
@@ -47,6 +49,8 @@ class HostCpu:
         self.stats.add_time("host_issue", self.per_io_cost)
         if self.trace is not None:
             self.trace.span("host_issue", start, end, name="issue_io")
+        if self.metrics is not None:
+            self.metrics.observe("host.issue", end - start)
         return end
 
     def run_issue_work(self, earliest_start: float, seconds: float,
@@ -57,6 +61,8 @@ class HostCpu:
         self.stats.add_time("host_issue", seconds)
         if self.trace is not None:
             self.trace.span("host_issue", start, end, name=label)
+        if self.metrics is not None:
+            self.metrics.observe(f"host.{label}", end - start)
         return end
 
     def copy(self, num_bytes: int, earliest_start: float,
@@ -70,6 +76,9 @@ class HostCpu:
         if self.trace is not None:
             self.trace.span("host_copy", start, end, name="host_copy",
                             bytes=num_bytes)
+        if self.metrics is not None:
+            self.metrics.observe("host.copy", duration)
+            self.metrics.count("host.copy.bytes", num_bytes)
         return end
 
     def copy_duration(self, num_bytes: int, chunk_bytes: int = 0) -> float:

@@ -96,12 +96,16 @@ class HostIoEngine:
         #: optional per-layer span recorder (set via the owning
         #: system's ``set_trace``)
         self.trace = None
+        #: optional metrics registry (set via ``set_metrics``)
+        self.metrics = None
 
     def _reserve_controller(self, earliest: float) -> float:
         start, end = self.controller_line.reserve(
             earliest, self.controller_command_time)
         if self.trace is not None:
             self.trace.span("device_ctrl", start, end, name="ftl_map")
+        if self.metrics is not None:
+            self.metrics.observe("ftl.map", end - start)
         return end
 
     # ------------------------------------------------------------------

@@ -55,6 +55,8 @@ class Link:
         #: optional per-layer span recorder (set via the owning
         #: system's ``set_trace``)
         self.trace = None
+        #: optional metrics registry (set via ``set_metrics``)
+        self.metrics = None
 
     def transfer_duration(self, num_bytes: int) -> float:
         return self.command_overhead + num_bytes / self.bandwidth
@@ -70,6 +72,9 @@ class Link:
         if self.trace is not None:
             self.trace.span("link", start, end, name="link_transfer",
                             bytes=num_bytes)
+        if self.metrics is not None:
+            self.metrics.observe("link.transfer", end - start)
+            self.metrics.count("link.bytes", num_bytes)
         return LinkTransfer(start_time=start, end_time=end, num_bytes=num_bytes)
 
     def efficiency(self, request_bytes: int) -> float:

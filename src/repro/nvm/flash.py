@@ -104,6 +104,8 @@ class FlashArray:
         #: optional per-layer span recorder (set via the owning
         #: system's ``set_trace``): records channel/bank occupancy
         self.trace = None
+        #: optional metrics registry (set via ``set_metrics``)
+        self.metrics = None
         #: optional :class:`~repro.faults.injector.FaultInjector`; with
         #: None (default) every path is bit-identical to the fault-free
         #: model — no bookkeeping, no draws, no extra reservations
@@ -216,6 +218,9 @@ class FlashArray:
                               ppa_to_index(base, self.geometry),
                               self.geometry.pages_per_block, end)
         self.stats.count("blocks_erased")
+        if self.metrics is not None:
+            self.metrics.observe("flash.erase", end - start)
+            self.metrics.count("flash.blocks_erased")
         result = FlashOpResult(start_time=start, end_time=end, completions=[end])
         result.stats.count("blocks_erased")
         return result
@@ -247,6 +252,10 @@ class FlashArray:
             self.trace.span(bank.name, read_start, read_end, name="nand_read")
             self.trace.span(channel.name, xfer_start, xfer_end,
                             name="page_out", bytes=self.geometry.page_size)
+        if self.metrics is not None:
+            self.metrics.observe("flash.nand_read", read_end - read_start)
+            self.metrics.observe("flash.page_out", xfer_end - xfer_start)
+            self.metrics.count("flash.pages_read")
         if faults is None:
             return xfer_end
         return self._apply_read_faults(ppa, bank, channel, xfer,
@@ -274,10 +283,15 @@ class FlashArray:
                 self.trace.span(channel.name, xfer_start, xfer_end,
                                 name="page_out_retry",
                                 bytes=self.geometry.page_size)
+            if self.metrics is not None:
+                self.metrics.observe("flash.read_retry",
+                                     retry_end - retry_start)
             end = xfer_end
         if plan.retries:
             self.stats.count("read_retries", plan.retries)
             self.faults.stats.count("read_retries", plan.retries)
+            if self.metrics is not None:
+                self.metrics.count("flash.read_retries", plan.retries)
         if plan.uncorrectable:
             self.stats.count("uncorrectable_reads")
             self.faults.stats.count("uncorrectable_reads")
@@ -321,6 +335,10 @@ class FlashArray:
                             name="page_in", bytes=self.geometry.page_size)
             self.trace.span(bank.name, prog_start, prog_end,
                             name="nand_program")
+        if self.metrics is not None:
+            self.metrics.observe("flash.page_in", xfer_end - xfer_start)
+            self.metrics.observe("flash.nand_program", prog_end - prog_start)
+            self.metrics.count("flash.pages_programmed")
         if verdict is not None:
             # the attempt cost real bus and array time before the status
             # register reported the failure

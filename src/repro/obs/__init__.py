@@ -1,0 +1,31 @@
+"""Derived observability over the trace/metrics spine.
+
+``repro.obs`` turns the raw spans the runtime records into answers:
+
+* :mod:`repro.obs.metrics` — a deterministic Counter/Gauge/Histogram
+  registry threaded through every timed layer via ``set_metrics``
+  (absent ⇒ bit-identical timings, like ``set_trace``);
+* :mod:`repro.obs.critical_path` — per-op latency attribution: each
+  op's ``[start, end)`` is partitioned over the component spans that
+  were active, yielding a "where time goes" breakdown per layer;
+* :mod:`repro.obs.utilization` — windowed per-resource busy fractions
+  (channel/bank heatmap data) from the same spans;
+* :mod:`repro.obs.report` — the ``python -m repro report`` backend:
+  runs a workload (or loads a saved Chrome trace) and emits breakdown
+  tables, histograms and utilization data as text / stable JSON /
+  Prometheus text.
+"""
+
+from repro.obs.critical_path import (LAYERS, OpAttribution, attribute_op,
+                                     classify_span, critical_path)
+from repro.obs.metrics import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
+                               Histogram, MetricsRegistry)
+from repro.obs.utilization import utilization_csv, utilization_timeline
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "LAYERS", "OpAttribution", "attribute_op", "classify_span",
+    "critical_path",
+    "utilization_timeline", "utilization_csv",
+]

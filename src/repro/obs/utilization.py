@@ -1,0 +1,84 @@
+"""Windowed per-resource busy fractions (heatmap data).
+
+Computed from recorded spans: the run's horizon ``[0, last span end)``
+is divided into equal windows and each resource's spans are clipped
+into them, giving the busy fraction per (resource, window) cell — the
+data behind a channel/bank utilization heatmap. Resources are FCFS
+timelines, so spans on one resource never overlap and fractions stay
+in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.runtime.trace import TraceRecorder
+
+__all__ = ["utilization_timeline", "utilization_csv"]
+
+
+def _is_flash_resource(resource: str) -> bool:
+    if "/bk" in resource:
+        channel = resource.split("/", 1)[0]
+        return channel.startswith("ch") and channel[2:].isdigit()
+    return resource.startswith("ch") and resource[2:].isdigit()
+
+
+def utilization_timeline(trace: TraceRecorder, windows: int = 32,
+                         resources: Optional[Sequence[str]] = None,
+                         flash_only: bool = False) -> Dict[str, object]:
+    """Busy fraction per resource per time window.
+
+    ``resources`` restricts the report to named resources;
+    ``flash_only`` keeps just channel/bank lines (the heatmap the
+    paper-style per-channel utilization argument needs). Returns a
+    JSON-ready dict: horizon, window width, and per-resource fraction
+    rows (index ``i`` covers ``[i * window, (i + 1) * window)``).
+    """
+    if windows < 1:
+        raise ValueError("windows must be >= 1")
+    spans = [s for s in trace.spans if not s.instant and s.resource != "ops"]
+    if resources is not None:
+        wanted = set(resources)
+        spans = [s for s in spans if s.resource in wanted]
+    if flash_only:
+        spans = [s for s in spans if _is_flash_resource(s.resource)]
+    horizon = max((s.end for s in spans), default=0.0)
+    out: Dict[str, object] = {
+        "horizon": horizon,
+        "windows": windows,
+        "window_seconds": horizon / windows if horizon > 0 else 0.0,
+        "resources": {},
+    }
+    if horizon <= 0:
+        return out
+    width = horizon / windows
+    rows: Dict[str, List[float]] = {}
+    for span in spans:
+        row = rows.get(span.resource)
+        if row is None:
+            row = rows[span.resource] = [0.0] * windows
+        first = min(int(span.start / width), windows - 1)
+        last = min(int(span.end / width), windows - 1)
+        for index in range(first, last + 1):
+            lo = index * width
+            hi = lo + width
+            overlap = min(span.end, hi) - max(span.start, lo)
+            if overlap > 0:
+                row[index] += overlap
+    out["resources"] = {
+        name: [min(1.0, busy / width) for busy in row]
+        for name, row in sorted(rows.items())
+    }
+    return out
+
+
+def utilization_csv(timeline: Dict[str, object]) -> str:
+    """Tidy CSV: one row per (resource, window) cell."""
+    lines = ["resource,window,window_start_s,busy_fraction"]
+    width = timeline["window_seconds"]
+    for name, fractions in timeline["resources"].items():
+        for index, fraction in enumerate(fractions):
+            lines.append(f"{name},{index},{index * width:.9g},"
+                         f"{fraction:.6f}")
+    return "\n".join(lines) + "\n"

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from repro.runtime.tileop import DEFAULT_STREAM, TileOp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.runtime.trace import TraceRecorder
 
 __all__ = ["QueueDepthWindow", "StreamHandle", "RequestScheduler",
@@ -126,6 +127,18 @@ class StreamHandle:
         return [op.latency for op in self.ops if op.result is not None]
 
     @property
+    def queue_waits(self) -> List[float]:
+        """Per-op enqueue→issue waits (queue-depth gating)."""
+        return [op.queue_wait for op in self.ops
+                if op.queue_wait is not None]
+
+    @property
+    def service_times(self) -> List[float]:
+        """Per-op issue→completion service times."""
+        return [op.service_time for op in self.ops
+                if op.service_time is not None]
+
+    @property
     def makespan(self) -> float:
         """Last completion over this stream (0.0 before any finish)."""
         completions = self.completions
@@ -182,7 +195,8 @@ class RequestScheduler:
     """
 
     def __init__(self, executor, arbitration: str = "fifo",
-                 trace: Optional["TraceRecorder"] = None) -> None:
+                 trace: Optional["TraceRecorder"] = None,
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         if arbitration not in _ARBITRATIONS:
             raise ValueError(
                 f"arbitration must be one of {_ARBITRATIONS}, "
@@ -190,6 +204,9 @@ class RequestScheduler:
         self.executor = executor
         self.arbitration = arbitration
         self.trace = trace
+        #: optional :class:`~repro.obs.metrics.MetricsRegistry`; per-op
+        #: queue-wait / service / latency observations land here
+        self.metrics = metrics
         self.streams: Dict[str, StreamHandle] = {}
         self.executed: List[TileOp] = []
         self._pending: List[TileOp] = []
@@ -241,6 +258,7 @@ class RequestScheduler:
         self.stream(op.stream)
         op.op_id = self._next_op_id
         self._next_op_id += 1
+        op.enqueue_time = op.submit_time
         self._pending.append(op)
         return op
 
@@ -314,6 +332,7 @@ class RequestScheduler:
         self.stream(op.stream)
         op.op_id = self._next_op_id
         self._next_op_id += 1
+        op.enqueue_time = op.submit_time
         self._run(op)
         return op
 
@@ -338,10 +357,11 @@ class RequestScheduler:
         """Per-stream aggregate metrics after a drain.
 
         Always includes op counts, makespan, mean/max/p50/p95 latency,
-        the stream's weight and accumulated ``service_time`` plus its
-        ``service_share`` of all streams' service; when a latency
-        target is set, an ``slo`` sub-dict carries the target and the
-        met/violated counts.
+        the queue-wait vs service split of that latency (from each op's
+        enqueue→issue→complete timestamps), the stream's weight and
+        accumulated ``service_time`` plus its ``service_share`` of all
+        streams' service; when a latency target is set, an ``slo``
+        sub-dict carries the target and the met/violated counts.
         """
         total_service = sum(h.service_time for h in self.streams.values())
         report: Dict[str, Dict[str, object]] = {}
@@ -349,6 +369,8 @@ class RequestScheduler:
             if not handle.ops:
                 continue
             latencies = handle.latencies
+            queue_waits = handle.queue_waits
+            services = handle.service_times
             entry: Dict[str, object] = {
                 "ops": len(handle.ops),
                 "makespan": handle.makespan,
@@ -356,6 +378,12 @@ class RequestScheduler:
                 "max_latency": max(latencies) if latencies else 0.0,
                 "p50_latency": percentile(latencies, 0.50),
                 "p95_latency": percentile(latencies, 0.95),
+                "mean_queue_wait": (sum(queue_waits) / len(queue_waits)
+                                    if queue_waits else 0.0),
+                "p95_queue_wait": percentile(queue_waits, 0.95),
+                "mean_service": (sum(services) / len(services)
+                                 if services else 0.0),
+                "p95_service": percentile(services, 0.95),
                 "weight": handle.weight,
                 "service_time": handle.service_time,
                 "service_share": (handle.service_time / total_service
@@ -413,6 +441,8 @@ class RequestScheduler:
             if self.trace is not None:
                 self.trace.pop_op()
         op.result = result
+        op.issue_time = result.start_time
+        op.complete_time = result.end_time
         if before is not None:
             self._account_faults(op, before, probe(), result=result)
         handle.window.complete(result.end_time)
@@ -420,10 +450,19 @@ class RequestScheduler:
         self.executed.append(op)
         violated = handle.note_result(result.end_time - result.start_time,
                                       result.end_time - op.submit_time)
+        if self.metrics is not None:
+            self.metrics.observe("sched.queue_wait",
+                                 result.start_time - op.submit_time)
+            self.metrics.observe("sched.service",
+                                 result.end_time - result.start_time)
+            self.metrics.observe("sched.latency",
+                                 result.end_time - op.submit_time)
+            self.metrics.count("sched.ops")
         if self.trace is not None:
             self.trace.op_span(op.stream, op.op_id, op.label,
                                result.start_time, result.end_time,
-                               kind=op.kind, dataset=op.dataset)
+                               kind=op.kind, dataset=op.dataset,
+                               queue_wait=result.start_time - op.submit_time)
             if violated:
                 self.trace.instant(
                     "slo", result.end_time, name="slo_violation",

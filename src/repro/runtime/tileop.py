@@ -47,6 +47,13 @@ class TileOp:
     op_id: int = -1
     #: attached by the scheduler after execution
     result: Optional[Any] = None
+    #: lifecycle timestamps stamped by the scheduler: model time the op
+    #: entered its stream queue, the time it was actually issued to the
+    #: system flow (after queue-depth gating), and the time it finished.
+    #: ``None`` until the corresponding transition happens.
+    enqueue_time: Optional[float] = None
+    issue_time: Optional[float] = None
+    complete_time: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -95,3 +102,19 @@ class TileOp:
         if self.result is None:
             return None
         return self.result.end_time - self.submit_time
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Enqueue-to-issue wait (None before the op was issued)."""
+        if self.issue_time is None:
+            return None
+        base = self.enqueue_time if self.enqueue_time is not None \
+            else self.submit_time
+        return self.issue_time - base
+
+    @property
+    def service_time(self) -> Optional[float]:
+        """Issue-to-completion service time (None before execution)."""
+        if self.issue_time is None or self.complete_time is None:
+            return None
+        return self.complete_time - self.issue_time

@@ -126,7 +126,10 @@ class TraceRecorder:
             entry["busy_time"] += span.duration
             entry["spans"] += 1
             for key, value in span.args:
-                if key == "bytes":
+                # a non-numeric "bytes" arg (loaded trace, custom span)
+                # must not poison the whole aggregation
+                if (key == "bytes" and isinstance(value, (int, float))
+                        and not isinstance(value, bool)):
                     entry["bytes"] += value
         return metrics
 
@@ -141,22 +144,49 @@ class TraceRecorder:
     # ------------------------------------------------------------------
     # Chrome trace_event export
     # ------------------------------------------------------------------
+    @staticmethod
+    def _tid_sort_key(resource: str) -> Tuple[int, str]:
+        """"ops" threads sort first; every other resource by name."""
+        return (0 if resource == "ops" else 1, resource)
+
     def to_chrome(self) -> Dict[str, object]:
-        """Chrome ``trace_event`` JSON object (complete events)."""
+        """Chrome ``trace_event`` JSON object (complete events).
+
+        The trace_event spec types ``tid`` as an integer, so resources
+        get numeric thread ids plus ``thread_name`` /
+        ``thread_sort_index`` metadata events — the form both
+        chrome://tracing and Perfetto load.
+        """
         streams = sorted({span.stream for span in self.spans})
         pids = {stream: index + 1 for index, stream in enumerate(streams)}
+        resources = sorted({span.resource for span in self.spans},
+                           key=self._tid_sort_key)
+        tids = {resource: index + 1
+                for index, resource in enumerate(resources)}
         events: List[Dict[str, object]] = []
+        by_stream: Dict[str, set] = {stream: set() for stream in streams}
+        for span in self.spans:
+            by_stream[span.stream].add(span.resource)
         for stream, pid in pids.items():
             events.append({"ph": "M", "pid": pid, "tid": 0,
                            "name": "process_name",
                            "args": {"name": f"stream:{stream}"}})
+            for resource in sorted(by_stream[stream],
+                                   key=self._tid_sort_key):
+                tid = tids[resource]
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_name",
+                               "args": {"name": resource}})
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_sort_index",
+                               "args": {"sort_index": tid}})
         for span in self.spans:
             if span.instant:
                 events.append({
                     "ph": "i",
                     "s": "t",
                     "pid": pids[span.stream],
-                    "tid": span.resource,
+                    "tid": tids[span.resource],
                     "name": span.name,
                     "cat": "mark",
                     "ts": span.start * 1e6,
@@ -166,7 +196,7 @@ class TraceRecorder:
             events.append({
                 "ph": "X",
                 "pid": pids[span.stream],
-                "tid": span.resource,
+                "tid": tids[span.resource],
                 "name": span.name,
                 "cat": "op" if span.resource == "ops" else "resource",
                 "ts": span.start * 1e6,
@@ -176,10 +206,55 @@ class TraceRecorder:
         return {"traceEvents": events, "displayTimeUnit": "ns"}
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Write the Chrome trace JSON; returns the path written."""
+        """Write the Chrome trace JSON (byte-stable: sorted keys);
+        returns the path written."""
         path = Path(path)
-        path.write_text(json.dumps(self.to_chrome()))
+        path.write_text(json.dumps(self.to_chrome(), sort_keys=True))
         return path
+
+    @classmethod
+    def from_chrome(cls, payload: Dict[str, object]) -> "TraceRecorder":
+        """Rebuild a recorder from a Chrome trace object previously
+        produced by :meth:`to_chrome` (the ``repro report --trace``
+        path). Timestamps come back in seconds; metadata events are
+        consumed, not replayed."""
+        events = payload.get("traceEvents", [])
+        streams: Dict[int, str] = {}
+        resources: Dict[Tuple[int, int], str] = {}
+        for event in events:
+            if event.get("ph") != "M":
+                continue
+            if event.get("name") == "process_name":
+                name = event["args"]["name"]
+                if name.startswith("stream:"):
+                    name = name[len("stream:"):]
+                streams[event["pid"]] = name
+            elif event.get("name") == "thread_name":
+                resources[(event["pid"], event["tid"])] = \
+                    event["args"]["name"]
+        recorder = cls()
+        for event in events:
+            phase = event.get("ph")
+            if phase not in ("X", "i"):
+                continue
+            pid, tid = event["pid"], event["tid"]
+            stream = streams.get(pid, str(pid))
+            resource = resources.get((pid, tid), str(tid))
+            args = dict(event.get("args", {}))
+            op_id = args.pop("op_id", -1)
+            start = event["ts"] / 1e6
+            end = start + (event.get("dur", 0.0) / 1e6)
+            recorder.spans.append(TraceSpan(
+                name=event.get("name", resource), resource=resource,
+                stream=stream, start=start, end=end, op_id=op_id,
+                args=tuple(sorted(args.items())),
+                instant=(phase == "i")))
+        return recorder
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceRecorder":
+        """Load a saved Chrome trace JSON file back into a recorder."""
+        return cls.from_chrome(json.loads(Path(path).read_text()))
 
     def clear(self) -> None:
         self.spans.clear()

@@ -97,6 +97,35 @@ class StorageSystem(abc.ABC):
             if flash is not None and hasattr(flash, "trace"):
                 flash.trace = recorder
 
+    def set_metrics(self, registry) -> None:
+        """Attach (or detach with None) a
+        :class:`~repro.obs.metrics.MetricsRegistry` to the scheduler and
+        every instrumented component, mirroring :meth:`set_trace`.
+        Flash channel/bank timelines additionally get a reservation
+        observer so per-server busy counters accumulate without a trace.
+        Observation never feeds back into timing: with no registry
+        attached the model is bit-identical."""
+        self.scheduler.metrics = registry
+        observer = registry.timeline_observer() if registry is not None \
+            else None
+        for attr in ("cpu", "link", "engine", "controller"):
+            component = getattr(self, attr, None)
+            if component is not None and hasattr(component, "metrics"):
+                component.metrics = registry
+        for holder in (self, getattr(self, "ssd", None)):
+            flash = getattr(holder, "flash", None)
+            if flash is not None and hasattr(flash, "metrics"):
+                flash.metrics = registry
+                for line in flash.channel_lines:
+                    line.observer = observer
+                for bank_row in flash.bank_lines:
+                    for line in bank_row:
+                        line.observer = observer
+        for holder in (getattr(self, "ssd", None), getattr(self, "stl", None)):
+            gc = getattr(holder, "gc", None)
+            if gc is not None and hasattr(gc, "metrics"):
+                gc.metrics = registry
+
     def fault_counters(self) -> Optional[dict]:
         """Snapshot of the flash fault injector's counters (None when no
         injector is attached) — the scheduler diffs this around each op

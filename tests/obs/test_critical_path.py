@@ -1,0 +1,136 @@
+"""Critical-path attribution: classification, the partition invariant
+(attributed time sums to service time), and dominance rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nvm.profiles import TINY_TEST
+from repro.obs.critical_path import (attribute_op, classify_span,
+                                     critical_path)
+from repro.runtime.tileop import TileOp
+from repro.runtime.trace import TraceRecorder, TraceSpan
+from repro.systems import (BaselineSystem, HardwareNdsSystem, OracleSystem,
+                           SoftwareNdsSystem)
+
+
+def _span(name, resource, start, end, op_id=0, **args):
+    return TraceSpan(name=name, resource=resource, stream="s",
+                     start=start, end=end, op_id=op_id,
+                     args=tuple(sorted(args.items())))
+
+
+class TestClassify:
+    @pytest.mark.parametrize("name,resource,layer", [
+        ("issue_io", "host_issue", "host_issue"),
+        ("stl_translate", "host_issue", "stl"),   # name beats resource
+        ("host_copy", "host_copy", "host_copy"),
+        ("link_transfer", "link", "link"),
+        ("nvme_command", "ctrl_cmd", "controller"),
+        ("stl_allocate", "ctrl_alloc", "stl"),
+        ("assemble", "ctrl_assemble", "controller"),
+        ("ftl_map", "device_ctrl", "ftl"),
+        ("nand_read", "ch2/bk1", "bank"),
+        ("read_retry", "ch0/bk0", "bank"),
+        ("page_out", "ch3", "channel"),
+        ("page_in", "ch0", "channel"),
+    ])
+    def test_known_span_names(self, name, resource, layer):
+        assert classify_span(_span(name, resource, 0, 1)) == layer
+
+    def test_resource_fallback_for_custom_names(self):
+        assert classify_span(_span("custom", "ch5/bk2", 0, 1)) == "bank"
+        assert classify_span(_span("custom", "ch5", 0, 1)) == "channel"
+        assert classify_span(_span("custom", "aes_engine", 0, 1)) == \
+            "controller"
+        assert classify_span(_span("custom", "mystery", 0, 1)) == \
+            "unattributed"
+
+
+class TestAttributeOp:
+    def test_partition_sums_to_service_time(self):
+        op = _span("read", "ops", 0.0, 10.0)
+        children = [_span("issue_io", "host_issue", 0.0, 2.0),
+                    _span("nand_read", "ch0/bk0", 2.0, 7.0),
+                    _span("page_out", "ch0", 7.0, 9.0)]
+        att = attribute_op(op, children)
+        assert att.attributed_total == pytest.approx(att.service_time)
+        assert att.by_layer["host_issue"] == pytest.approx(2.0)
+        assert att.by_layer["bank"] == pytest.approx(5.0)
+        assert att.by_layer["channel"] == pytest.approx(2.0)
+        # trailing gap with nothing after it stays unattributed
+        assert att.by_layer["unattributed"] == pytest.approx(1.0)
+        assert att.dominant == "bank"
+
+    def test_latest_started_span_wins_overlap(self):
+        op = _span("read", "ops", 0.0, 10.0)
+        # bank span nests inside a long channel hold
+        children = [_span("page_out", "ch0", 0.0, 10.0),
+                    _span("nand_read", "ch0/bk0", 3.0, 6.0)]
+        att = attribute_op(op, children)
+        assert att.by_layer["bank"] == pytest.approx(3.0)
+        assert att.by_layer["channel"] == pytest.approx(7.0)
+
+    def test_stall_charged_to_next_layer(self):
+        op = _span("read", "ops", 0.0, 10.0)
+        # gap in [2, 6) before the bank span: blocked waiting for the
+        # bank, so the stall is bank time
+        children = [_span("issue_io", "host_issue", 0.0, 2.0),
+                    _span("nand_read", "ch0/bk0", 6.0, 10.0)]
+        att = attribute_op(op, children)
+        assert att.by_layer["host_issue"] == pytest.approx(2.0)
+        assert att.by_layer["bank"] == pytest.approx(8.0)
+        assert "unattributed" not in att.by_layer
+
+    def test_children_clipped_to_op_interval(self):
+        op = _span("read", "ops", 2.0, 8.0)
+        children = [_span("issue_io", "host_issue", 0.0, 4.0),
+                    _span("page_out", "ch0", 7.0, 11.0)]
+        att = attribute_op(op, children)
+        assert att.attributed_total == pytest.approx(6.0)
+        assert att.by_layer["host_issue"] == pytest.approx(2.0)
+        # clipped channel span (1s) plus the stall in [4, 7) waiting
+        # on the channel (3s)
+        assert att.by_layer["channel"] == pytest.approx(4.0)
+
+    def test_queue_wait_comes_from_op_args(self):
+        op = _span("read", "ops", 1.0, 2.0, queue_wait=0.25)
+        att = attribute_op(op, [])
+        assert att.queue_wait == pytest.approx(0.25)
+
+
+ALL_SYSTEMS = [BaselineSystem, SoftwareNdsSystem, HardwareNdsSystem,
+               OracleSystem]
+
+
+class TestPartitionInvariantOnRealSystems:
+    @pytest.mark.parametrize("factory", ALL_SYSTEMS,
+                             ids=[f.name for f in ALL_SYSTEMS])
+    def test_per_op_attribution_sums_to_latency(self, factory):
+        """ISSUE acceptance: the summed attributed time of every op
+        equals its end-to-end service latency within float tolerance,
+        on all four architectures, including overlapped queued ops."""
+        system = factory(TINY_TEST, store_data=False)
+        if factory is OracleSystem:
+            system.ingest("d", (64, 64), 4, tile=(16, 16))
+        else:
+            system.ingest("d", (64, 64), 4)
+        system.reset_time()
+        trace = TraceRecorder()
+        system.set_trace(trace)
+        scheduler = system.scheduler
+        scheduler.stream("t", 4)
+        for origin in ((0, 0), (16, 16), (32, 0), (0, 32), (48, 48)):
+            scheduler.submit(TileOp.read("d", origin, (16, 16),
+                                         submit_time=0.0, stream="t"))
+        scheduler.drain()
+
+        report = critical_path(trace)
+        assert len(report.ops) == 5
+        for op in report.ops:
+            assert op.attributed_total == pytest.approx(
+                op.service_time, abs=1e-12)
+        assert report.total_service_time > 0
+        assert report.layer_totals()
+        shares = report.layer_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)

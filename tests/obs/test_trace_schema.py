@@ -1,0 +1,125 @@
+"""Chrome trace schema validation and save/load round-trips.
+
+The export must be loadable by chrome://tracing and Perfetto: integer
+tids, thread_name / thread_sort_index metadata, complete events with
+microsecond timestamps — and component spans must nest inside their
+parent op span."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.nvm.profiles import TINY_TEST
+from repro.runtime.tileop import TileOp
+from repro.runtime.trace import TraceRecorder
+from repro.systems import SoftwareNdsSystem
+
+
+@pytest.fixture
+def traced_run():
+    system = SoftwareNdsSystem(TINY_TEST, store_data=False)
+    system.ingest("d", (64, 64), 4)
+    system.reset_time()
+    trace = TraceRecorder()
+    system.set_trace(trace)
+    scheduler = system.scheduler
+    scheduler.stream("t", 2)
+    for origin in ((0, 0), (16, 16), (32, 32)):
+        scheduler.submit(TileOp.read("d", origin, (16, 16),
+                                     submit_time=0.0, stream="t"))
+    scheduler.drain()
+    return trace
+
+
+def test_schema_required_keys(traced_run):
+    payload = traced_run.to_chrome()
+    assert set(payload) == {"traceEvents", "displayTimeUnit"}
+    for event in payload["traceEvents"]:
+        assert {"ph", "pid", "tid", "name"} <= set(event)
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert {"cat", "ts", "dur", "args"} <= set(event)
+            assert event["dur"] >= 0
+            assert "op_id" in event["args"]
+        elif event["ph"] == "M":
+            assert event["name"] in ("process_name", "thread_name",
+                                     "thread_sort_index")
+        elif event["ph"] == "i":
+            assert "ts" in event and "s" in event
+        else:
+            pytest.fail(f"unexpected phase {event['ph']!r}")
+
+
+def test_every_resource_has_thread_metadata(traced_run):
+    events = traced_run.to_chrome()["traceEvents"]
+    announced = {(e["pid"], e["tid"]) for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+    for event in events:
+        if event["ph"] == "X":
+            assert (event["pid"], event["tid"]) in announced
+
+
+def test_component_spans_nest_inside_parent_op(traced_run):
+    ops = {s.op_id: s for s in traced_run.spans if s.resource == "ops"}
+    assert ops
+    checked = 0
+    for op_id, op in ops.items():
+        for child in traced_run.op_children(op_id):
+            assert op.start - 1e-12 <= child.start
+            assert child.end <= op.end + 1e-12
+            checked += 1
+    assert checked > 0
+
+
+def test_save_is_byte_stable(traced_run, tmp_path):
+    a = traced_run.save(tmp_path / "a.json").read_bytes()
+    b = traced_run.save(tmp_path / "b.json").read_bytes()
+    assert a == b
+    # sorted keys: "args" precedes "ph" in every serialized event
+    text = a.decode()
+    assert text.index('"displayTimeUnit"') < text.index('"traceEvents"')
+
+
+def test_round_trip_preserves_spans(traced_run, tmp_path):
+    path = traced_run.save(tmp_path / "trace.json")
+    loaded = TraceRecorder.load(path)
+    assert len(loaded.spans) == len(traced_run.spans)
+    originals = {(s.resource, s.name, round(s.start, 12), s.op_id)
+                 for s in traced_run.spans}
+    restored = {(s.resource, s.name, round(s.start, 12), s.op_id)
+                for s in loaded.spans}
+    assert originals == restored
+    for span in loaded.spans:
+        assert span.stream == "t"
+
+
+def test_resource_metrics_survive_round_trip(traced_run, tmp_path):
+    path = traced_run.save(tmp_path / "trace.json")
+    loaded = TraceRecorder.load(path)
+    before = traced_run.resource_metrics()
+    after = loaded.resource_metrics()
+    assert set(before) == set(after)
+    for resource in before:
+        assert after[resource]["spans"] == before[resource]["spans"]
+        assert after[resource]["busy_time"] == \
+            pytest.approx(before[resource]["busy_time"])
+        assert after[resource]["bytes"] == before[resource]["bytes"]
+
+
+def test_bytes_accumulator_ignores_non_numeric():
+    trace = TraceRecorder()
+    trace.span("link", 0.0, 1.0, bytes=128)
+    trace.span("link", 1.0, 2.0, bytes="garbage")
+    trace.span("link", 2.0, 3.0, bytes=True)  # bool is not a byte count
+    metrics = trace.resource_metrics()
+    assert metrics["link"]["bytes"] == 128
+    assert metrics["link"]["spans"] == 3
+
+
+def test_loaded_trace_is_json(tmp_path, traced_run):
+    path = traced_run.save(tmp_path / "trace.json")
+    payload = json.loads(path.read_text())
+    assert payload["traceEvents"]

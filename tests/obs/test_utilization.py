@@ -1,0 +1,66 @@
+"""Windowed utilization timelines and their CSV rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.utilization import utilization_csv, utilization_timeline
+from repro.runtime.trace import TraceRecorder
+
+
+def _trace_with(spans):
+    trace = TraceRecorder()
+    for resource, start, end in spans:
+        trace.span(resource, start, end)
+    return trace
+
+
+class TestTimeline:
+    def test_fractions_are_exact_for_aligned_spans(self):
+        trace = _trace_with([("ch0", 0.0, 1.0), ("ch0", 3.0, 4.0)])
+        timeline = utilization_timeline(trace, windows=4)
+        assert timeline["horizon"] == pytest.approx(4.0)
+        assert timeline["window_seconds"] == pytest.approx(1.0)
+        assert timeline["resources"]["ch0"] == \
+            pytest.approx([1.0, 0.0, 0.0, 1.0])
+
+    def test_span_clipped_across_windows(self):
+        trace = _trace_with([("ch0", 0.5, 1.5), ("ch1", 0.0, 2.0)])
+        timeline = utilization_timeline(trace, windows=2)
+        assert timeline["resources"]["ch0"] == pytest.approx([0.5, 0.5])
+        assert timeline["resources"]["ch1"] == pytest.approx([1.0, 1.0])
+
+    def test_flash_only_filters_non_flash(self):
+        trace = _trace_with([("ch0", 0.0, 1.0), ("ch0/bk1", 0.0, 1.0),
+                             ("link", 0.0, 1.0), ("host_issue", 0.0, 1.0)])
+        timeline = utilization_timeline(trace, windows=2, flash_only=True)
+        assert set(timeline["resources"]) == {"ch0", "ch0/bk1"}
+
+    def test_ops_and_instants_excluded(self):
+        trace = TraceRecorder()
+        trace.op_span("s", 0, "read", 0.0, 1.0)
+        trace.instant("slo", 0.5)
+        timeline = utilization_timeline(trace, windows=2)
+        assert timeline["resources"] == {}
+        assert timeline["horizon"] == 0.0
+
+    def test_rejects_bad_window_count(self):
+        with pytest.raises(ValueError):
+            utilization_timeline(TraceRecorder(), windows=0)
+
+    def test_fractions_bounded(self):
+        trace = _trace_with([("ch0", 0.0, 1.0), ("ch1", 0.0, 0.1)])
+        timeline = utilization_timeline(trace, windows=3)
+        for row in timeline["resources"].values():
+            assert all(0.0 <= f <= 1.0 for f in row)
+
+
+class TestCsv:
+    def test_tidy_rows(self):
+        trace = _trace_with([("ch0", 0.0, 1.0)])
+        csv = utilization_csv(utilization_timeline(trace, windows=2))
+        lines = csv.strip().split("\n")
+        assert lines[0] == "resource,window,window_start_s,busy_fraction"
+        assert lines[1] == "ch0,0,0,1.000000"
+        assert lines[2].startswith("ch0,1,0.5,")
+        assert csv.endswith("\n")

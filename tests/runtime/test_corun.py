@@ -58,7 +58,8 @@ def test_corun_trace_is_valid_chrome_json(tmp_path):
     events = loaded["traceEvents"]
     assert events
     # both tenants appear as processes, spans land on both
-    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    names = {e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
     assert {"stream:GEMM", "stream:BFS"} <= names
     # every component span nests inside its parent op span
     ops = [s for s in trace.spans if s.resource == "ops"]

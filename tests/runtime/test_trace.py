@@ -54,15 +54,28 @@ def test_chrome_export_contract(tmp_path):
     events = loaded["traceEvents"]
     meta = [e for e in events if e["ph"] == "M"]
     spans = [e for e in events if e["ph"] == "X"]
-    assert {e["args"]["name"] for e in meta} == {"stream:t0"}
+    processes = [e for e in meta if e["name"] == "process_name"]
+    threads = [e for e in meta if e["name"] == "thread_name"]
+    sort_keys = [e for e in meta if e["name"] == "thread_sort_index"]
+    assert {e["args"]["name"] for e in processes} == {"stream:t0"}
+    # the trace_event spec types tid as an integer; resources map to
+    # numeric thread ids announced by thread_name metadata
+    assert {e["args"]["name"] for e in threads} == {"ops", "link"}
+    assert all(isinstance(e["tid"], int) for e in meta + spans)
+    assert {e["args"]["sort_index"] for e in sort_keys} == \
+        {e["tid"] for e in threads}
     by_name = {e["name"]: e for e in spans}
     assert by_name["xfer"]["ts"] == pytest.approx(0.0)
     assert by_name["xfer"]["dur"] == pytest.approx(1.0)   # microseconds
     assert by_name["xfer"]["args"]["op_id"] == 0
     assert by_name["read d"]["cat"] == "op"
     assert by_name["xfer"]["cat"] == "resource"
+    # spans land on the tids their thread_name metadata announced
+    tid_of = {e["args"]["name"]: e["tid"] for e in threads}
+    assert by_name["read d"]["tid"] == tid_of["ops"]
+    assert by_name["xfer"]["tid"] == tid_of["link"]
     # all spans of one stream share the pid announced by its metadata
-    pid = meta[0]["pid"]
+    pid = processes[0]["pid"]
     assert all(e["pid"] == pid for e in spans)
 
 
