@@ -8,6 +8,7 @@ The analogue of the paper artifact's ``run_evaluation.sh``::
     python -m repro fig10 -w GEMM BFS # a subset
     python -m repro overhead          # §7.3 latency/space overhead
     python -m repro table1            # workload inventory
+    python -m repro bench             # wall-clock hot-path benchmark
     python -m repro all               # everything
 
 Each command prints the same rows/series the paper's figure reports.
@@ -183,6 +184,18 @@ def _cmd_report(args: argparse.Namespace) -> None:
         print(format_report(report))
 
 
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from repro.analysis.bench import (bench_json, format_bench,
+                                      run_hotpath_bench)
+    bench = run_hotpath_bench(max_tiles=args.tiles, repeats=args.repeats)
+    print(format_bench(bench))
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(bench_json(bench))
+        print(f"wrote {args.json}")
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     for command in (_cmd_table1, _cmd_fig3, _cmd_fig9, _cmd_overhead,
                     _cmd_fig10):
@@ -242,6 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--text", action="store_true",
                         help="print the text report even with --json")
     report.set_defaults(fn=_cmd_report)
+    bench = sub.add_parser(
+        "bench", help="wall-clock hot-path benchmark (BENCH_sim.json)")
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       help="write wall + simulated numbers to PATH")
+    bench.add_argument("--tiles", type=int, default=48,
+                       help="max tile fetches per workload (default 48)")
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="wall-time repeats, keep the fastest "
+                            "(default 1)")
+    bench.set_defaults(fn=_cmd_bench)
     sub.add_parser("overhead", help="Sec 7.3 overheads").set_defaults(
         fn=_cmd_overhead)
     sub.add_parser("scorecard",

@@ -85,7 +85,7 @@ class NdsAllocator:
             return (self.rng.randrange(g.channels),
                     self.rng.randrange(g.banks_per_channel))
         bank = entry.last_alloc.bank
-        channels_in_bank = {c for (c, b) in entry.bank_use if b == bank}
+        channels_in_bank = entry.bank_channels.get(bank, ())
         if len(channels_in_bank) >= g.channels:
             # Rule 3: block covers every channel of this bank already —
             # move to an unused or least-used bank.
@@ -136,13 +136,28 @@ class NdsAllocator:
             channels = sorted({c for (c, b) in allowed if b == bank})
             if not channels:
                 channels = sorted({c for (c, _b) in allowed})
-        usage = [(entry.bank_use.get((c, bank), 0), c) for c in channels]
-        least = min(u for u, _c in usage)
-        candidates = [c for u, c in usage if u == least]
-        # Tie-break on overall per-channel use so blocks larger than one
-        # stripe still spread evenly.
-        candidates.sort(key=lambda c: entry.channel_use.get(c, 0))
-        return candidates[0]
+        # Single pass, no list/sort churn (this runs once per allocated
+        # unit): pick the least-used channel in the bank, tie-break on
+        # overall per-channel use so blocks larger than one stripe still
+        # spread evenly, further ties to the lowest channel id — exactly
+        # the order the old build-sort-index pipeline produced.
+        bank_use = entry.bank_channels.get(bank) or {}
+        channel_use = entry.channel_use
+        best = None
+        best_bank_use = 0
+        best_channel_use = 0
+        for c in channels:
+            used = bank_use.get(c, 0)
+            if best is None or used < best_bank_use:
+                best = c
+                best_bank_use = used
+                best_channel_use = channel_use.get(c, 0)
+            elif used == best_bank_use:
+                overall = channel_use.get(c, 0)
+                if overall < best_channel_use:
+                    best = c
+                    best_channel_use = overall
+        return best
 
     # ------------------------------------------------------------------
     def allocate(self, entry: BlockEntry, position: int,

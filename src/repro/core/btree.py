@@ -36,6 +36,9 @@ class BlockEntry:
     pages: List[Optional[PhysicalPageAddress]]
     channel_use: Dict[int, int] = field(default_factory=dict)
     bank_use: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: ``bank_use`` re-indexed per bank (bank → channel → count) so the
+    #: allocator's per-unit channel scan avoids tuple-key lookups
+    bank_channels: Dict[int, Dict[int, int]] = field(default_factory=dict)
     last_alloc: Optional[PhysicalPageAddress] = None
     #: when the space is compressed (§5.3.4): stored bytes including the
     #: codec header; None = uncompressed block
@@ -46,6 +49,11 @@ class BlockEntry:
         self.channel_use[ppa.channel] = self.channel_use.get(ppa.channel, 0) + 1
         key = (ppa.channel, ppa.bank)
         self.bank_use[key] = self.bank_use.get(key, 0) + 1
+        per_bank = self.bank_channels.get(ppa.bank)
+        if per_bank is None:
+            per_bank = {}
+            self.bank_channels[ppa.bank] = per_bank
+        per_bank[ppa.channel] = per_bank.get(ppa.channel, 0) + 1
         self.last_alloc = ppa
 
     def record_release(self, position: int) -> Optional[PhysicalPageAddress]:
@@ -60,6 +68,12 @@ class BlockEntry:
         self.bank_use[key] -= 1
         if self.bank_use[key] == 0:
             del self.bank_use[key]
+        per_bank = self.bank_channels[ppa.bank]
+        per_bank[ppa.channel] -= 1
+        if per_bank[ppa.channel] == 0:
+            del per_bank[ppa.channel]
+            if not per_bank:
+                del self.bank_channels[ppa.bank]
         return ppa
 
     def allocated_pages(self) -> List[PhysicalPageAddress]:

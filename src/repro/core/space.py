@@ -43,6 +43,12 @@ class Space:
     open_views: int = 0
     deleted: bool = False
     _grid: Tuple[int, ...] = field(init=False)
+    #: memoized translation results, keyed by ``(origin, extents)`` /
+    #: ``block_slice``. Both caches are pure functions of the geometry
+    #: fields above, so they never need churn invalidation; ``resize``
+    #: builds a fresh Space, which starts with empty caches.
+    _region_cache: dict = field(init=False, repr=False, compare=False)
+    _pages_cache: dict = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         NVME_LIMITS.validate_dimensionality(self.dims)
@@ -51,6 +57,13 @@ class Space:
         if len(self.bb) != len(self.dims):
             raise ValueError("building-block rank must match space rank")
         self._grid = tuple(-(-d // b) for d, b in zip(self.dims, self.bb))
+        self._region_cache = {}
+        self._pages_cache = {}
+
+    def clear_translation_caches(self) -> None:
+        """Drop this space's memoized translation results."""
+        self._region_cache.clear()
+        self._pages_cache.clear()
 
     # ------------------------------------------------------------------
     @classmethod

@@ -19,10 +19,53 @@ import itertools
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.space import Space
 
 __all__ = ["BlockAccess", "translate", "translate_region",
-           "pages_for_region", "region_volume"]
+           "pages_for_region", "region_volume",
+           "set_translation_cache_limit", "translation_cache_limit",
+           "translation_cache_stats", "reset_translation_cache_stats"]
+
+#: per-Space entry cap for each memo cache. Tile plans revisit a small
+#: set of (origin, shape) pairs, so the working set is tiny; the cap
+#: only guards pathological workloads that sweep millions of distinct
+#: regions. 0 disables caching entirely (the knob the equivalence
+#: tests use to A/B the cached path against the raw walk).
+_DEFAULT_CACHE_LIMIT = 4096
+_cache_limit = _DEFAULT_CACHE_LIMIT
+_cache_stats = {"region_hits": 0, "region_misses": 0,
+                "pages_hits": 0, "pages_misses": 0}
+
+#: switch the vectorized page walk on above this many outer rows (the
+#: numpy setup cost beats the scalar loop from roughly a dozen rows)
+_VECTOR_THRESHOLD = 16
+
+
+def set_translation_cache_limit(limit: int) -> None:
+    """Set the per-Space translation cache capacity (entries per cache;
+    0 disables memoization). A full cache is cleared wholesale — the
+    working set of real tile plans is far below any sane cap, so an
+    eviction policy would be pure overhead."""
+    global _cache_limit
+    if limit < 0:
+        raise ValueError("cache limit must be >= 0")
+    _cache_limit = int(limit)
+
+
+def translation_cache_limit() -> int:
+    return _cache_limit
+
+
+def translation_cache_stats() -> dict:
+    """Global hit/miss counters over both memo caches."""
+    return dict(_cache_stats)
+
+
+def reset_translation_cache_stats() -> None:
+    for key in _cache_stats:
+        _cache_stats[key] = 0
 
 
 @dataclass(frozen=True)
@@ -70,7 +113,19 @@ def translate(space: Space, coordinate: Sequence[int],
 def translate_region(space: Space, origin: Sequence[int],
                      extents: Sequence[int]) -> List[BlockAccess]:
     """Raw-region variant of :func:`translate` (used by views, whose
-    regions need not be partition-aligned)."""
+    regions need not be partition-aligned).
+
+    Results are memoized per Space keyed on ``(origin, extents)``:
+    the mapping depends only on the space's immutable geometry, so a
+    hit is always valid. Callers get a fresh list (the BlockAccess
+    records themselves are frozen and shared)."""
+    key = (tuple(origin), tuple(extents))
+    cache = space._region_cache
+    hit = cache.get(key)
+    if hit is not None:
+        _cache_stats["region_hits"] += 1
+        return list(hit)
+    _cache_stats["region_misses"] += 1
     if len(origin) != space.rank or len(extents) != space.rank:
         raise ValueError("origin/extents rank mismatch")
     for axis, (o, f, d) in enumerate(zip(origin, extents, space.dims)):
@@ -98,6 +153,10 @@ def translate_region(space: Space, origin: Sequence[int],
             block_slice=tuple(block_slice),
             out_slice=tuple(out_slice),
         ))
+    if _cache_limit:
+        if len(cache) >= _cache_limit:
+            cache.clear()
+        cache[key] = tuple(accesses)
     return accesses
 
 
@@ -105,7 +164,18 @@ def pages_for_region(space: Space,
                      block_slice: Sequence[Tuple[int, int]]) -> List[int]:
     """Page positions (0-based within the block) that a block region
     touches. Elements are row-major inside the block; pages split that
-    byte stream sequentially."""
+    byte stream sequentially.
+
+    Memoized per Space keyed on ``block_slice`` (pure geometry, like
+    :func:`translate_region`); large regions take a numpy-vectorized
+    walk over the outer rows instead of the per-row Python loop."""
+    key = tuple(tuple(pair) for pair in block_slice)
+    cache = space._pages_cache
+    hit = cache.get(key)
+    if hit is not None:
+        _cache_stats["pages_hits"] += 1
+        return list(hit)
+    _cache_stats["pages_misses"] += 1
     bb = space.bb
     elem = space.element_size
     page = space.pages_per_block
@@ -113,7 +183,12 @@ def pages_for_region(space: Space,
     full = all(start == 0 and stop == extent
                for (start, stop), extent in zip(block_slice, bb))
     if full:
-        return list(range(page))
+        pages = list(range(page))
+        if _cache_limit:
+            if len(cache) >= _cache_limit:
+                cache.clear()
+            cache[key] = tuple(pages)
+        return pages
 
     # Walk contiguous runs: fix all axes but the last, the last axis is a
     # contiguous span of bytes in the block's row-major layout.
@@ -123,13 +198,48 @@ def pages_for_region(space: Space,
     for axis in range(len(bb) - 2, -1, -1):
         strides[axis] = strides[axis + 1] * bb[axis + 1]
 
-    pages = set()
-    outer_ranges = [range(start, stop) for start, stop in block_slice[:-1]]
-    for outer in itertools.product(*outer_ranges):
-        offset = last_start * elem
-        for axis, index in enumerate(outer):
-            offset += index * strides[axis]
-        first_page = offset // page_size_bytes
-        last_page = (offset + run_bytes - 1) // page_size_bytes
-        pages.update(range(first_page, last_page + 1))
-    return sorted(pages)
+    outer_rows = 1
+    for start, stop in block_slice[:-1]:
+        outer_rows *= stop - start
+    if outer_rows >= _VECTOR_THRESHOLD:
+        pages = _pages_vectorized(block_slice, strides, last_start, elem,
+                                  run_bytes, page_size_bytes)
+    else:
+        page_set = set()
+        outer_ranges = [range(start, stop)
+                        for start, stop in block_slice[:-1]]
+        for outer in itertools.product(*outer_ranges):
+            offset = last_start * elem
+            for axis, index in enumerate(outer):
+                offset += index * strides[axis]
+            first_page = offset // page_size_bytes
+            last_page = (offset + run_bytes - 1) // page_size_bytes
+            page_set.update(range(first_page, last_page + 1))
+        pages = sorted(page_set)
+    if _cache_limit:
+        if len(cache) >= _cache_limit:
+            cache.clear()
+        cache[key] = tuple(pages)
+    return pages
+
+
+def _pages_vectorized(block_slice: Sequence[Tuple[int, int]],
+                      strides: Sequence[int], last_start: int, elem: int,
+                      run_bytes: int, page_size_bytes: int) -> List[int]:
+    """Vectorized equivalent of the per-row offset walk: build every
+    outer-row byte offset with broadcast adds, then map run start/end
+    bytes to page indices in bulk. Integer math throughout, so the
+    result is identical to the scalar walk."""
+    offsets = np.asarray([last_start * elem], dtype=np.int64)
+    for (start, stop), stride in zip(block_slice[:-1], strides[:-1]):
+        axis = np.arange(start, stop, dtype=np.int64) * stride
+        offsets = (offsets[:, None] + axis[None, :]).ravel()
+    first = offsets // page_size_bytes
+    last = (offsets + (run_bytes - 1)) // page_size_bytes
+    if int((last - first).max()) == 0:
+        touched = np.unique(first)
+    else:
+        spans = [np.arange(f, l + 1, dtype=np.int64)
+                 for f, l in zip(first.tolist(), last.tolist())]
+        touched = np.unique(np.concatenate(spans))
+    return [int(p) for p in touched]

@@ -14,8 +14,9 @@ invalidate the old physical page and go to a fresh one in the same
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.nvm.address import PhysicalPageAddress
 from repro.nvm.geometry import Geometry
@@ -48,6 +49,72 @@ class BlockState:
         return self.live_pages() / len(self.valid) if self.valid else 0.0
 
 
+class _FreeBlockPool:
+    """Free-block ids of one plane without materializing the id list.
+
+    Order-equivalent to the original ``list(range(count))`` free list
+    under the operations the FTL/GC/bad-block layers use: virgin ids
+    leave from the front in ascending order, erased blocks re-enter at
+    the tail (FIFO), ``remove`` may take any id.
+    """
+
+    __slots__ = ("_virgin_next", "_virgin_end", "_skipped", "_recycled")
+
+    def __init__(self, count: int) -> None:
+        self._virgin_next = 0
+        self._virgin_end = count
+        #: virgin ids removed (retired) before their first allocation
+        self._skipped: set = set()
+        self._recycled: deque = deque()
+
+    def __len__(self) -> int:
+        return (self._virgin_end - self._virgin_next - len(self._skipped)
+                + len(self._recycled))
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __contains__(self, block_id: int) -> bool:
+        if (self._virgin_next <= block_id < self._virgin_end
+                and block_id not in self._skipped):
+            return True
+        return block_id in self._recycled
+
+    def __iter__(self) -> Iterator[int]:
+        for block_id in range(self._virgin_next, self._virgin_end):
+            if block_id not in self._skipped:
+                yield block_id
+        yield from self._recycled
+
+    def pop(self, index: int = 0) -> int:
+        if index != 0:
+            raise IndexError("free-block pool only pops from the front")
+        while self._virgin_next < self._virgin_end:
+            block_id = self._virgin_next
+            self._virgin_next += 1
+            if block_id in self._skipped:
+                self._skipped.discard(block_id)
+                continue
+            return block_id
+        if not self._recycled:
+            raise IndexError("pop from empty free-block pool")
+        return self._recycled.popleft()
+
+    def append(self, block_id: int) -> None:
+        self._recycled.append(block_id)
+
+    def remove(self, block_id: int) -> None:
+        if (self._virgin_next <= block_id < self._virgin_end
+                and block_id not in self._skipped):
+            self._skipped.add(block_id)
+            return
+        try:
+            self._recycled.remove(block_id)
+        except ValueError:
+            raise ValueError(
+                f"block {block_id} not in free-block pool") from None
+
+
 class PlaneAllocator:
     """Free-space management for one (channel, bank) pair.
 
@@ -62,7 +129,7 @@ class PlaneAllocator:
         #: block states are materialized lazily: a 2 TB-class device has
         #: hundreds of thousands of blocks, most never touched in a run
         self.blocks: Dict[int, BlockState] = {}
-        self.free_blocks: List[int] = list(range(geometry.blocks_per_bank))
+        self.free_blocks = _FreeBlockPool(geometry.blocks_per_bank)
         self.active_block: Optional[int] = None
         self._fill_counter = 0
 

@@ -98,6 +98,23 @@ class HostIoEngine:
         self.trace = None
         #: optional metrics registry (set via ``set_metrics``)
         self.metrics = None
+        #: when True (default) timing-only read batches with no trace /
+        #: metrics / faults attached take an inlined per-request flow
+        #: that performs the identical float operations in the identical
+        #: order — bit-identical timings and stats, far less interpreter
+        #: work. Set False to force the instrumentable path (A/B tests).
+        self.fast_path = True
+
+    def _can_fast_path(self, with_data: bool) -> bool:
+        return (self.fast_path and not with_data and self.trace is None
+                and self.metrics is None and self.cpu.trace is None
+                and self.cpu.metrics is None and self.link.trace is None
+                and self.link.metrics is None
+                and self.ssd.flash.faults is None
+                and self.ssd.flash.fast_path
+                and self.controller_line.observer is None
+                and self.cpu.issue_line.observer is None
+                and self.link.line.observer is None)
 
     def _reserve_controller(self, earliest: float) -> float:
         start, end = self.controller_line.reserve(
@@ -112,6 +129,8 @@ class HostIoEngine:
     def run_reads(self, requests: Sequence[IoRequest], start_time: float = 0.0,
                   with_data: bool = False) -> IoRunResult:
         """Execute read requests in order under the queue-depth limit."""
+        if self._can_fast_path(with_data):
+            return self._run_reads_fast(requests, start_time)
         result = IoRunResult(start_time=start_time, end_time=start_time)
         window = QueueDepthWindow(self.queue_depth)
         for request in requests:
@@ -137,9 +156,140 @@ class HostIoEngine:
         result.stats.count("io_requests", len(requests))
         return result
 
+    def _run_reads_fast(self, requests: Sequence[IoRequest],
+                        start_time: float) -> IoRunResult:
+        """Per-request flow of :meth:`run_reads` with every layer's
+        Timeline bookkeeping inlined and the stat-dict churn hoisted to
+        batch totals. The float operations — reserve chains per request
+        in FCFS order, per-op time accumulators — happen in the exact
+        sequence of the instrumentable path, so timings, busy times and
+        stats are bit-identical; only object/dict allocations go away.
+        Guarded by :meth:`_can_fast_path` (timing-only, no trace /
+        metrics / faults / observers)."""
+        result = IoRunResult(start_time=start_time, end_time=start_time)
+        window = QueueDepthWindow(self.queue_depth)
+        cpu = self.cpu
+        link = self.link
+        ssd = self.ssd
+        flash = ssd.flash
+        check_lpns = ssd._check_lpns
+        map_get = ssd.ftl.map.get
+        read_chain = flash._read_chain
+        issue_line = cpu.issue_line
+        ctrl_line = self.controller_line
+        link_line = link.line
+        per_io = cpu.per_io_cost
+        ctrl_time = self.controller_command_time
+        link_overhead = link.command_overhead
+        link_bandwidth = link.bandwidth
+        page_size = ssd.page_size
+        copy_time = cpu.memory.copy_time
+        copy_servers = cpu.copy_lines.servers
+        window_earliest = window.earliest
+        window_complete = window.complete
+        completions_append = result.completions.append
+        data_append = result.data.append
+        # per-op float accumulators, committed once at the end — the
+        # additions happen in the same per-request order as add_time
+        issue_time_acc = cpu.stats.times.get("host_issue", 0.0)
+        copy_time_acc = cpu.stats.times.get("host_copy", 0.0)
+        end_time = start_time
+        useful_total = 0
+        fetched_total = 0
+        pages_total = 0
+        unmapped_total = 0
+        copies = 0
+        copied_bytes = 0
+        for request in requests:
+            earliest = window_earliest(start_time)
+            # host software stack (cpu.issue_io)
+            issued = issue_line.free_at
+            if issued < earliest:
+                issued = earliest
+            issued += per_io
+            issue_line.free_at = issued
+            issue_line.busy_time += per_io
+            issue_line.ops += 1
+            issue_time_acc += per_io
+            # device controller command handling
+            ctrl_done = ctrl_line.free_at
+            if ctrl_done < issued:
+                ctrl_done = issued
+            ctrl_done += ctrl_time
+            ctrl_line.free_at = ctrl_done
+            ctrl_line.busy_time += ctrl_time
+            ctrl_line.ops += 1
+            # device: FTL map + flash fan-out (ssd.read_lpns)
+            lpns = request.lpns
+            check_lpns(lpns)
+            ppas = [ppa for ppa in map(map_get, lpns) if ppa is not None]
+            device_end = read_chain(ppas, ctrl_done)
+            pages_total += len(ppas)
+            unmapped_total += len(lpns) - len(ppas)
+            # link data transfer
+            fetched = len(lpns) * page_size
+            duration = link_overhead + fetched / link_bandwidth
+            link_start = link_line.free_at
+            if link_start < device_end:
+                link_start = device_end
+            done = link_start + duration
+            link_line.free_at = done
+            link_line.busy_time += duration
+            link_line.ops += 1
+            # optional host placement copy (cpu.copy)
+            useful = request.useful_bytes
+            chunk = request.placement_chunk
+            if chunk is not None:
+                duration = copy_time(useful, chunk)
+                core = copy_servers[0]
+                for candidate in copy_servers[1:]:
+                    if candidate.free_at < core.free_at:
+                        core = candidate
+                copy_start = core.free_at
+                if copy_start < done:
+                    copy_start = done
+                done = copy_start + duration
+                core.free_at = done
+                core.busy_time += duration
+                core.ops += 1
+                copy_time_acc += duration
+                copies += 1
+                copied_bytes += useful
+            window_complete(done)
+            completions_append(done)
+            useful_total += useful
+            fetched_total += fetched
+            data_append(None)
+            if done > end_time:
+                end_time = done
+        if requests:
+            cpu.stats.times["host_issue"] = issue_time_acc
+            cpu_counters = cpu.stats.counters
+            cpu_counters["host_ios"] = cpu_counters.get("host_ios", 0) \
+                + len(requests)
+            if copies:
+                cpu.stats.times["host_copy"] = copy_time_acc
+                cpu_counters["host_copies"] = \
+                    cpu_counters.get("host_copies", 0) + copies
+                cpu_counters["host_copied_bytes"] = \
+                    cpu_counters.get("host_copied_bytes", 0) + copied_bytes
+            flash.stats.count("pages_read", pages_total)
+            link.stats.count("transfers", len(requests))
+            link.stats.count("bytes", fetched_total)
+        result.end_time = end_time
+        result.useful_bytes = useful_total
+        result.fetched_bytes = fetched_total
+        if requests:
+            result.stats.count("device_pages_read", pages_total)
+            result.stats.count("device_pages_unmapped", unmapped_total)
+        result.stats.count("io_requests", len(requests))
+        return result
+
     def run_writes(self, requests: Sequence[IoRequest],
                    start_time: float = 0.0) -> IoRunResult:
         """Execute write requests in order under the queue-depth limit."""
+        if self._can_fast_path(False):
+            return self._run_writes_fast(requests, start_time)
         result = IoRunResult(start_time=start_time, end_time=start_time)
         window = QueueDepthWindow(self.queue_depth)
         for request in requests:
@@ -163,6 +313,118 @@ class HostIoEngine:
             result.stats.merge(device.stats)
             if done > result.end_time:
                 result.end_time = done
+        result.stats.count("io_requests", len(requests))
+        return result
+
+    def _run_writes_fast(self, requests: Sequence[IoRequest],
+                         start_time: float) -> IoRunResult:
+        """Host-side flow of :meth:`run_writes` with the CPU / link /
+        controller Timeline bookkeeping inlined (same float-operation
+        order — bit-identical); the device side still goes through
+        :meth:`~repro.ftl.ssd.BaselineSSD.write_lpns`, which owns
+        allocation and GC."""
+        result = IoRunResult(start_time=start_time, end_time=start_time)
+        window = QueueDepthWindow(self.queue_depth)
+        cpu = self.cpu
+        link = self.link
+        ssd = self.ssd
+        write_lpns = ssd.write_lpns
+        issue_line = cpu.issue_line
+        ctrl_line = self.controller_line
+        link_line = link.line
+        per_io = cpu.per_io_cost
+        ctrl_time = self.controller_command_time
+        link_overhead = link.command_overhead
+        link_bandwidth = link.bandwidth
+        page_size = ssd.page_size
+        copy_time = cpu.memory.copy_time
+        copy_servers = cpu.copy_lines.servers
+        window_earliest = window.earliest
+        window_complete = window.complete
+        completions_append = result.completions.append
+        merge = result.stats.merge
+        issue_time_acc = cpu.stats.times.get("host_issue", 0.0)
+        copy_time_acc = cpu.stats.times.get("host_copy", 0.0)
+        end_time = start_time
+        useful_total = 0
+        sent_total = 0
+        copies = 0
+        copied_bytes = 0
+        for request in requests:
+            earliest = window_earliest(start_time)
+            # host software stack (cpu.issue_io)
+            issued = issue_line.free_at
+            if issued < earliest:
+                issued = earliest
+            issued += per_io
+            issue_line.free_at = issued
+            issue_line.busy_time += per_io
+            issue_line.ops += 1
+            issue_time_acc += per_io
+            # host gather copy into the DMA buffer (cpu.copy)
+            useful = request.useful_bytes
+            chunk = request.placement_chunk
+            if chunk is not None:
+                duration = copy_time(useful, chunk)
+                core = copy_servers[0]
+                for candidate in copy_servers[1:]:
+                    if candidate.free_at < core.free_at:
+                        core = candidate
+                copy_start = core.free_at
+                if copy_start < issued:
+                    copy_start = issued
+                issued = copy_start + duration
+                core.free_at = issued
+                core.busy_time += duration
+                core.ops += 1
+                copy_time_acc += duration
+                copies += 1
+                copied_bytes += useful
+            # link data transfer
+            sent = len(request.lpns) * page_size
+            duration = link_overhead + sent / link_bandwidth
+            link_start = link_line.free_at
+            if link_start < issued:
+                link_start = issued
+            link_end = link_start + duration
+            link_line.free_at = link_end
+            link_line.busy_time += duration
+            link_line.ops += 1
+            # device controller command handling
+            ctrl_done = ctrl_line.free_at
+            if ctrl_done < link_end:
+                ctrl_done = link_end
+            ctrl_done += ctrl_time
+            ctrl_line.free_at = ctrl_done
+            ctrl_line.busy_time += ctrl_time
+            ctrl_line.ops += 1
+            # device: allocation, programs, GC (unchanged call)
+            device = write_lpns(request.lpns, ctrl_done,
+                                data=request.payload)
+            done = device.end_time
+            window_complete(done)
+            completions_append(done)
+            useful_total += useful
+            sent_total += sent
+            merge(device.stats)
+            if done > end_time:
+                end_time = done
+        if requests:
+            cpu.stats.times["host_issue"] = issue_time_acc
+            cpu_counters = cpu.stats.counters
+            cpu_counters["host_ios"] = cpu_counters.get("host_ios", 0) \
+                + len(requests)
+            if copies:
+                cpu.stats.times["host_copy"] = copy_time_acc
+                cpu_counters["host_copies"] = \
+                    cpu_counters.get("host_copies", 0) + copies
+                cpu_counters["host_copied_bytes"] = \
+                    cpu_counters.get("host_copied_bytes", 0) + copied_bytes
+            link.stats.count("transfers", len(requests))
+            link.stats.count("bytes", sent_total)
+        result.end_time = end_time
+        result.useful_bytes = useful_total
+        result.fetched_bytes = sent_total
         result.stats.count("io_requests", len(requests))
         return result
 

@@ -110,6 +110,13 @@ class FlashArray:
         #: None (default) every path is bit-identical to the fault-free
         #: model — no bookkeeping, no draws, no extra reservations
         self.faults = None
+        #: batched fan-out switch: when True (default) and no faults /
+        #: trace / metrics are attached, read and program batches run an
+        #: inlined reserve chain that performs the exact same float
+        #: operations in the exact same order as the per-page path —
+        #: bit-identical timings, a fraction of the interpreter work.
+        #: Set False to force the per-page path (A/B equivalence tests).
+        self.fast_path = True
 
     def attach_faults(self, injector) -> None:
         """Attach a fault injector (None detaches). Attach before any
@@ -160,11 +167,16 @@ class FlashArray:
         is the effect the paper's Figures 1 and 5 are about.
         """
         result = FlashOpResult(start_time=start_time, end_time=start_time)
-        for ppa in ppas:
-            end = self._read_one(ppa, start_time)
-            result.completions.append(end)
-            if end > result.end_time:
-                result.end_time = end
+        if (self.fast_path and self.faults is None and self.trace is None
+                and self.metrics is None):
+            result.end_time = self._read_chain(ppas, start_time,
+                                               result.completions)
+        else:
+            for ppa in ppas:
+                end = self._read_one(ppa, start_time)
+                result.completions.append(end)
+                if end > result.end_time:
+                    result.end_time = end
         result.stats.count("pages_read", len(ppas))
         self.stats.count("pages_read", len(ppas))
         return result
@@ -179,12 +191,17 @@ class FlashArray:
         is stored (zero-padded) for functional read-back.
         """
         result = FlashOpResult(start_time=start_time, end_time=start_time)
-        for position, ppa in enumerate(ppas):
-            payload = data[position] if data is not None else None
-            end = self._program_one(ppa, start_time, payload)
-            result.completions.append(end)
-            if end > result.end_time:
-                result.end_time = end
+        if (self.fast_path and self.faults is None and self.trace is None
+                and self.metrics is None):
+            result.end_time = self._program_chain(ppas, start_time, data,
+                                                  result.completions)
+        else:
+            for position, ppa in enumerate(ppas):
+                payload = data[position] if data is not None else None
+                end = self._program_one(ppa, start_time, payload)
+                result.completions.append(end)
+                if end > result.end_time:
+                    result.end_time = end
         result.stats.count("pages_programmed", len(ppas))
         self.stats.count("pages_programmed", len(ppas))
         return result
@@ -228,6 +245,119 @@ class FlashArray:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _read_chain(self, ppas: Sequence[PhysicalPageAddress],
+                    start_time: float,
+                    completions: Optional[List[float]] = None) -> float:
+        """Batched fan-out of a read batch: the same bank→channel
+        reserve chain as :meth:`_read_one` for every page, in the same
+        FCFS issue order, with the Timeline bookkeeping inlined. Every
+        float operation happens in the identical sequence, so timings
+        are bit-identical to the per-page path. ``completions``, when
+        given, receives the per-page completion times; callers that only
+        need the batch end time (the engine fast path) pass None. The
+        caller accounts ``pages_read`` stats."""
+        timing = self.timing
+        t_read = timing.t_read
+        issue = start_time + timing.t_cmd
+        xfer = timing.transfer_time(self.geometry.page_size)
+        channel_lines = self.channel_lines
+        bank_lines = self.bank_lines
+        append = completions.append if completions is not None else None
+        end_time = start_time
+        for ppa in ppas:
+            c = ppa.channel
+            channel = channel_lines[c]
+            bank = bank_lines[c][ppa.bank]
+            if bank.observer is not None or channel.observer is not None:
+                # a reservation observer is attached outside set_metrics:
+                # take the instrumented path for this page
+                xfer_end = self._read_one(ppa, start_time)
+            else:
+                read_start = bank.free_at
+                if read_start < issue:
+                    read_start = issue
+                read_end = read_start + t_read
+                bank.busy_time += t_read
+                bank.ops += 1
+                xfer_start = channel.free_at
+                if xfer_start < read_end:
+                    xfer_start = read_end
+                xfer_end = xfer_start + xfer
+                channel.free_at = xfer_end
+                channel.busy_time += xfer
+                channel.ops += 1
+                # the die's page register is held until the transfer
+                # drains
+                bank.free_at = xfer_end
+            if append is not None:
+                append(xfer_end)
+            if xfer_end > end_time:
+                end_time = xfer_end
+        return end_time
+
+    def _program_chain(self, ppas: Sequence[PhysicalPageAddress],
+                       start_time: float,
+                       data: Optional[Sequence[Optional[np.ndarray]]],
+                       completions: List[float]) -> float:
+        """Batched fan-out of a program batch (see :meth:`_read_chain`):
+        channel→bank reserve chain per page, inlined, bit-identical."""
+        timing = self.timing
+        t_program = timing.t_program
+        issue = start_time + timing.t_cmd
+        geometry = self.geometry
+        xfer = timing.transfer_time(geometry.page_size)
+        channel_lines = self.channel_lines
+        bank_lines = self.bank_lines
+        store = self.store_data
+        append = completions.append
+        end_time = start_time
+        for position, ppa in enumerate(ppas):
+            c = ppa.channel
+            channel = channel_lines[c]
+            bank = bank_lines[c][ppa.bank]
+            if bank.observer is not None or channel.observer is not None:
+                payload = data[position] if data is not None else None
+                prog_end = self._program_one(ppa, start_time, payload)
+                append(prog_end)
+                if prog_end > end_time:
+                    end_time = prog_end
+                continue
+            if store:
+                idx = ppa_to_index(ppa, geometry)
+                if idx in self._programmed:
+                    raise FlashStateError(
+                        f"program to already-programmed page {ppa} "
+                        f"(erase first)")
+                self._programmed.add(idx)
+                payload = data[position] if data is not None else None
+                if payload is not None:
+                    page = np.zeros(geometry.page_size, dtype=np.uint8)
+                    raw = np.asarray(payload, dtype=np.uint8).ravel()
+                    if raw.size > geometry.page_size:
+                        raise ValueError(
+                            f"payload of {raw.size} B exceeds page size")
+                    page[: raw.size] = raw
+                    self._pages[idx] = page
+                    self._checksums[idx] = _page_checksum(page)
+            xfer_start = channel.free_at
+            if xfer_start < issue:
+                xfer_start = issue
+            xfer_end = xfer_start + xfer
+            channel.free_at = xfer_end
+            channel.busy_time += xfer
+            channel.ops += 1
+            prog_start = bank.free_at
+            if prog_start < xfer_end:
+                prog_start = xfer_end
+            prog_end = prog_start + t_program
+            bank.free_at = prog_end
+            bank.busy_time += t_program
+            bank.ops += 1
+            append(prog_end)
+            if prog_end > end_time:
+                end_time = prog_end
+        return end_time
+
     def _read_one(self, ppa: PhysicalPageAddress, issue_time: float) -> float:
         faults = self.faults
         if faults is not None:

@@ -24,7 +24,7 @@ base: the same sliding completion window limits NVMe queue pairs inside
 
 from __future__ import annotations
 
-from bisect import insort
+from heapq import heappush, heapreplace
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.runtime.tileop import DEFAULT_STREAM, TileOp
@@ -54,32 +54,47 @@ class QueueDepthWindow:
     ``k - depth`` of the previously issued requests completed
     (``depth=None`` = unbounded).
 
-    Completion times are kept **sorted**: under multi-stream round-robin
-    drains, end times arrive out of order, and the correct gate for the
-    next request is the k-th *smallest* completion — not the k-th most
-    recently appended one.
+    Under multi-stream round-robin drains end times arrive out of
+    order, and the correct gate for the next request is the ``depth``-th
+    *largest* completion seen so far. Only those ``depth`` completions
+    can ever gate, so the window keeps exactly them in a min-heap whose
+    root is the gate — O(log depth) per completion and O(depth) memory,
+    versus the O(n) ``insort`` + unbounded list it replaces.
     """
 
-    __slots__ = ("depth", "completions")
+    __slots__ = ("depth", "completed", "_heap")
 
     def __init__(self, depth: Optional[int] = None) -> None:
         if depth is not None and depth < 1:
             raise ValueError("queue depth must be >= 1 (or None)")
         self.depth = depth
-        self.completions: List[float] = []
+        #: total completions recorded (the heap holds only the largest
+        #: ``depth`` of them)
+        self.completed = 0
+        self._heap: List[float] = []
 
     def earliest(self, submit_time: float) -> float:
         """Earliest issue time for the next request, honouring the
         window against all previously completed requests."""
-        if self.depth is not None and len(self.completions) >= self.depth:
-            return max(submit_time, self.completions[-self.depth])
+        if self.depth is not None and self.completed >= self.depth:
+            gate = self._heap[0]
+            if gate > submit_time:
+                return gate
         return submit_time
 
     def complete(self, time: float) -> None:
-        insort(self.completions, time)
+        self.completed += 1
+        if self.depth is None:
+            return
+        heap = self._heap
+        if len(heap) < self.depth:
+            heappush(heap, time)
+        elif time > heap[0]:
+            heapreplace(heap, time)
 
     def reset(self) -> None:
-        self.completions.clear()
+        self.completed = 0
+        self._heap.clear()
 
 
 class StreamHandle:

@@ -91,9 +91,21 @@ class MultiTimeline:
 
         Returns ``(start, end, server_index)``.
         """
-        best = min(range(len(self.servers)), key=lambda i: self.servers[i].free_at)
-        start, end = self.servers[best].reserve(earliest_start, duration)
-        return start, end, best
+        # Plain scan, no lambda/closure: this sits on the per-request hot
+        # path of every host copy. Strict < keeps the first-minimal
+        # tie-break of min(..., key=...).
+        servers = self.servers
+        best = servers[0]
+        index = 0
+        best_free = best.free_at
+        for i in range(1, len(servers)):
+            candidate = servers[i]
+            if candidate.free_at < best_free:
+                best = candidate
+                best_free = candidate.free_at
+                index = i
+        start, end = best.reserve(earliest_start, duration)
+        return start, end, index
 
     def reserve_on(self, index: int, earliest_start: float, duration: float) -> Tuple[float, float]:
         """Reserve on a specific server (e.g. a request pinned to one bank)."""

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.api import bytes_to_array
 from repro.core.stl import SpaceTranslationLayer
+from repro.core.translator import pages_for_region
 from repro.faults.injector import FaultInjector
 from repro.faults.model import FaultConfig
 from repro.host.cpu import HostCpu
@@ -223,6 +224,5 @@ class SoftwareNdsSystem(StorageSystem):
         return space_id
 
     def _pages_of(self, space_id: int, access) -> int:
-        from repro.core.translator import pages_for_region
         space = self.stl.get_space(space_id)
         return len(pages_for_region(space, access.block_slice))

@@ -11,7 +11,8 @@ class TestParser:
         sub = next(a for a in parser._actions
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"fig3", "fig9", "fig10", "overhead",
-                                    "report", "scorecard", "table1", "all"}
+                                    "report", "scorecard", "table1",
+                                    "bench", "all"}
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

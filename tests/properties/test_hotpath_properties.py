@@ -1,0 +1,198 @@
+"""Property-based gates on the hot-path optimizations (hypothesis).
+
+Invariants:
+* translation caching is invisible — cached, repeat-cached and
+  cache-disabled calls return identical access lists and page lists;
+* the vectorized page fan-out equals the scalar fall-back on the same
+  region;
+* with batched fan-out, cached translation and the engine/flash fast
+  paths enabled (the defaults), random overwrite churn — including GC
+  and fault-injected (bad-block / retry) runs — produces **bit
+  identical** timings to the all-knobs-off configuration;
+* functional read-back after batched page fan-out returns exactly the
+  bytes a numpy mirror predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.translator as translator
+from repro.core import Space, pages_for_region
+from repro.core.translator import (set_translation_cache_limit,
+                                   translate_region,
+                                   translation_cache_limit)
+from repro.faults.model import FaultConfig
+from repro.nvm import Geometry
+from repro.nvm.profiles import TINY_TEST
+from repro.systems import HardwareNdsSystem, SoftwareNdsSystem
+
+GEOMETRY = Geometry(channels=4, banks_per_channel=2, blocks_per_bank=8,
+                    pages_per_block=8, page_size=256)
+
+
+@st.composite
+def space_and_region(draw):
+    rank = draw(st.integers(1, 3))
+    dims = tuple(draw(st.integers(4, 48)) for _ in range(rank))
+    element_size = draw(st.sampled_from([1, 2, 4, 8]))
+    origin = tuple(draw(st.integers(0, d - 1)) for d in dims)
+    extents = tuple(draw(st.integers(1, d - o))
+                    for o, d in zip(origin, dims))
+    space = Space.create(1, dims, element_size, GEOMETRY)
+    return space, origin, extents
+
+
+@pytest.fixture(autouse=True)
+def _restore_cache_limit():
+    saved = translation_cache_limit()
+    yield
+    set_translation_cache_limit(saved)
+
+
+@settings(max_examples=60, deadline=None)
+@given(space_and_region())
+def test_translation_cache_is_invisible(data):
+    space, origin, extents = data
+    cold = translate_region(space, origin, extents)
+    warm = translate_region(space, origin, extents)  # cache hit
+    set_translation_cache_limit(0)
+    space.clear_translation_caches()
+    uncached = translate_region(space, origin, extents)
+    set_translation_cache_limit(4096)
+    assert cold == warm == uncached
+    for access in cold:
+        key = access.block_slice
+        cached_pages = pages_for_region(space, key)
+        repeat = pages_for_region(space, key)
+        set_translation_cache_limit(0)
+        space.clear_translation_caches()
+        plain = pages_for_region(space, key)
+        set_translation_cache_limit(4096)
+        assert cached_pages == repeat == plain
+
+
+@settings(max_examples=60, deadline=None)
+@given(space_and_region())
+def test_vectorized_page_fanout_matches_scalar(data):
+    space, origin, extents = data
+    saved = translator._VECTOR_THRESHOLD
+    try:
+        for access in translate_region(space, origin, extents):
+            translator._VECTOR_THRESHOLD = 1  # force numpy path
+            space.clear_translation_caches()
+            vectorized = pages_for_region(space, access.block_slice)
+            translator._VECTOR_THRESHOLD = 10 ** 9  # force scalar path
+            space.clear_translation_caches()
+            scalar = pages_for_region(space, access.block_slice)
+            assert vectorized == scalar
+    finally:
+        translator._VECTOR_THRESHOLD = saved
+
+
+def _tiny_tile_ops(draw, dims):
+    ops = []
+    for _ in range(draw(st.integers(3, 10))):
+        origin = tuple(draw(st.integers(0, d - 1)) for d in dims)
+        extents = tuple(draw(st.integers(1, d - o))
+                        for o, d in zip(origin, dims))
+        ops.append((draw(st.sampled_from(["read", "write"])),
+                    origin, extents))
+    return ops
+
+
+def _drive(system_cls, dims, ops, fast, faults):
+    system = system_cls(TINY_TEST, store_data=False, faults=faults)
+    if not fast:
+        set_translation_cache_limit(0)
+        flash = getattr(system, "flash", None)
+        if flash is None:
+            flash = system.ssd.flash
+        flash.fast_path = False
+        engine = getattr(system, "engine", None)
+        if engine is not None:
+            engine.fast_path = False
+        stl = getattr(system, "stl", None)
+        if stl is not None:
+            stl.batch_fanout = False
+    ends = []
+    result = system.ingest("d", dims, 4)
+    ends.append(result.end_time)
+    clock = result.end_time
+    for kind, origin, extents in ops:
+        if kind == "read":
+            result = system.read_tile("d", origin, extents,
+                                      start_time=clock)
+        else:
+            result = system.write_tile("d", origin, extents,
+                                       start_time=clock)
+        ends.append(result.end_time)
+        clock = result.end_time
+    set_translation_cache_limit(4096)
+    return [e.hex() for e in ends]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+@pytest.mark.parametrize("system_cls", [SoftwareNdsSystem,
+                                        HardwareNdsSystem],
+                         ids=["software", "hardware"])
+def test_fast_paths_bit_identical_under_overwrite_churn(system_cls, data):
+    dims = (data.draw(st.integers(8, 24)), data.draw(st.integers(8, 24)))
+    ops = _tiny_tile_ops(data.draw, dims)
+    fast = _drive(system_cls, dims, ops, fast=True, faults=None)
+    slow = _drive(system_cls, dims, ops, fast=False, faults=None)
+    assert fast == slow
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.data())
+def test_fast_paths_bit_identical_with_fault_injection(data):
+    """With an injector attached the flash/engine fast paths disable
+    themselves; translation caching is the only knob left active and
+    must still be invisible under retry / bad-block churn."""
+    dims = (data.draw(st.integers(8, 20)), data.draw(st.integers(8, 20)))
+    ops = _tiny_tile_ops(data.draw, dims)
+    faults = FaultConfig(seed=data.draw(st.integers(0, 2 ** 16)),
+                         rber_base=2e-3,
+                         program_fail_base=0.02)
+    fast = _drive(HardwareNdsSystem, dims, ops, fast=True, faults=faults)
+    slow = _drive(HardwareNdsSystem, dims, ops, fast=False, faults=faults)
+    assert fast == slow
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.data())
+def test_batched_fanout_readback_bytes_exact(data):
+    """Functional gate: ingest + random overwrites through the batched
+    program fan-out, then read back random tiles and compare against a
+    numpy mirror byte for byte."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2 ** 16)))
+    dims = (data.draw(st.integers(8, 20)), data.draw(st.integers(8, 20)))
+    system_cls = data.draw(st.sampled_from([SoftwareNdsSystem,
+                                            HardwareNdsSystem]))
+    system = system_cls(TINY_TEST, store_data=True)
+    mirror = rng.integers(0, 2 ** 31, dims).astype(np.int32)
+    system.ingest("d", dims, 4, data=mirror)
+    clock = 0.0
+    for _ in range(data.draw(st.integers(1, 6))):
+        origin = tuple(data.draw(st.integers(0, d - 1)) for d in dims)
+        extents = tuple(data.draw(st.integers(1, d - o))
+                        for o, d in zip(origin, dims))
+        patch = rng.integers(0, 2 ** 31, extents).astype(np.int32)
+        result = system.write_tile("d", origin, extents, data=patch,
+                                   start_time=clock)
+        clock = result.end_time
+        slicer = tuple(slice(o, o + e) for o, e in zip(origin, extents))
+        mirror = mirror.copy()
+        mirror[slicer] = patch
+    origin = tuple(data.draw(st.integers(0, d - 1)) for d in dims)
+    extents = tuple(data.draw(st.integers(1, d - o))
+                    for o, d in zip(origin, dims))
+    result = system.read_tile("d", origin, extents, start_time=clock,
+                              with_data=True, dtype=np.dtype(np.int32))
+    slicer = tuple(slice(o, o + e) for o, e in zip(origin, extents))
+    np.testing.assert_array_equal(result.data, mirror[slicer])

@@ -1,0 +1,86 @@
+"""Regression: the bounded-heap :class:`QueueDepthWindow` must gate
+exactly like the sorted-list implementation it replaced, including
+out-of-order completions (multi-stream round-robin drains) and
+duplicate completion times."""
+
+from __future__ import annotations
+
+import random
+from bisect import insort
+from typing import List, Optional
+
+import pytest
+
+from repro.runtime.scheduler import QueueDepthWindow
+
+
+class ReferenceWindow:
+    """The pre-heap implementation: every completion kept in a sorted
+    list; the gate is the ``depth``-th largest."""
+
+    def __init__(self, depth: Optional[int] = None) -> None:
+        self.depth = depth
+        self.completions: List[float] = []
+
+    def earliest(self, submit_time: float) -> float:
+        if self.depth is not None and len(self.completions) >= self.depth:
+            return max(submit_time, self.completions[-self.depth])
+        return submit_time
+
+    def complete(self, time: float) -> None:
+        insort(self.completions, time)
+
+    def reset(self) -> None:
+        self.completions.clear()
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 8, 32])
+@pytest.mark.parametrize("seed", range(5))
+def test_heap_matches_sorted_list_on_out_of_order_completions(depth, seed):
+    rng = random.Random(seed)
+    heap_window = QueueDepthWindow(depth)
+    ref_window = ReferenceWindow(depth)
+    clock = 0.0
+    for step in range(500):
+        action = rng.random()
+        if action < 0.6:
+            # complete at an out-of-order time: jitter around the
+            # clock, occasionally repeating an earlier value exactly
+            if rng.random() < 0.2 and ref_window.completions:
+                time = rng.choice(ref_window.completions)
+            else:
+                time = clock + rng.uniform(-5.0, 5.0)
+            heap_window.complete(time)
+            ref_window.complete(time)
+        else:
+            submit = clock + rng.uniform(-2.0, 2.0)
+            assert heap_window.earliest(submit) == \
+                ref_window.earliest(submit), f"diverged at step {step}"
+        clock += rng.uniform(0.0, 1.0)
+    # drain check: a final sweep of probes across the whole range
+    for probe in range(-10, int(clock) + 10):
+        assert heap_window.earliest(float(probe)) == \
+            ref_window.earliest(float(probe))
+
+
+def test_unbounded_window_never_gates():
+    window = QueueDepthWindow(None)
+    for i in range(100):
+        window.complete(float(i))
+    assert window.earliest(3.5) == 3.5
+    assert window.completed == 100
+
+
+def test_reset_clears_gate():
+    window = QueueDepthWindow(2)
+    window.complete(10.0)
+    window.complete(20.0)
+    assert window.earliest(0.0) == 10.0
+    window.reset()
+    assert window.earliest(0.0) == 0.0
+    assert window.completed == 0
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        QueueDepthWindow(0)
