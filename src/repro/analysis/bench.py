@@ -52,14 +52,16 @@ def bench_workloads(max_tiles: int = 48) -> Dict[str, Callable[[], object]]:
     }
 
 
-def run_scenario(cls, workload) -> Tuple[int, Dict[str, str]]:
+def run_scenario(cls, workload, devices: int = 1) -> Tuple[int, Dict[str, str]]:
     """Ingest every dataset, read the full tile plan, write one tile.
 
     Returns ``(ops, simulated)`` where ``simulated`` holds the
     deterministic end times as ``float.hex()`` strings. Wall time is
-    measured by the caller around this function.
+    measured by the caller around this function. ``devices > 1`` runs
+    the scenario over a device pool (the cluster-layer hot path).
     """
-    system = cls(PAPER_PROTOTYPE, store_data=False)
+    system = (cls(PAPER_PROTOTYPE, store_data=False) if devices <= 1
+              else cls(PAPER_PROTOTYPE, store_data=False, devices=devices))
     plan = workload.tile_plan()
     ops = 0
     ingest_result = None
@@ -116,29 +118,35 @@ def run_hotpath_bench(max_tiles: int = 48, repeats: int = 1,
     chosen = tuple(systems) if systems is not None else BENCH_SYSTEMS
     wall: Dict[str, Dict[str, float]] = {}
     simulated: Dict[str, Dict[str, str]] = {}
-    for wl_name, factory in bench_workloads(max_tiles).items():
-        for cls in chosen:
-            key = f"{wl_name}/{cls.name}"
-            best = None
-            ops = 0
-            for _ in range(repeats):
-                workload = factory()
-                t0 = time.perf_counter()
-                ops, sim = run_scenario(cls, workload)
-                elapsed = time.perf_counter() - t0
-                prior = simulated.get(key)
-                if prior is not None and prior != sim:
-                    raise AssertionError(
-                        f"non-deterministic simulated output for {key}")
-                simulated[key] = sim
-                if best is None or elapsed < best:
-                    best = elapsed
-            wall[key] = {
-                "wall_s": round(best, 6),
-                "ops": ops,
-                "ops_per_s": round(ops / best, 1) if best > 0 else 0.0,
-                "us_wall_per_op": round(best / ops * 1e6, 2),
-            }
+    cells = [(f"{wl_name}/{cls.name}", factory, cls, 1)
+             for wl_name, factory in bench_workloads(max_tiles).items()
+             for cls in chosen]
+    # one pooled cell: the cluster translation layer's hot path
+    if SoftwareNdsSystem in chosen:
+        gemm = bench_workloads(max_tiles)["gemm"]
+        cells.append(("gemm/software-nds@4dev", gemm,
+                      SoftwareNdsSystem, 4))
+    for key, factory, cls, devices in cells:
+        best = None
+        ops = 0
+        for _ in range(repeats):
+            workload = factory()
+            t0 = time.perf_counter()
+            ops, sim = run_scenario(cls, workload, devices=devices)
+            elapsed = time.perf_counter() - t0
+            prior = simulated.get(key)
+            if prior is not None and prior != sim:
+                raise AssertionError(
+                    f"non-deterministic simulated output for {key}")
+            simulated[key] = sim
+            if best is None or elapsed < best:
+                best = elapsed
+        wall[key] = {
+            "wall_s": round(best, 6),
+            "ops": ops,
+            "ops_per_s": round(ops / best, 1) if best > 0 else 0.0,
+            "us_wall_per_op": round(best / ops * 1e6, 2),
+        }
     return {
         "config": {"max_tiles": max_tiles, "repeats": repeats,
                    "systems": [cls.name for cls in chosen],

@@ -160,7 +160,8 @@ def _cmd_report(args: argparse.Namespace) -> None:
                               queue_depth=args.queue_depth,
                               windows=args.windows,
                               include_ops=not args.no_ops,
-                              prometheus=bool(args.prom))
+                              prometheus=bool(args.prom),
+                              devices=args.devices)
     if args.prom:
         if args.trace:
             print("--prom needs a live run (saved traces carry no "
@@ -242,6 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max tile fetches (default 24)")
     report.add_argument("--queue-depth", type=int, default=8,
                         help="per-stream queue depth (default 8)")
+    report.add_argument("--devices", type=int, default=1,
+                        help="device-pool size (default 1 = single "
+                             "device; >1 adds a per-device breakdown)")
     report.add_argument("--windows", type=int, default=16,
                         help="utilization windows (default 16)")
     report.add_argument("--json", default=None, metavar="PATH",

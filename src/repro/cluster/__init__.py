@@ -1,0 +1,33 @@
+"""Multi-device NDS: a SALSA-style host layer over a pool of SSDs.
+
+The package turns the single-device simulator into a scale-out stack
+without touching the device model: each pool member is a complete,
+independently-simulated storage system, and a thin host translation
+layer declusters datasets across them, adds cross-device parity, and
+coordinates garbage collection and hot-extent migration.
+"""
+
+from repro.cluster.layout import (ClusterLayout, Extent, ParityExtent,
+                                  build_layout, partition_rows)
+from repro.cluster.pool import (DEFAULT_DEVICE_QUEUE_DEPTH, DeviceHandle,
+                                DevicePool)
+from repro.cluster.sharding import PoolShardSpec
+from repro.cluster.translation import (ClusterTranslationLayer,
+                                       GcCoordinator, RebalancePolicy,
+                                       split_fault_config)
+
+__all__ = [
+    "ClusterLayout",
+    "ClusterTranslationLayer",
+    "DEFAULT_DEVICE_QUEUE_DEPTH",
+    "DeviceHandle",
+    "DevicePool",
+    "Extent",
+    "GcCoordinator",
+    "ParityExtent",
+    "PoolShardSpec",
+    "RebalancePolicy",
+    "build_layout",
+    "partition_rows",
+    "split_fault_config",
+]

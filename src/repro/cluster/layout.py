@@ -1,0 +1,195 @@
+"""Extent declustering of one dataset over a device pool.
+
+The host translation layer splits every dataset along axis 0 into
+*extents* — contiguous row slabs aligned to the owning architecture's
+natural quantum (building-block rows for the NDS systems, the stored
+tile height for the oracle) — and spreads them round-robin over the
+allowed devices. Each extent lives on its device as an ordinary
+device-local dataset, so per-device translation stays fully independent
+(the FMMU argument: devices never serialize on a shared map).
+
+With cross-device parity enabled the extents form RAID-5-style rotated
+parity groups: each group holds ``width - 1`` data extents on distinct
+devices plus one XOR parity extent on the remaining device, zero-padded
+to the tallest member. Any single device can die and every byte of the
+group is still reconstructable from the survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Extent", "ParityExtent", "ClusterLayout", "partition_rows",
+           "build_layout"]
+
+
+@dataclass
+class Extent:
+    """One contiguous axis-0 slab of a dataset on one device."""
+
+    index: int
+    row_start: int
+    row_end: int
+    device: int
+    store_key: str
+    #: parity group this extent belongs to (-1 = unprotected)
+    group: int = -1
+    #: bumped on every migration/rebuild so the device-local dataset
+    #: name never collides with a previous incarnation
+    generation: int = 0
+
+    @property
+    def rows(self) -> int:
+        return self.row_end - self.row_start
+
+
+@dataclass
+class ParityExtent:
+    """The XOR parity slab of one parity group."""
+
+    group: int
+    rows: int
+    device: int
+    store_key: str
+    #: data extent indices this parity covers
+    members: Tuple[int, ...] = ()
+    generation: int = 0
+
+    @property
+    def index(self) -> int:  # uniform addressing next to Extent
+        return -1 - self.group
+
+
+@dataclass
+class ClusterLayout:
+    """Where one dataset's extents (and parity) live in the pool."""
+
+    dataset: str
+    dims: Tuple[int, ...]
+    element_size: int
+    align: int
+    ordinal: int
+    #: device ids the dataset is allowed to occupy (its outer shard
+    #: tier) — rebuilds and migrations must stay inside this set
+    devices: Tuple[int, ...] = ()
+    extents: List[Extent] = field(default_factory=list)
+    parity: List[ParityExtent] = field(default_factory=list)
+    #: keywords forwarded verbatim to every device-local ingest
+    #: (oracle ``tile=``, baseline ``layout=``, inner ``shard=``)
+    inner_params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        total = self.element_size
+        for dim in self.dims:
+            total *= dim
+        return total
+
+    def parity_of(self, extent: Extent) -> Optional[ParityExtent]:
+        if extent.group < 0 or not self.parity:
+            return None
+        return self.parity[extent.group]
+
+    def group_devices(self, group: int) -> Tuple[int, ...]:
+        """Devices currently hosting members of ``group``."""
+        devices = [x.device for x in self.extents if x.group == group]
+        if 0 <= group < len(self.parity):
+            devices.append(self.parity[group].device)
+        return tuple(devices)
+
+    def subregions(self, origin: Sequence[int], extents: Sequence[int],
+                   ) -> List[Tuple[Extent, Tuple[int, ...],
+                                   Tuple[int, ...], int]]:
+        """Decompose a region into per-extent local sub-regions.
+
+        Returns ``(extent, local_origin, local_extents, out_row)``
+        tuples where ``out_row`` is the sub-region's axis-0 offset in
+        the caller's assembled output buffer.
+        """
+        lo, hi = int(origin[0]), int(origin[0]) + int(extents[0])
+        rest_origin = tuple(int(o) for o in origin[1:])
+        rest_extents = tuple(int(e) for e in extents[1:])
+        out = []
+        for extent in self.extents:
+            clip_lo = max(lo, extent.row_start)
+            clip_hi = min(hi, extent.row_end)
+            if clip_lo < clip_hi:
+                out.append((extent,
+                            (clip_lo - extent.row_start,) + rest_origin,
+                            (clip_hi - clip_lo,) + rest_extents,
+                            clip_lo - lo))
+        return out
+
+
+def partition_rows(rows: int, align: int, width: int,
+                   extents_per_device: int) -> List[Tuple[int, int]]:
+    """Axis-0 extent boundaries: contiguous, align-quantized, as even
+    as possible, at most ``width * extents_per_device`` extents."""
+    if rows < 1:
+        raise ValueError("datasets need at least one row to decluster")
+    align = max(1, int(align))
+    units = -(-rows // align)
+    count = max(1, min(units, width * max(1, extents_per_device)))
+    base, remainder = divmod(units, count)
+    bounds: List[Tuple[int, int]] = []
+    row = 0
+    for index in range(count):
+        step = (base + (1 if index < remainder else 0)) * align
+        start = row
+        row = min(rows, row + step)
+        bounds.append((start, row))
+    bounds[-1] = (bounds[-1][0], rows)
+    return bounds
+
+
+def _store_key(dataset: str, ordinal: int, tag: str, generation: int) -> str:
+    return f"{dataset}#l{ordinal}{tag}.g{generation}"
+
+
+def build_layout(dataset: str, dims: Sequence[int], element_size: int,
+                 align: int, devices: Sequence[int], ordinal: int,
+                 extents_per_device: int = 1, parity: bool = False,
+                 inner_params: Optional[Dict[str, object]] = None,
+                 ) -> ClusterLayout:
+    """Place a dataset's extents (round-robin, RAID-5 rotated parity
+    when enabled) over ``devices``."""
+    dims = tuple(int(d) for d in dims)
+    devices = tuple(devices)
+    width = len(devices)
+    if width < 1:
+        raise ValueError("device pool has no live devices to place on")
+    if parity and width < 2:
+        raise ValueError(
+            f"cross-device parity needs at least 2 devices, got {width}")
+    layout = ClusterLayout(dataset=dataset, dims=dims,
+                           element_size=int(element_size), align=align,
+                           ordinal=ordinal, devices=devices,
+                           inner_params=dict(inner_params or {}))
+    bounds = partition_rows(dims[0], align, width, extents_per_device)
+    if not parity:
+        for index, (start, end) in enumerate(bounds):
+            layout.extents.append(Extent(
+                index=index, row_start=start, row_end=end,
+                device=devices[index % width],
+                store_key=_store_key(dataset, ordinal, f"e{index}", 0)))
+        return layout
+    stripe = width - 1
+    for index, (start, end) in enumerate(bounds):
+        group = index // stripe
+        parity_device = devices[(width - 1 - group) % width]
+        data_devices = [d for d in devices if d != parity_device]
+        layout.extents.append(Extent(
+            index=index, row_start=start, row_end=end,
+            device=data_devices[index % stripe], group=group,
+            store_key=_store_key(dataset, ordinal, f"e{index}", 0)))
+    groups = -(-len(bounds) // stripe)
+    for group in range(groups):
+        members = tuple(x.index for x in layout.extents if x.group == group)
+        rows = max(layout.extents[i].rows for i in members)
+        layout.parity.append(ParityExtent(
+            group=group, rows=rows,
+            device=devices[(width - 1 - group) % width],
+            store_key=_store_key(dataset, ordinal, f"p{group}", 0),
+            members=members))
+    return layout

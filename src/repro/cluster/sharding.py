@@ -1,0 +1,77 @@
+"""Two-tier sharding: device subset × channel/bank subset.
+
+The single-device :class:`~repro.core.sharding.ShardSpec` pins a space
+to a channel/bank subset of *one* flash array. A device pool adds an
+outer tier: :class:`PoolShardSpec` names the subset of pool devices a
+dataset's extents may be placed on, and optionally carries an inner
+:class:`ShardSpec` that every device-local sub-space is pinned to (the
+same channel/bank subset on each of its devices — FlashBlox-style hard
+isolation, now per device).
+
+``PoolShardSpec.normalize`` accepts the legacy single-tier forms so
+QoS configs written for one device keep working on a pool: a bare
+``ShardSpec`` (or channel sequence) becomes the inner tier with every
+device allowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.sharding import ShardSpec
+
+__all__ = ["PoolShardSpec"]
+
+
+@dataclass(frozen=True)
+class PoolShardSpec:
+    """A (device subset, within-device shard) pair.
+
+    ``devices`` lists the pool device ids the dataset may occupy
+    (None = every device); ``shard`` pins each device-local sub-space
+    to a channel/bank subset (None = whole array per device).
+    """
+
+    devices: Optional[Tuple[int, ...]] = None
+    shard: Optional[ShardSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.devices is not None:
+            devices = tuple(int(d) for d in self.devices)
+            seen = set()
+            duplicates = []
+            for device in devices:
+                if device in seen and device not in duplicates:
+                    duplicates.append(device)
+                seen.add(device)
+            if duplicates:
+                raise ValueError(
+                    f"pool shard devices contain duplicate entries "
+                    f"{tuple(duplicates)}: {devices}")
+            if not devices:
+                raise ValueError("devices=() would leave the pool shard "
+                                 "empty; use devices=None for every device")
+            if any(device < 0 for device in devices):
+                raise ValueError("pool device ids start at 0")
+            object.__setattr__(self, "devices", tuple(sorted(devices)))
+
+    # ------------------------------------------------------------------
+    def device_subset(self, pool_size: int) -> Tuple[int, ...]:
+        """The allowed device ids, validated against the pool size."""
+        if self.devices is None:
+            return tuple(range(pool_size))
+        for device in self.devices:
+            if device >= pool_size:
+                raise ValueError(
+                    f"pool shard device {device} outside pool "
+                    f"(0..{pool_size - 1})")
+        return self.devices
+
+    @classmethod
+    def normalize(cls, shard) -> Optional["PoolShardSpec"]:
+        """Accept a PoolShardSpec, a single-device ShardSpec, a bare
+        channel sequence, or None."""
+        if shard is None or isinstance(shard, cls):
+            return shard
+        return cls(devices=None, shard=ShardSpec.normalize(shard))

@@ -19,6 +19,17 @@ from repro.nvm.geometry import Geometry
 __all__ = ["ShardSpec"]
 
 
+def _duplicates(values: Sequence[int]) -> Tuple[int, ...]:
+    """The values appearing more than once, in first-seen order."""
+    seen: set = set()
+    dups = []
+    for value in values:
+        if value in seen and value not in dups:
+            dups.append(value)
+        seen.add(value)
+    return tuple(dups)
+
+
 @dataclass(frozen=True)
 class ShardSpec:
     """A channel (and optionally bank) subset of one flash array.
@@ -32,11 +43,21 @@ class ShardSpec:
     banks: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "channels",
-                           tuple(sorted({int(c) for c in self.channels})))
+        channels = tuple(int(c) for c in self.channels)
+        duplicates = _duplicates(channels)
+        if duplicates:
+            raise ValueError(
+                f"shard channels contain duplicate entries {duplicates}: "
+                f"{channels}")
+        object.__setattr__(self, "channels", tuple(sorted(channels)))
         if self.banks is not None:
-            object.__setattr__(self, "banks",
-                               tuple(sorted({int(b) for b in self.banks})))
+            banks = tuple(int(b) for b in self.banks)
+            duplicates = _duplicates(banks)
+            if duplicates:
+                raise ValueError(
+                    f"shard banks contain duplicate entries {duplicates}: "
+                    f"{banks}")
+            object.__setattr__(self, "banks", tuple(sorted(banks)))
         if not self.channels:
             raise ValueError("a shard needs at least one channel")
         if self.banks is not None and not self.banks:
@@ -65,6 +86,17 @@ class ShardSpec:
 
     def overlaps(self, other: "ShardSpec", geometry: Geometry) -> bool:
         return bool(self.planes(geometry) & other.planes(geometry))
+
+    def footprint(self, geometry: Geometry) -> str:
+        """Human-readable ``channels × banks`` extent of this shard."""
+        banks = (len(self.banks) if self.banks is not None
+                 else geometry.banks_per_channel)
+        return f"{len(self.channels)} channels x {banks} banks"
+
+    def capacity_bytes(self, geometry: Geometry) -> int:
+        """Raw bytes behind the shard's planes (before overprovisioning)."""
+        return (len(self.planes(geometry)) * geometry.pages_per_bank
+                * geometry.page_size)
 
     @classmethod
     def normalize(cls, shard: "ShardSpec | Sequence[int] | None",

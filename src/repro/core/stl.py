@@ -161,8 +161,10 @@ class SpaceTranslationLayer:
                 * self._page_size
             if space.total_bytes > capacity:
                 raise ValueError(
-                    f"space of {space.total_bytes} B exceeds shard "
-                    f"capacity {capacity} B ({len(planes)} planes)")
+                    f"space needs {space.total_bytes} B but the shard's "
+                    f"footprint of {shard.footprint(self.geometry)} "
+                    f"({len(planes)} planes) only provides {capacity} B; "
+                    f"widen the shard or shrink the space")
             self.shards[space.space_id] = shard
             self._shard_planes[space.space_id] = planes
             self.stats.count("spaces_sharded")

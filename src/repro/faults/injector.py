@@ -51,6 +51,9 @@ class FaultInjector:
         self._next_event = 0
         self._clock = 0.0
         self.dead_channels: Set[int] = set()
+        #: the whole device behind this injector is gone (plan
+        #: ``kill_device``): every channel answers dead
+        self.device_dead = False
         self.bad_blocks: Set[BlockKey] = set()
         self.corrupt_pages: Set[PageKey] = set()
         # wear / retention bookkeeping
@@ -76,6 +79,9 @@ class FaultInjector:
             if event.kind == "kill_channel":
                 self.dead_channels.add(event.channel)
                 self.stats.count("plan_channels_killed")
+            elif event.kind == "kill_device":
+                self.device_dead = True
+                self.stats.count("plan_devices_killed")
             elif event.kind == "bad_block":
                 self.bad_blocks.add((event.channel, event.bank, event.block))
                 self.stats.count("plan_blocks_marked_bad")
@@ -85,7 +91,7 @@ class FaultInjector:
                 self.stats.count("plan_pages_corrupted")
 
     def channel_dead(self, channel: int) -> bool:
-        return channel in self.dead_channels
+        return self.device_dead or channel in self.dead_channels
 
     # ------------------------------------------------------------------
     # recovery suppression
@@ -126,6 +132,8 @@ class FaultInjector:
     def program_check(self, idx: int, page_key: PageKey) -> Optional[str]:
         """None = program succeeds; otherwise the failure reason."""
         block_key = page_key[:3]
+        if self.device_dead:
+            return "device_dead"
         if block_key[0] in self.dead_channels:
             return "channel_dead"
         if block_key in self.bad_blocks:
@@ -140,6 +148,8 @@ class FaultInjector:
 
     def erase_check(self, block_key: BlockKey) -> Optional[str]:
         """None = erase succeeds; otherwise the failure reason."""
+        if self.device_dead:
+            return "device_dead"
         if block_key[0] in self.dead_channels:
             return "channel_dead"
         if block_key in self.bad_blocks:

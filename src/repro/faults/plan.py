@@ -16,12 +16,18 @@ from typing import List, Tuple
 
 __all__ = ["FaultEvent", "FaultPlan"]
 
-_KINDS = ("kill_channel", "bad_block", "corrupt_page")
+_KINDS = ("kill_channel", "bad_block", "corrupt_page", "kill_device")
 
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scripted injection."""
+    """One scripted injection.
+
+    ``device`` routes the event in a multi-device pool (0 = the first
+    or only device): each device's injector receives only its own
+    events, and ``kill_device`` events are additionally observed by the
+    pool's host translation layer for degraded-read routing.
+    """
 
     time: float
     kind: str
@@ -29,12 +35,15 @@ class FaultEvent:
     bank: int = -1
     block: int = -1
     page: int = -1
+    device: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"unknown fault event kind {self.kind!r}")
         if self.time < 0:
             raise ValueError("fault events cannot trigger before t=0")
+        if self.device < 0:
+            raise ValueError("fault event device ids start at 0")
 
 
 class FaultPlan:
@@ -44,27 +53,40 @@ class FaultPlan:
         self.events: List[FaultEvent] = []
 
     # ------------------------------------------------------------------
-    def kill_channel(self, channel: int, at: float = 0.0) -> "FaultPlan":
+    def kill_channel(self, channel: int, at: float = 0.0,
+                     device: int = 0) -> "FaultPlan":
         """All reads/programs/erases behind ``channel`` fail from ``at``
         on — the scenario NDS cross-channel parity is built for."""
-        self.events.append(FaultEvent(at, "kill_channel", channel=channel))
+        self.events.append(FaultEvent(at, "kill_channel", channel=channel,
+                                      device=device))
+        return self
+
+    def kill_device(self, device: int = 0, at: float = 0.0) -> "FaultPlan":
+        """The whole device fails from ``at`` on: every channel behind
+        it becomes unreachable at once — the scenario cross-device
+        parity groups are built for. In a single-device system this
+        makes every flash operation fail; in a
+        :class:`~repro.cluster.DevicePool` the host translation layer
+        reroutes reads through the surviving parity-group members."""
+        self.events.append(FaultEvent(at, "kill_device", device=device))
         return self
 
     def mark_block_bad(self, channel: int, bank: int, block: int,
-                       at: float = 0.0) -> "FaultPlan":
+                       at: float = 0.0, device: int = 0) -> "FaultPlan":
         """Programs and erases to the block report status-fail from
         ``at`` on; already-programmed pages stay readable (the grown-
         bad-block contract)."""
         self.events.append(FaultEvent(at, "bad_block", channel=channel,
-                                      bank=bank, block=block))
+                                      bank=bank, block=block, device=device))
         return self
 
     def corrupt_page(self, channel: int, bank: int, block: int, page: int,
-                     at: float = 0.0) -> "FaultPlan":
+                     at: float = 0.0, device: int = 0) -> "FaultPlan":
         """The page's reads become uncorrectable (full ladder, then
         failure) until its block is erased and it is reprogrammed."""
         self.events.append(FaultEvent(at, "corrupt_page", channel=channel,
-                                      bank=bank, block=block, page=page))
+                                      bank=bank, block=block, page=page,
+                                      device=device))
         return self
 
     # ------------------------------------------------------------------

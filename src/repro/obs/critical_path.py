@@ -25,8 +25,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.trace import TraceRecorder, TraceSpan
 
-__all__ = ["LAYERS", "classify_span", "attribute_op", "OpAttribution",
-           "CriticalPathReport", "critical_path"]
+__all__ = ["LAYERS", "classify_span", "span_device", "attribute_op",
+           "OpAttribution", "CriticalPathReport", "critical_path",
+           "device_layer_totals"]
 
 #: attribution layers ordered host → device; the index doubles as the
 #: tie-break priority (higher = deeper in the stack = wins ties)
@@ -58,13 +59,31 @@ _NAME_LAYERS = {
 }
 
 
+def span_device(resource: str) -> Optional[int]:
+    """Device id from a pooled resource name (``"d2:ch1/bk0"`` → 2),
+    or ``None`` for single-device resources."""
+    head, sep, _ = resource.partition(":")
+    if sep and head.startswith("d") and head[1:].isdigit():
+        return int(head[1:])
+    return None
+
+
+def _strip_device(resource: str) -> str:
+    head, sep, rest = resource.partition(":")
+    if sep and head.startswith("d") and head[1:].isdigit():
+        return rest
+    return resource
+
+
 def classify_span(span: TraceSpan) -> str:
     """Attribution layer of one component span (name first, then the
-    resource naming convention as a fallback for custom spans)."""
+    resource naming convention as a fallback for custom spans). A
+    device-pool prefix (``"dN:"``) is stripped first so pooled runs
+    classify identically to single-device runs."""
     layer = _NAME_LAYERS.get(span.name)
     if layer is not None:
         return layer
-    resource = span.resource
+    resource = _strip_device(span.resource)
     if "/bk" in resource:
         return "bank"
     if resource.startswith("ch") and resource[2:].isdigit():
@@ -228,3 +247,27 @@ def critical_path(trace: TraceRecorder) -> CriticalPathReport:
     return CriticalPathReport(ops=[
         attribute_op(op, children_by_op.get(op.op_id, []))
         for op in op_spans])
+
+
+def device_layer_totals(trace: TraceRecorder) -> Dict[str, Dict[str, float]]:
+    """Busy seconds per (device, layer) over a pooled trace.
+
+    Unlike :func:`critical_path`, which charges each op's wall-clock
+    interval to dominant layers, this sums raw span durations per
+    device — the per-device work inventory (overlapping spans on
+    different devices both count, which is the point: it shows how the
+    pool spread the work). Spans with no ``dN:`` prefix (host-side
+    issue/copy, the host link on a single-device run) land under
+    ``"host"``.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for span in trace.spans:
+        if span.instant or span.resource == "ops":
+            continue
+        device = span_device(span.resource)
+        key = "host" if device is None else f"d{device}"
+        layer = classify_span(span)
+        row = totals.setdefault(key, {})
+        row[layer] = row.get(layer, 0.0) + (span.end - span.start)
+    return {key: dict(sorted(row.items()))
+            for key, row in sorted(totals.items())}

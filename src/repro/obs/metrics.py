@@ -18,7 +18,7 @@ from bisect import bisect_left
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_LATENCY_BUCKETS"]
+           "ScopedMetrics", "DEFAULT_LATENCY_BUCKETS"]
 
 #: quarter-decade log-spaced upper bounds, 1e-7 s .. 10 s (an implicit
 #: +Inf bucket catches anything slower)
@@ -226,6 +226,50 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+class ScopedMetrics:
+    """A device-scoped view of a shared :class:`MetricsRegistry`.
+
+    A :class:`~repro.cluster.DevicePool` hands one of these to each
+    member system so every metric lands in the shared registry with the
+    device label prefixed to the name (``d0.flash.nand_read``,
+    ``d2.link.transfer``) — the per-device attribution the report
+    layer's cluster section reads back out.
+    """
+
+    def __init__(self, parent: MetricsRegistry, prefix: str) -> None:
+        self.parent = parent
+        self.prefix = prefix
+
+    def counter(self, name: str) -> Counter:
+        return self.parent.counter(self.prefix + name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.parent.gauge(self.prefix + name)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  ) -> Histogram:
+        return self.parent.histogram(self.prefix + name, bounds)
+
+    def count(self, name: str, amount=1) -> None:
+        self.parent.count(self.prefix + name, amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.parent.observe(self.prefix + name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.parent.set_gauge(self.prefix + name, value)
+
+    def timeline_observer(self) -> Callable[[str, float, float], None]:
+        prefix = self.prefix
+
+        def observe(name: str, start: float, end: float) -> None:
+            self.parent.count(
+                f"timeline.{prefix}{name}.busy_seconds", end - start)
+            self.parent.count(f"timeline.{prefix}{name}.reservations")
+        return observe
 
 
 def _sanitize(name: str) -> str:

@@ -19,7 +19,8 @@ from pathlib import Path
 from typing import Dict, List, Sequence
 
 from repro.nvm.profiles import CONSUMER_SSD, DeviceProfile
-from repro.obs.critical_path import LAYERS, critical_path
+from repro.obs.critical_path import (LAYERS, critical_path,
+                                     device_layer_totals)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.utilization import utilization_csv, utilization_timeline
 from repro.runtime.tileop import TileOp
@@ -89,14 +90,17 @@ def run_system_report(system_name: str, workload,
                       queue_depth: int = 8,
                       windows: int = 16,
                       include_ops: bool = True,
-                      prometheus: bool = False) -> Dict[str, object]:
+                      prometheus: bool = False,
+                      devices: int = 1) -> Dict[str, object]:
     """Run ``workload`` on one architecture with full observability
-    attached and return its report section."""
+    attached and return its report section. ``devices > 1`` runs the
+    system over a device pool and adds a per-device breakdown."""
     factory = SYSTEM_FACTORIES.get(system_name)
     if factory is None:
         raise ValueError(f"unknown system {system_name!r}; pick from "
                          f"{sorted(SYSTEM_FACTORIES)}")
-    system = factory(profile)
+    system = factory(profile) if devices <= 1 else factory(
+        profile, devices=devices)
     ingest_datasets(workload, system)
     system.reset_time()
     system._reset_runtime()
@@ -122,6 +126,12 @@ def run_system_report(system_name: str, workload,
                                             flash_only=True),
         "resources": trace.resource_metrics(),
     }
+    if devices > 1:
+        section["devices"] = {
+            "count": devices,
+            "layer_seconds": device_layer_totals(trace),
+            "report": scheduler.device_report() or {},
+        }
     if prometheus:
         prefix = "repro_" + system_name.replace("-", "_")
         section["prometheus"] = registry.to_prometheus(prefix=prefix)
@@ -134,7 +144,8 @@ def build_report(workload=None,
                  queue_depth: int = 8,
                  windows: int = 16,
                  include_ops: bool = True,
-                 prometheus: bool = False) -> Dict[str, object]:
+                 prometheus: bool = False,
+                 devices: int = 1) -> Dict[str, object]:
     """The full ``repro report`` payload across the chosen systems."""
     if workload is None:
         workload = GemmWorkload(n=512, tile=128, max_tiles=24)
@@ -145,11 +156,13 @@ def build_report(workload=None,
         "windows": windows,
         "systems": {},
     }
+    if devices > 1:
+        report["devices"] = devices
     for name in systems:
         report["systems"][name] = run_system_report(
             name, workload, profile=profile, queue_depth=queue_depth,
             windows=windows, include_ops=include_ops,
-            prometheus=prometheus)
+            prometheus=prometheus, devices=devices)
     return report
 
 
@@ -270,6 +283,34 @@ def _format_utilization(section: Dict[str, object],
     lines.append("")
 
 
+def _format_devices(section: Dict[str, object],
+                    lines: List[str]) -> None:
+    from repro.analysis.report import format_table
+
+    devices = section.get("devices")
+    if not devices:
+        return
+    report = devices.get("report") or {}
+    layer_seconds = devices.get("layer_seconds") or {}
+    rows = []
+    for name, entry in sorted(report.items()):
+        busy = sum((layer_seconds.get(name) or {}).values())
+        rows.append([name,
+                     "dead" if entry.get("dead") else "live",
+                     str(entry.get("subops", 0)),
+                     str(entry.get("bytes", 0)),
+                     _fmt_us(busy),
+                     str(entry.get("degraded_reads", 0)),
+                     str(entry.get("rebuilds", 0)),
+                     str(entry.get("migrations_in", 0)
+                         + entry.get("migrations_out", 0))])
+    if rows:
+        lines.append(format_table(
+            ["device", "state", "subops", "bytes", "busy (us)",
+             "degraded", "rebuilds", "migrations"], rows,
+            title=f"device pool ({devices.get('count', len(rows))} devices)"))
+
+
 def format_report(report: Dict[str, object]) -> str:
     """Human-readable rendering of a report payload."""
     lines: List[str] = []
@@ -282,6 +323,7 @@ def format_report(report: Dict[str, object]) -> str:
             _format_streams(section, lines)
             _format_histograms(section, lines)
             _format_utilization(section, lines)
+            _format_devices(section, lines)
             lines.append("")
     else:
         _format_attribution("trace", report, lines)

@@ -18,6 +18,9 @@ __all__ = ["utilization_timeline", "utilization_csv"]
 
 
 def _is_flash_resource(resource: str) -> bool:
+    head, sep, rest = resource.partition(":")
+    if sep and head.startswith("d") and head[1:].isdigit():
+        resource = rest  # device-pool prefix ("d2:ch1/bk0")
     if "/bk" in resource:
         channel = resource.split("/", 1)[0]
         return channel.startswith("ch") and channel[2:].isdigit()

@@ -10,17 +10,21 @@ spine offers:
   counts met/violated ops and marks violations in the trace;
 * ``shard`` — a :class:`~repro.core.sharding.ShardSpec` pinning the
   tenant's datasets to a disjoint channel/bank subset (hard isolation:
-  co-tenants never contend on the same flash timelines).
+  co-tenants never contend on the same flash timelines). On a device
+  pool this generalizes to a two-tier
+  :class:`~repro.cluster.PoolShardSpec`: a device subset × a
+  channel/bank subset applied within each of those devices.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
+from repro.cluster.sharding import PoolShardSpec
 from repro.core.sharding import ShardSpec
 
-__all__ = ["QosSpec", "ShardSpec"]
+__all__ = ["QosSpec", "ShardSpec", "PoolShardSpec"]
 
 
 @dataclass(frozen=True)
@@ -29,7 +33,7 @@ class QosSpec:
 
     weight: float = 1.0
     latency_target: Optional[float] = None
-    shard: Optional[ShardSpec] = None
+    shard: Optional[Union[ShardSpec, PoolShardSpec]] = None
 
     def __post_init__(self) -> None:
         if self.weight <= 0:

@@ -413,6 +413,16 @@ class RequestScheduler:
             report[name] = entry
         return report
 
+    def device_report(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """Per-device accounting when the executor runs over a device
+        pool (None for single-device systems) — sub-op counts, bytes,
+        service seconds, degraded reads, rebuilds and migrations keyed
+        ``d0``/``d1``/... like the trace and metrics labels."""
+        cluster = getattr(self.executor, "cluster", None)
+        if cluster is None:
+            return None
+        return cluster.device_report()
+
     def stream_fault_report(self) -> Dict[str, Dict[str, int]]:
         """Per-stream fault/retry/error counters accumulated across all
         executed ops (empty when no injector is attached or nothing

@@ -71,6 +71,11 @@ class StorageSystem(abc.ABC):
 
     name: str = "abstract"
 
+    #: host translation layer over a device pool (None = classic
+    #: single-device system; set by :meth:`_init_cluster` when a
+    #: constructor is given ``devices > 1`` or an explicit pool)
+    cluster = None
+
     # ------------------------------------------------------------------
     # the request spine
     # ------------------------------------------------------------------
@@ -88,6 +93,9 @@ class StorageSystem(abc.ABC):
         scheduler and to every instrumented component this system
         exposes (host CPU, link, I/O engine, controller, flash)."""
         self.scheduler.trace = recorder
+        if self.cluster is not None:
+            self.cluster.set_trace(recorder)
+            return
         for attr in ("cpu", "link", "engine", "controller"):
             component = getattr(self, attr, None)
             if component is not None and hasattr(component, "trace"):
@@ -106,6 +114,9 @@ class StorageSystem(abc.ABC):
         Observation never feeds back into timing: with no registry
         attached the model is bit-identical."""
         self.scheduler.metrics = registry
+        if self.cluster is not None:
+            self.cluster.set_metrics(registry)
+            return
         observer = registry.timeline_observer() if registry is not None \
             else None
         for attr in ("cpu", "link", "engine", "controller"):
@@ -130,6 +141,8 @@ class StorageSystem(abc.ABC):
         """Snapshot of the flash fault injector's counters (None when no
         injector is attached) — the scheduler diffs this around each op
         for per-stream error/retry metrics."""
+        if self.cluster is not None:
+            return self.cluster.fault_counters()
         for holder in (self, getattr(self, "ssd", None)):
             flash = getattr(holder, "flash", None)
             if flash is not None and getattr(flash, "faults", None) is not None:
@@ -138,6 +151,8 @@ class StorageSystem(abc.ABC):
 
     def _execute_op(self, op: TileOp, earliest_start: float) -> SystemOpResult:
         """Dispatch one scheduled op to the architecture's flow."""
+        if self.cluster is not None:
+            return self.cluster.execute(op, earliest_start)
         if op.kind == "read":
             return self._execute_read(op.dataset, op.origin, op.extents,
                                       earliest_start, op.with_data, op.dtype)
@@ -217,6 +232,61 @@ class StorageSystem(abc.ABC):
         sched = getattr(self, "_scheduler", None)
         if sched is not None:
             sched.reset()
+
+    # ------------------------------------------------------------------
+    # device-pool hooks (multi-device operation)
+    # ------------------------------------------------------------------
+    def _init_cluster(self, devices: int, pool, faults, rebalance,
+                      extents_per_device: int, factory) -> bool:
+        """Attach a :class:`~repro.cluster.ClusterTranslationLayer` when
+        the constructor asked for more than one device.
+
+        ``factory(device_id, device_faults)`` builds one member system;
+        with ``devices=1`` and no explicit pool nothing is attached and
+        the caller proceeds with the classic single-device construction
+        (every existing code path stays bit-identical). Returns True
+        when pooled.
+        """
+        if pool is None and devices <= 1:
+            return False
+        from repro.cluster import (ClusterTranslationLayer, DevicePool,
+                                   split_fault_config)
+        if pool is None:
+            count = int(devices)
+            pool = DevicePool.from_factory(
+                count,
+                lambda i: factory(i, split_fault_config(faults, i, count)))
+        parity = bool(faults.parity) if faults is not None else False
+        self.cluster = ClusterTranslationLayer(
+            pool, self, parity=parity,
+            extents_per_device=extents_per_device, rebalance=rebalance)
+        if faults is not None and faults.plan is not None:
+            for event in faults.plan.events:
+                if event.kind == "kill_device":
+                    pool.schedule_kill(event.device, event.time)
+        return True
+
+    def _cluster_align(self, dims: Sequence[int], element_size: int,
+                       params: dict) -> int:
+        """Axis-0 quantum extent boundaries must honour (asked on a
+        pool member): 1 row unless the architecture has a natural unit
+        (NDS building-block height, oracle tile height)."""
+        return 1
+
+    def _cluster_ingest_key(self, dataset: str, dims: Tuple[int, ...],
+                            params: dict):
+        """Host-layer identity of an ingested dataset."""
+        return dataset
+
+    def _cluster_read_key(self, dataset: str, extents: Tuple[int, ...]):
+        """Host-layer lookup key for a read/write of ``dataset``."""
+        return dataset
+
+    def device_report(self):
+        """Per-device accounting (None for single-device systems)."""
+        if self.cluster is None:
+            return None
+        return self.cluster.device_report()
 
     # ------------------------------------------------------------------
     def tile_io_time(self, dataset: str, origin: Sequence[int],

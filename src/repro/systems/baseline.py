@@ -63,9 +63,20 @@ class BaselineSystem(StorageSystem):
                  max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
                  cpu: Optional[HostCpu] = None,
                  cache_pages: int = 0,
-                 faults: Optional["FaultConfig"] = None) -> None:
+                 faults: Optional["FaultConfig"] = None,
+                 devices: int = 1, pool=None,
+                 extents_per_device: int = 1, rebalance=None) -> None:
         self.profile = profile
         self.store_data = store_data
+        self.max_request_bytes = max_request_bytes
+        self.page_size = profile.geometry.page_size
+        if self._init_cluster(
+                devices, pool, faults, rebalance, extents_per_device,
+                lambda i, f: BaselineSystem(
+                    profile, store_data=store_data, queue_depth=queue_depth,
+                    max_request_bytes=max_request_bytes,
+                    cache_pages=cache_pages, faults=f)):
+            return
         self.ssd = BaselineSSD(profile, store_data=store_data)
         if faults is not None:
             self.ssd.flash.attach_faults(FaultInjector(faults))
@@ -73,8 +84,6 @@ class BaselineSystem(StorageSystem):
         self.cpu = cpu if cpu is not None else HostCpu()
         self.engine = HostIoEngine(self.ssd, self.link, self.cpu,
                                    queue_depth=queue_depth)
-        self.max_request_bytes = max_request_bytes
-        self.page_size = profile.geometry.page_size
         #: optional host page cache (§7.1's "system cache" effect);
         #: 0 = disabled — the calibrated Fig. 9 runs measure cold reads
         from repro.host.cache import PageCache
@@ -246,6 +255,10 @@ class BaselineSystem(StorageSystem):
 
     # ------------------------------------------------------------------
     def reset_time(self) -> None:
+        if self.cluster is not None:
+            self.cluster.reset_time()
+            self._reset_runtime()
+            return
         self.engine.reset_time()
         self._reset_runtime()
 

@@ -50,9 +50,23 @@ class HardwareNdsSystem(StorageSystem):
                  bb_override: Optional[Sequence[int]] = None,
                  cpu: Optional[HostCpu] = None,
                  cipher=None,
-                 faults: Optional[FaultConfig] = None) -> None:
+                 faults: Optional[FaultConfig] = None,
+                 devices: int = 1, pool=None,
+                 extents_per_device: int = 1, rebalance=None) -> None:
         self.profile = profile
         self.store_data = store_data
+        self.segment_bytes = segment_bytes
+        self.bb_override = bb_override
+        self.page_size = profile.geometry.page_size
+        self.cipher = cipher
+        if self._init_cluster(
+                devices, pool, faults, rebalance, extents_per_device,
+                lambda i, f: HardwareNdsSystem(
+                    profile, store_data=store_data,
+                    controller_timing=controller_timing,
+                    segment_bytes=segment_bytes, bb_override=bb_override,
+                    cipher=cipher, faults=f)):
+            return
         self.flash = FlashArray(profile.geometry, profile.timing,
                                 store_data=store_data)
         if faults is not None:
@@ -64,13 +78,9 @@ class HardwareNdsSystem(StorageSystem):
         self.controller = NdsController(controller_timing)
         self.link = Link(profile.link_bandwidth, profile.link_command_overhead)
         self.cpu = cpu if cpu is not None else HostCpu()
-        self.segment_bytes = segment_bytes
-        self.bb_override = bb_override
-        self.page_size = profile.geometry.page_size
-        #: optional controller AES engine (§5.3.3): decryption rides the
-        #: assembly path, encryption the disassembly path; the engine is
-        #: one shared pipeline resource
-        self.cipher = cipher
+        # optional controller AES engine (§5.3.3): decryption rides the
+        # assembly path, encryption the disassembly path; the engine is
+        # one shared pipeline resource
         from repro.sim.resources import Timeline
         self.cipher_line = Timeline("aes_engine")
         self._spaces: Dict[str, int] = {}
@@ -221,12 +231,29 @@ class HardwareNdsSystem(StorageSystem):
 
     # ------------------------------------------------------------------
     def reset_time(self) -> None:
+        if self.cluster is not None:
+            self.cluster.reset_time()
+            self._reset_runtime()
+            return
         self.flash.reset_time()
         self.link.reset_time()
         self.cpu.reset_time()
         self.controller.reset_time()
         self.cipher_line.reset()
         self._reset_runtime()
+
+    # ------------------------------------------------------------------
+    def _cluster_align(self, dims: Sequence[int], element_size: int,
+                       params: dict) -> int:
+        """Extent boundaries land on building-block rows (same quantum
+        the controller-resident STL would pick for the whole space)."""
+        from repro.core.space import Space
+        dims = tuple(int(d) for d in dims)
+        space = Space.create(
+            -1, dims, int(element_size), self.stl.geometry,
+            bb_override=self.bb_override,
+            use_3d_blocks=len(dims) >= 3 and self.bb_override is None)
+        return int(space.bb[0])
 
     # ------------------------------------------------------------------
     def _space_id(self, dataset: str) -> int:

@@ -50,9 +50,19 @@ class OracleSystem(StorageSystem):
     def __init__(self, profile: DeviceProfile, store_data: bool = False,
                  queue_depth: int = 32,
                  max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
-                 faults: Optional[FaultConfig] = None) -> None:
+                 faults: Optional[FaultConfig] = None,
+                 devices: int = 1, pool=None,
+                 extents_per_device: int = 1, rebalance=None) -> None:
         self.profile = profile
         self.store_data = store_data
+        self.max_request_bytes = max_request_bytes
+        self.page_size = profile.geometry.page_size
+        if self._init_cluster(
+                devices, pool, faults, rebalance, extents_per_device,
+                lambda i, f: OracleSystem(
+                    profile, store_data=store_data, queue_depth=queue_depth,
+                    max_request_bytes=max_request_bytes, faults=f)):
+            return
         self.ssd = BaselineSSD(profile, store_data=store_data)
         if faults is not None:
             self.ssd.flash.attach_faults(FaultInjector(faults))
@@ -60,8 +70,6 @@ class OracleSystem(StorageSystem):
         self.cpu = HostCpu()
         self.engine = HostIoEngine(self.ssd, self.link, self.cpu,
                                    queue_depth=queue_depth)
-        self.max_request_bytes = max_request_bytes
-        self.page_size = profile.geometry.page_size
         #: dataset -> tile shape -> stored copy
         self._copies: Dict[str, Dict[Tuple[int, ...], _TiledCopy]] = {}
         self._next_page = 0
@@ -176,8 +184,30 @@ class OracleSystem(StorageSystem):
                               requests=len(requests), stats=run.stats)
 
     def reset_time(self) -> None:
+        if self.cluster is not None:
+            self.cluster.reset_time()
+            self._reset_runtime()
+            return
         self.engine.reset_time()
         self._reset_runtime()
+
+    # ------------------------------------------------------------------
+    def _cluster_align(self, dims: Sequence[int], element_size: int,
+                       params: dict) -> int:
+        """Extent boundaries land on stored-tile rows so every aligned
+        tile read stays within one device-local copy."""
+        tile = params.get("tile")
+        return int(tile[0]) if tile else int(dims[0])
+
+    def _cluster_ingest_key(self, dataset: str, dims: Tuple[int, ...],
+                            params: dict):
+        """One layout per (dataset, tile shape) — the oracle stores a
+        separate tile-major copy for every consumer shape."""
+        tile = params.get("tile")
+        return (dataset, tuple(int(t) for t in (tile or dims)))
+
+    def _cluster_read_key(self, dataset: str, extents: Tuple[int, ...]):
+        return (dataset, tuple(int(e) for e in extents))
 
     def stored_bytes(self) -> int:
         """Total device bytes consumed by all copies (the oracle's

@@ -64,9 +64,21 @@ class SoftwareNdsSystem(StorageSystem):
                  costs: SoftwareStlCosts = SoftwareStlCosts(),
                  bb_override: Optional[Sequence[int]] = None,
                  cpu: Optional[HostCpu] = None,
-                 faults: Optional[FaultConfig] = None) -> None:
+                 faults: Optional[FaultConfig] = None,
+                 devices: int = 1, pool=None,
+                 extents_per_device: int = 1, rebalance=None) -> None:
         self.profile = profile
         self.store_data = store_data
+        self.queue_depth = queue_depth
+        self.costs = costs
+        self.bb_override = bb_override
+        self.page_size = profile.geometry.page_size
+        if self._init_cluster(
+                devices, pool, faults, rebalance, extents_per_device,
+                lambda i, f: SoftwareNdsSystem(
+                    profile, store_data=store_data, queue_depth=queue_depth,
+                    costs=costs, bb_override=bb_override, faults=f)):
+            return
         self.flash = FlashArray(profile.geometry, profile.timing,
                                 store_data=store_data)
         if faults is not None:
@@ -77,10 +89,6 @@ class SoftwareNdsSystem(StorageSystem):
                                          if faults is not None else False)
         self.link = Link(profile.link_bandwidth, profile.link_command_overhead)
         self.cpu = cpu if cpu is not None else HostCpu()
-        self.queue_depth = queue_depth
-        self.costs = costs
-        self.bb_override = bb_override
-        self.page_size = profile.geometry.page_size
         self._spaces: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -211,10 +219,27 @@ class SoftwareNdsSystem(StorageSystem):
 
     # ------------------------------------------------------------------
     def reset_time(self) -> None:
+        if self.cluster is not None:
+            self.cluster.reset_time()
+            self._reset_runtime()
+            return
         self.flash.reset_time()
         self.link.reset_time()
         self.cpu.reset_time()
         self._reset_runtime()
+
+    # ------------------------------------------------------------------
+    def _cluster_align(self, dims: Sequence[int], element_size: int,
+                       params: dict) -> int:
+        """Extent boundaries land on building-block rows so declustered
+        sub-spaces keep the same block shape the whole space would get."""
+        from repro.core.space import Space
+        dims = tuple(int(d) for d in dims)
+        space = Space.create(
+            -1, dims, int(element_size), self.stl.geometry,
+            bb_override=self.bb_override,
+            use_3d_blocks=len(dims) >= 3 and self.bb_override is None)
+        return int(space.bb[0])
 
     # ------------------------------------------------------------------
     def _space_id(self, dataset: str) -> int:

@@ -163,6 +163,10 @@ class CoRunResult:
     trace: Optional[TraceRecorder] = field(repr=False, default=None)
     #: per-workload QoS specs the run was configured with
     qos: Optional[Dict[str, QosSpec]] = field(repr=False, default=None)
+    #: per-device accounting when the system runs over a device pool
+    #: (None for single-device systems)
+    devices: Optional[Dict[str, Dict[str, object]]] = field(
+        repr=False, default=None)
 
     def stream(self, workload_name: str) -> StreamRunResult:
         return self.streams[workload_name]
@@ -183,10 +187,11 @@ def _dataset_shards(workloads: Sequence[Workload],
         spec = qos.get(workload.name)
         if spec is None or spec.shard is None:
             continue
-        if getattr(system, "stl", None) is None:
+        if (getattr(system, "stl", None) is None
+                and getattr(system, "cluster", None) is None):
             raise ValueError(
-                f"per-tenant sharding needs an STL system; "
-                f"{system.name!r} has no space allocator to pin")
+                f"per-tenant sharding needs an STL system or a device "
+                f"pool; {system.name!r} has no space allocator to pin")
         for ds in workload.datasets():
             existing = shards.get(ds.name)
             if existing is not None and existing != spec.shard:
@@ -337,6 +342,7 @@ def co_run_workloads(workloads: Sequence[Workload], system: StorageSystem,
         queue_depth=queue_depth,
         trace=trace,
         qos=qos or None,
+        devices=scheduler.device_report(),
     )
 
 

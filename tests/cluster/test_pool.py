@@ -1,0 +1,181 @@
+"""Device pool, two-tier sharding, and layout construction."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (DevicePool, PoolShardSpec, build_layout,
+                           partition_rows)
+from repro.core.sharding import ShardSpec
+from repro.nvm import TINY_TEST
+from repro.systems import SoftwareNdsSystem
+
+
+def _pool(count=4):
+    return DevicePool.from_factory(
+        count, lambda i: SoftwareNdsSystem(TINY_TEST, store_data=True))
+
+
+# ----------------------------------------------------------------------
+# partition_rows
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rows,align,width,epd", [
+    (64, 16, 4, 1), (64, 16, 4, 2), (100, 7, 3, 1), (5, 16, 8, 1),
+    (1, 1, 1, 1), (1000, 1, 8, 4),
+])
+def test_partition_rows_covers_contiguously(rows, align, width, epd):
+    bounds = partition_rows(rows, align, width, epd)
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == rows
+    for (_, end), (start, _) in zip(bounds, bounds[1:]):
+        assert end == start
+    assert len(bounds) <= width * epd
+    # every boundary except the final row is align-quantized
+    for start, _ in bounds:
+        assert start % align == 0
+
+
+def test_partition_rows_rejects_empty():
+    with pytest.raises(ValueError):
+        partition_rows(0, 1, 4, 1)
+
+
+# ----------------------------------------------------------------------
+# build_layout
+# ----------------------------------------------------------------------
+def test_build_layout_round_robin_without_parity():
+    layout = build_layout("d", (64, 8), 4, align=16, devices=(0, 1, 2, 3),
+                          ordinal=0)
+    assert [x.device for x in layout.extents] == [0, 1, 2, 3]
+    assert not layout.parity
+    assert layout.devices == (0, 1, 2, 3)
+
+
+def test_build_layout_parity_groups_span_distinct_devices():
+    layout = build_layout("d", (96, 8), 4, align=16, devices=(0, 1, 2, 3),
+                          ordinal=0, extents_per_device=2, parity=True)
+    for parity in layout.parity:
+        members = [layout.extents[i] for i in parity.members]
+        devices = [x.device for x in members] + [parity.device]
+        assert len(devices) == len(set(devices)), (
+            "parity group must never co-locate two members on one device")
+        assert parity.rows == max(x.rows for x in members)
+
+
+def test_build_layout_rotates_parity_device():
+    layout = build_layout("d", (96, 8), 4, align=8, devices=(0, 1, 2, 3),
+                          ordinal=0, extents_per_device=3, parity=True)
+    parity_devices = [p.device for p in layout.parity]
+    assert len(set(parity_devices)) > 1, (
+        "RAID-5 rotation should spread parity over the pool")
+
+
+def test_build_layout_parity_needs_two_devices():
+    with pytest.raises(ValueError, match="at least 2"):
+        build_layout("d", (64, 8), 4, align=16, devices=(0,), ordinal=0,
+                     parity=True)
+
+
+def test_subregions_partition_the_request():
+    layout = build_layout("d", (64, 8), 4, align=16, devices=(0, 1),
+                          ordinal=0, extents_per_device=2)
+    parts = layout.subregions((8, 0), (40, 8))
+    covered = sum(le[0] for _, _, le, _ in parts)
+    assert covered == 40
+    out_rows = [out_row for _, _, _, out_row in parts]
+    assert out_rows == sorted(out_rows)
+
+
+# ----------------------------------------------------------------------
+# PoolShardSpec
+# ----------------------------------------------------------------------
+def test_pool_shard_rejects_duplicates_and_empty():
+    with pytest.raises(ValueError, match="duplicate"):
+        PoolShardSpec(devices=(1, 1))
+    with pytest.raises(ValueError, match="empty"):
+        PoolShardSpec(devices=())
+
+
+def test_pool_shard_device_subset_validates_range():
+    spec = PoolShardSpec(devices=(0, 3))
+    assert spec.device_subset(4) == (0, 3)
+    with pytest.raises(ValueError, match="outside pool"):
+        spec.device_subset(2)
+    assert PoolShardSpec().device_subset(3) == (0, 1, 2)
+
+
+def test_pool_shard_normalize_accepts_legacy_forms():
+    inner = ShardSpec(channels=(0, 1))
+    spec = PoolShardSpec.normalize(inner)
+    assert spec.devices is None
+    assert spec.shard == inner
+    assert PoolShardSpec.normalize(None) is None
+    passthrough = PoolShardSpec(devices=(1,))
+    assert PoolShardSpec.normalize(passthrough) is passthrough
+
+
+# ----------------------------------------------------------------------
+# DevicePool
+# ----------------------------------------------------------------------
+def test_pool_kill_and_observe():
+    pool = _pool(3)
+    assert pool.live_devices() == (0, 1, 2)
+    pool.schedule_kill(1, at=0.5)
+    assert pool.has_kill_plan
+    pool.observe(0.4)
+    assert not pool.is_dead(1)
+    pool.observe(0.6)
+    assert pool.is_dead(1)
+    assert pool.live_devices() == (0, 2)
+    # observe is monotonic: an earlier time cannot resurrect a device
+    pool.observe(0.1)
+    assert pool.is_dead(1)
+
+
+def test_pool_counters_accumulate():
+    pool = _pool(2)
+    pool.note(0, "migrations_in")
+    pool.note(0, "migrations_in")
+    report = pool.device_report()
+    assert report["d0"]["migrations_in"] == 2
+    assert report["d1"]["migrations_in"] == 0
+    assert not report["d0"]["dead"]
+
+
+def test_pool_handle_validates_range():
+    pool = _pool(2)
+    with pytest.raises(ValueError):
+        pool.handle(5)
+
+
+# ----------------------------------------------------------------------
+# two-tier sharding through a pooled system
+# ----------------------------------------------------------------------
+def test_two_tier_shard_restricts_devices_and_channels():
+    system = SoftwareNdsSystem(TINY_TEST, store_data=True, devices=4,
+                               extents_per_device=2)
+    data = np.arange(64 * 16, dtype=np.int32).reshape(64, 16)
+    shard = PoolShardSpec(devices=(0, 2), shard=ShardSpec(channels=(0, 1)))
+    system.ingest("M", (64, 16), 4, data=data, shard=shard)
+    layout = next(iter(system.cluster.layouts.values()))
+    assert layout.devices == (0, 2)
+    assert {x.device for x in layout.extents} <= {0, 2}
+    assert layout.inner_params.get("shard") == ShardSpec(channels=(0, 1))
+    result = system.read_tile("M", (0, 0), (64, 16), with_data=True,
+                              dtype=np.dtype(np.int32))
+    assert np.array_equal(result.data, data)
+
+
+def test_pooled_roundtrip_all_rows():
+    system = SoftwareNdsSystem(TINY_TEST, store_data=True, devices=4)
+    data = np.arange(64 * 16, dtype=np.int32).reshape(64, 16)
+    system.ingest("M", (64, 16), 4, data=data)
+    for row in range(0, 64, 16):
+        result = system.read_tile("M", (row, 0), (16, 16), with_data=True,
+                                  dtype=np.dtype(np.int32))
+        assert np.array_equal(result.data, data[row:row + 16])
+
+
+def test_devices_one_has_no_cluster():
+    system = SoftwareNdsSystem(TINY_TEST, devices=1)
+    assert system.cluster is None
+    assert system.device_report() is None

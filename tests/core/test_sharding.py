@@ -31,9 +31,17 @@ def _write(stl, space_id, array, coordinate=None):
 # ShardSpec
 # ----------------------------------------------------------------------
 class TestShardSpec:
-    def test_channels_sorted_and_deduped(self):
-        shard = ShardSpec(channels=(3, 1, 3))
-        assert shard.channels == (1, 3)
+    def test_channels_sorted(self):
+        shard = ShardSpec(channels=(3, 1, 0))
+        assert shard.channels == (0, 1, 3)
+
+    def test_duplicate_channels_rejected(self):
+        with pytest.raises(ValueError, match=r"duplicate entries \(3,\)"):
+            ShardSpec(channels=(3, 1, 3))
+
+    def test_duplicate_banks_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardSpec(channels=(0,), banks=(1, 1))
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
@@ -132,7 +140,8 @@ class TestShardedAllocation:
 
     def test_oversized_space_rejected(self, tiny_stl):
         # one channel x 2 banks x 64 pages x 256 B = 32 KiB shard
-        with pytest.raises(ValueError, match="shard"):
+        with pytest.raises(ValueError,
+                           match=r"shard's footprint of 1 channels x 2 banks"):
             tiny_stl.create_space((256, 256), 1,
                                   shard=ShardSpec(channels=(0,)))
 

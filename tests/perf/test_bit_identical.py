@@ -34,10 +34,10 @@ WORKLOADS = {
 }
 
 
-def _run_one(workload, cls):
+def _run_one(workload, cls, **system_kwargs):
     """Ingest + full tile-plan read sweep + one write, timing-only —
     the exact scenario the golden file was captured from."""
-    system = cls(PAPER_PROTOTYPE, store_data=False)
+    system = cls(PAPER_PROTOTYPE, store_data=False, **system_kwargs)
     plan = workload.tile_plan()
     ingest_result = None
     if isinstance(system, OracleSystem):
@@ -74,6 +74,20 @@ def test_simulated_timings_bit_identical_to_pre_pr(wl_name, cls):
     assert len(read_ends) == len(expected["read_ends"])
     for i, (got, want) in enumerate(zip(read_ends, expected["read_ends"])):
         assert got.hex() == want, f"fetch {i}: {got.hex()} != {want}"
+
+
+@pytest.mark.parametrize("wl_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("cls", SYSTEMS, ids=[c.name for c in SYSTEMS])
+def test_devices_one_bit_identical_to_single_device(wl_name, cls):
+    """``devices=1`` must bypass the cluster layer entirely: identical
+    floats to the plain single-device construction (and therefore to
+    the pre-pool goldens)."""
+    expected = GOLDEN[f"{wl_name}/{cls.name}"]
+    ingest_end, read_ends, write_end = _run_one(WORKLOADS[wl_name](), cls,
+                                                devices=1)
+    assert ingest_end.hex() == expected["ingest_end"]
+    assert write_end.hex() == expected["write_end"]
+    assert [e.hex() for e in read_ends] == expected["read_ends"]
 
 
 def _disable_fast_paths(system):
