@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""SSD-backed embedding serving under open-loop load.
+
+An embedding table lives on flash as a 2-D space (rows × dim), and an
+open-loop traffic source fires batched sparse lookups (plus periodic
+optimizer writes) at it with zipfian row popularity. The offered rate
+ramps geometrically until each system saturates — goodput flattens and
+the admission queue starts shedding — which draws the classic load
+line: offered load vs goodput and tail latency.
+
+Two acts, both deterministic:
+
+1. **Single device** — the load line for all four systems on one
+   simulated SSD. A single embedding row is already contiguous in LBA
+   space, so this access pattern is the baseline's best case (no
+   fan-out to amortize) and the per-request host translation cost of
+   the software STL is visible as an earlier knee — the honest
+   flip-side of the tile workloads where NDS wins.
+2. **4-device pool** — the same ramp over a pool behind the cluster
+   translation layer; declustered rows put independent lookups on
+   independent devices and push every system's knee out 2–4×.
+
+The JSON written to ``--out-dir`` is byte-stable (sorted keys, fixed
+separators): the CI ``loadtest-determinism`` job runs this twice and
+diffs the output.
+
+Run:  python examples/embedding_serving.py [--out-dir DIR] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.analysis.loadline_sweep import (format_loadline, loadline_sweep,
+                                           sweep_json)
+from repro.workloads.embedding import EmbeddingWorkload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", type=Path, default=Path("."))
+    parser.add_argument("--seed", type=int, default=97,
+                        help="traffic seed (default 97)")
+    args = parser.parse_args()
+
+    workload = EmbeddingWorkload(num_embeddings=256, embedding_dim=16,
+                                 num_tables=1, batch_size=2,
+                                 pooling_factor=2, num_batches=4,
+                                 alpha=1.05, weights_precision=4,
+                                 update_fraction=0.25)
+
+    print("== act 1: load line, single device ==")
+    single = loadline_sweep(device_counts=(1,), workload=workload,
+                            seed=args.seed)
+    print(format_loadline(single))
+
+    print("\n== act 2: load line, 4-device pool ==")
+    pooled = loadline_sweep(device_counts=(4,), workload=workload,
+                            seed=args.seed)
+    print(format_loadline(pooled))
+
+    knees = {}
+    for sweep in (single, pooled):
+        for cell in sweep["cells"]:
+            if cell["saturated"]:
+                key = f"{cell['system']}@{cell['devices']}dev"
+                knees.setdefault(key, round(cell["goodput_rps"]))
+    print("\nsaturation goodput (req/s):")
+    for key in sorted(knees):
+        print(f"  {key:28s} {knees[key]}")
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    out = args.out_dir / "embedding_serving.json"
+    payload = {"single_device": single, "pooled": pooled}
+    out.write_text(json.dumps(payload, sort_keys=True, indent=2,
+                              separators=(",", ": ")) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -126,6 +126,16 @@ def run_hotpath_bench(max_tiles: int = 48, repeats: int = 1,
         gemm = bench_workloads(max_tiles)["gemm"]
         cells.append(("gemm/software-nds@4dev", gemm,
                       SoftwareNdsSystem, 4))
+        # one serving cell: many tiny single-row reads (embedding
+        # lookups) stress per-request translation instead of fan-out
+        def embedding():
+            from repro.workloads.embedding import EmbeddingWorkload
+            return EmbeddingWorkload(num_embeddings=4096, embedding_dim=64,
+                                     num_tables=1, batch_size=4,
+                                     pooling_factor=4, num_batches=6,
+                                     alpha=1.05, weights_precision=4)
+        cells.append(("embedding/software-nds", embedding,
+                      SoftwareNdsSystem, 1))
     for key, factory, cls, devices in cells:
         best = None
         ops = 0

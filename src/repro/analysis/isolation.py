@@ -20,7 +20,7 @@ import re
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.nvm.profiles import TINY_TEST, DeviceProfile
-from repro.runtime import QosSpec, ShardSpec, TraceRecorder
+from repro.runtime import PoolShardSpec, QosSpec, ShardSpec, TraceRecorder
 from repro.systems.software_nds import SoftwareNdsSystem
 from repro.workloads.bfs import BfsWorkload
 from repro.workloads.gemm import GemmWorkload
@@ -28,7 +28,8 @@ from repro.workloads.runner import co_run_workloads
 
 __all__ = ["channel_overlap", "isolation_sweep"]
 
-_CHANNEL_LINE = re.compile(r"^ch\d+$")
+#: flash-channel busy lines; pooled systems prefix device scope (d0:ch3)
+_CHANNEL_LINE = re.compile(r"^(?:d\d+:)?ch\d+$")
 
 
 def _busy_intervals(trace: TraceRecorder, stream: str
@@ -118,18 +119,33 @@ def isolation_sweep(profile: DeviceProfile = TINY_TEST,
                     latency_target: Optional[float] = None,
                     shard_channels: Optional[Tuple[Sequence[int],
                                                    Sequence[int]]] = None,
+                    devices: int = 1,
                     ) -> Dict[str, object]:
     """Interference sweep: solo → shared → weighted → sharded.
 
     ``weight`` is the favoured tenant's (GEMM's) share against the
     co-tenant's implicit 1.0; ``shard_channels`` overrides the default
-    half/half channel split of the sharded regime. Returns a
+    half/half channel split of the sharded regime. With ``devices > 1``
+    the tenants co-run over a pool of that many simulated SSDs behind
+    the cluster translation layer, and the sharded regime splits the
+    *pool* instead of the channels: each tenant gets a disjoint device
+    subset (:class:`~repro.runtime.PoolShardSpec`), so hard isolation
+    holds at device rather than channel granularity. Returns a
     JSON-serialisable summary plus the shared- and sharded-regime
     :class:`TraceRecorder` objects under ``"traces"`` (pop that key
     before serialising).
     """
     workloads = _workloads()
     names = [w.name for w in workloads]
+    if devices < 1:
+        raise ValueError("devices must be >= 1")
+    shard_devices: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
+    if devices > 1:
+        half_pool = devices // 2
+        if half_pool == 0:
+            raise ValueError("pools need at least 2 devices to shard")
+        shard_devices = (tuple(range(half_pool)),
+                         tuple(range(half_pool, devices)))
     if shard_channels is None:
         half = profile.geometry.channels // 2
         if half == 0:
@@ -138,6 +154,9 @@ def isolation_sweep(profile: DeviceProfile = TINY_TEST,
                          tuple(range(half, profile.geometry.channels)))
 
     def system():
+        if devices > 1:
+            return SoftwareNdsSystem(profile, store_data=False,
+                                     devices=devices)
         return SoftwareNdsSystem(profile, store_data=False)
 
     solo: Dict[str, float] = {}
@@ -164,23 +183,35 @@ def isolation_sweep(profile: DeviceProfile = TINY_TEST,
         }
         traces[key] = trace
 
+    if shard_devices is not None:
+        shards = (PoolShardSpec(devices=shard_devices[0]),
+                  PoolShardSpec(devices=shard_devices[1]))
+    else:
+        shards = (ShardSpec(tuple(shard_channels[0])),
+                  ShardSpec(tuple(shard_channels[1])))
+
     run("shared", "round_robin", None)
     run("weighted", "weighted",
         {names[0]: QosSpec(weight=weight, latency_target=latency_target),
          names[1]: QosSpec(weight=1.0, latency_target=latency_target)})
     run("sharded", "weighted",
         {names[0]: QosSpec(weight=weight, latency_target=latency_target,
-                           shard=ShardSpec(tuple(shard_channels[0]))),
+                           shard=shards[0]),
          names[1]: QosSpec(weight=1.0, latency_target=latency_target,
-                           shard=ShardSpec(tuple(shard_channels[1])))})
+                           shard=shards[1])})
 
-    return {
+    summary: Dict[str, object] = {
         "profile": profile.name,
         "queue_depth": queue_depth,
         "weight": weight,
+        "devices": devices,
         "shard_channels": [list(shard_channels[0]),
                            list(shard_channels[1])],
         "solo_makespan": solo,
         "scenarios": scenarios,
         "traces": traces,
     }
+    if shard_devices is not None:
+        summary["shard_devices"] = [list(shard_devices[0]),
+                                    list(shard_devices[1])]
+    return summary

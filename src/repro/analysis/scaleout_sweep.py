@@ -30,7 +30,7 @@ from repro.runtime.tileop import TileOp
 from repro.workloads.base import TileFetch, Workload, WorkloadDataset
 
 __all__ = ["DEVICE_COUNTS", "CAPACITY_MODES", "ScanWorkload", "run_cell",
-           "scaleout_sweep", "sweep_json", "format_sweep"]
+           "run_co_cell", "scaleout_sweep", "sweep_json", "format_sweep"]
 
 DEVICE_COUNTS = (1, 2, 4, 8)
 CAPACITY_MODES = ("fixed-per-device", "fixed-total")
@@ -56,19 +56,23 @@ class ScanWorkload(Workload):
     kernel_dim_label = "2D"
 
     def __init__(self, n: int = 1024, tile: int = 128,
-                 element_size: int = 4) -> None:
+                 element_size: int = 4, name: str = "scan",
+                 dataset: str = "S") -> None:
         if n % tile != 0:
             raise ValueError("tile must evenly divide n")
         self.n = n
         self.tile = tile
         self.element_size = element_size
+        self.name = name
+        self.dataset_name = dataset
 
     def datasets(self) -> List[WorkloadDataset]:
-        return [WorkloadDataset("S", (self.n, self.n), self.element_size)]
+        return [WorkloadDataset(self.dataset_name, (self.n, self.n),
+                                self.element_size)]
 
     def tile_plan(self) -> List[TileFetch]:
         grid = self.n // self.tile
-        return [TileFetch("S", (i * self.tile, j * self.tile),
+        return [TileFetch(self.dataset_name, (i * self.tile, j * self.tile),
                           (self.tile, self.tile))
                 for j in range(grid) for i in range(grid)]
 
@@ -135,14 +139,84 @@ def run_cell(system_name: str, devices: int,
     return cell
 
 
+def run_co_cell(system_name: str, devices: int,
+                profile: DeviceProfile = CONSUMER_SSD,
+                mode: str = "fixed-per-device",
+                tenants: int = 2,
+                workloads=None,
+                queue_depth: int = 8,
+                arbitration: str = "round_robin") -> Dict[str, object]:
+    """One tenant co-run cell: ``tenants`` scan workloads share one
+    ``devices``-member pool through :func:`co_run_workloads`, and the
+    cell reports per-tenant plus aggregate goodput — the multi-tenant
+    analogue of :func:`run_cell`, quantifying whether pool parallelism
+    absorbs the co-tenant or the tenants serialize on shared devices."""
+    from repro.obs.report import SYSTEM_FACTORIES
+    from repro.workloads.runner import co_run_workloads
+
+    factory = SYSTEM_FACTORIES.get(system_name)
+    if factory is None:
+        raise ValueError(f"unknown system {system_name!r}; pick from "
+                         f"{sorted(SYSTEM_FACTORIES)}")
+    if tenants < 2:
+        raise ValueError("a co-run needs at least 2 tenants")
+    if workloads is None:
+        workloads = [ScanWorkload(name=f"scan{t}", dataset=f"S{t}")
+                     for t in range(tenants)]
+    member_profile = _profile_for(profile, devices, mode)
+    system = (factory(member_profile) if devices <= 1
+              else factory(member_profile, devices=devices))
+    result = co_run_workloads(workloads, system, queue_depth=queue_depth,
+                              arbitration=arbitration)
+    tiles = {w.name: len(w.tile_plan()) for w in workloads}
+    tile_bytes = {w.name: w.tile_bytes(w.tile_plan()[0]) for w in workloads}
+    streams: Dict[str, Dict[str, object]] = {}
+    total_useful = 0
+    for name in sorted(result.streams):
+        stream = result.streams[name]
+        useful = tiles[name] * tile_bytes[name]
+        total_useful += useful
+        streams[name] = {
+            "tiles": stream.tiles,
+            "io_makespan": stream.io_makespan,
+            "mean_io_latency": stream.mean_io_latency,
+            "p95_io_latency": stream.p95_io_latency,
+            "goodput_bytes_per_second": (useful / stream.io_makespan
+                                         if stream.io_makespan > 0 else 0.0),
+        }
+    makespan = result.io_makespan
+    cell: Dict[str, object] = {
+        "system": system_name,
+        "devices": devices,
+        "mode": mode,
+        "tenants": len(workloads),
+        "arbitration": arbitration,
+        "useful_bytes": total_useful,
+        "makespan_seconds": makespan,
+        "goodput_bytes_per_second": (total_useful / makespan
+                                     if makespan > 0 else 0.0),
+        "streams": streams,
+    }
+    if result.devices:
+        cell["device_subops"] = {name: entry["subops"]
+                                 for name, entry in result.devices.items()}
+    return cell
+
+
 def scaleout_sweep(device_counts: Sequence[int] = DEVICE_COUNTS,
                    systems: Sequence[str] = _SWEEP_SYSTEMS,
                    modes: Sequence[str] = CAPACITY_MODES,
                    profile: DeviceProfile = CONSUMER_SSD,
                    workload=None,
-                   queue_depth: int = 8) -> Dict[str, object]:
+                   queue_depth: int = 8,
+                   tenants: int = 1) -> Dict[str, object]:
     """The full sweep: every (mode, system, device count) cell plus
-    per-cell speedup relative to the same system's 1-device run."""
+    per-cell speedup relative to the same system's 1-device run.
+
+    With ``tenants > 1`` every cell becomes a :func:`run_co_cell`
+    tenant co-run over the pool (``workload`` is ignored — each tenant
+    scans its own matrix); speedups still compare against the same
+    system's 1-device co-run."""
     sweep: Dict[str, object] = {
         "profile": profile.name,
         "queue_depth": queue_depth,
@@ -150,13 +224,22 @@ def scaleout_sweep(device_counts: Sequence[int] = DEVICE_COUNTS,
         "modes": list(modes),
         "cells": [],
     }
+    if tenants > 1:
+        sweep["tenants"] = tenants
     baselines: Dict[tuple, float] = {}
     for mode in modes:
         for system_name in systems:
             for devices in device_counts:
-                cell = run_cell(system_name, int(devices), profile=profile,
-                                mode=mode, workload=workload,
-                                queue_depth=queue_depth)
+                if tenants > 1:
+                    cell = run_co_cell(system_name, int(devices),
+                                       profile=profile, mode=mode,
+                                       tenants=tenants,
+                                       queue_depth=queue_depth)
+                else:
+                    cell = run_cell(system_name, int(devices),
+                                    profile=profile, mode=mode,
+                                    workload=workload,
+                                    queue_depth=queue_depth)
                 key = (mode, system_name)
                 goodput = cell["goodput_bytes_per_second"]
                 if int(devices) == 1:

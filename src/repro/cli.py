@@ -185,6 +185,34 @@ def _cmd_report(args: argparse.Namespace) -> None:
         print(format_report(report))
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> None:
+    from repro.analysis.loadline_sweep import (format_loadline,
+                                               loadline_sweep, sweep_json)
+    from repro.workloads.embedding import EmbeddingWorkload
+    workload = EmbeddingWorkload(
+        num_embeddings=args.rows, embedding_dim=args.dim,
+        pooling_factor=args.pooling_factor, batch_size=args.batch_size,
+        alpha=args.alpha, update_fraction=args.update_fraction,
+        seed=args.seed)
+    sweep = loadline_sweep(systems=args.systems,
+                           device_counts=args.devices,
+                           base_rate=args.base_rate,
+                           growth=args.growth,
+                           max_points=args.points,
+                           horizon=args.horizon,
+                           admission_queue=args.admission_queue or None,
+                           arrival=args.arrival,
+                           workload=workload,
+                           seed=args.seed,
+                           tenants=args.tenants)
+    print(format_loadline(sweep))
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(sweep_json(sweep))
+        print(f"wrote {args.json}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> None:
     from repro.analysis.bench import (bench_json, format_bench,
                                       run_hotpath_bench)
@@ -259,6 +287,52 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--text", action="store_true",
                         help="print the text report even with --json")
     report.set_defaults(fn=_cmd_report)
+    loadtest = sub.add_parser(
+        "loadtest", help="open-loop embedding-serving load line "
+                         "(offered load vs goodput and tails)")
+    loadtest.add_argument("--systems", nargs="*",
+                          default=["baseline", "software-nds",
+                                   "hardware-nds", "software-oracle"],
+                          help="systems to ramp (default: all four)")
+    loadtest.add_argument("--devices", type=int, nargs="*", default=[1],
+                          help="device-pool sizes to ramp (default: 1)")
+    loadtest.add_argument("--arrival", default="poisson",
+                          choices=["poisson", "mmpp", "diurnal"],
+                          help="arrival process shape (default: poisson)")
+    loadtest.add_argument("--base-rate", type=float, default=400.0,
+                          help="starting offered rate, requests/s "
+                               "(default 400; scaled by device count)")
+    loadtest.add_argument("--growth", type=float, default=2.0,
+                          help="rate multiplier per ramp point (default 2)")
+    loadtest.add_argument("--points", type=int, default=8,
+                          help="max ramp points per series (default 8)")
+    loadtest.add_argument("--horizon", type=float, default=0.05,
+                          help="injection horizon, model seconds "
+                               "(default 0.05)")
+    loadtest.add_argument("--tenants", type=int, default=1,
+                          help="co-running traffic streams splitting the "
+                               "offered rate (default 1)")
+    loadtest.add_argument("--admission-queue", type=int, default=64,
+                          help="per-stream admission queue bound "
+                               "(default 64; 0 = unbounded)")
+    loadtest.add_argument("--rows", type=int, default=256,
+                          help="embedding rows per table (default 256)")
+    loadtest.add_argument("--dim", type=int, default=16,
+                          help="embedding dimension (default 16)")
+    loadtest.add_argument("--batch-size", type=int, default=2,
+                          help="bags per closed-loop batch (default 2)")
+    loadtest.add_argument("--pooling-factor", type=int, default=2,
+                          help="row lookups per bag (default 2)")
+    loadtest.add_argument("--alpha", type=float, default=1.05,
+                          help="zipf skew of row popularity (default 1.05)")
+    loadtest.add_argument("--update-fraction", type=float, default=0.25,
+                          help="share of requests that also write their "
+                               "rows back (default 0.25)")
+    loadtest.add_argument("--seed", type=int, default=97,
+                          help="traffic seed (default 97)")
+    loadtest.add_argument("--json", default=None, metavar="PATH",
+                          help="write the byte-stable sweep JSON to PATH")
+    loadtest.set_defaults(fn=_cmd_loadtest)
     bench = sub.add_parser(
         "bench", help="wall-clock hot-path benchmark (BENCH_sim.json)")
     bench.add_argument("--json", default=None, metavar="PATH",

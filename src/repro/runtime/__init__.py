@@ -21,7 +21,7 @@ Single-stream schedules stay bit-identical to the direct analytic
 flows: the scheduler adds sequencing, never timing.
 """
 
-from repro.runtime.qos import QosSpec, ShardSpec
+from repro.runtime.qos import PoolShardSpec, QosSpec, ShardSpec
 from repro.runtime.scheduler import (QueueDepthWindow, RequestScheduler,
                                      StreamHandle, percentile)
 from repro.runtime.tileop import TileOp
@@ -34,6 +34,7 @@ __all__ = [
     "QueueDepthWindow",
     "QosSpec",
     "ShardSpec",
+    "PoolShardSpec",
     "percentile",
     "TraceRecorder",
     "TraceSpan",

@@ -371,7 +371,8 @@ class RequestScheduler:
     def stream_report(self) -> Dict[str, Dict[str, object]]:
         """Per-stream aggregate metrics after a drain.
 
-        Always includes op counts, makespan, mean/max/p50/p95 latency,
+        Always includes op counts, makespan, mean/max/p50/p95/p99/p999
+        latency,
         the queue-wait vs service split of that latency (from each op's
         enqueue→issue→complete timestamps), the stream's weight and
         accumulated ``service_time`` plus its ``service_share`` of all
@@ -393,6 +394,8 @@ class RequestScheduler:
                 "max_latency": max(latencies) if latencies else 0.0,
                 "p50_latency": percentile(latencies, 0.50),
                 "p95_latency": percentile(latencies, 0.95),
+                "p99_latency": percentile(latencies, 0.99),
+                "p999_latency": percentile(latencies, 0.999),
                 "mean_queue_wait": (sum(queue_waits) / len(queue_waits)
                                     if queue_waits else 0.0),
                 "p95_queue_wait": percentile(queue_waits, 0.95),

@@ -1,0 +1,52 @@
+"""Open-loop traffic generation for the request spine.
+
+Everything before this package was *closed-loop*: a fixed op list
+driven at a bounded queue depth, so offered load implicitly tracked
+service capacity and the system could never be pushed past saturation.
+This package generates **arrival-driven** traffic — requests carry
+wall-of-the-model timestamps drawn from seeded stochastic processes,
+and the injector enqueues them into the
+:class:`~repro.runtime.scheduler.RequestScheduler` at those times
+whether or not earlier requests have completed. Past the saturating
+rate, latencies grow without bound and admission control starts
+shedding: exactly the open-loop behaviour a load line needs
+(and the behaviour coordinated-omission-prone closed loops hide).
+
+Pieces:
+
+* :mod:`~repro.traffic.arrivals` — deterministic arrival processes
+  (Poisson, bursty MMPP, diurnal modulation), all seeded and
+  byte-reproducible;
+* :mod:`~repro.traffic.popularity` — key-popularity models (zipfian
+  hot sets over millions of logical users, uniform);
+* :mod:`~repro.traffic.injector` — tenant streams, token-bucket
+  admission, bounded admission queues, typed shed accounting and the
+  open-loop injector itself.
+"""
+
+from repro.traffic.arrivals import (ArrivalProcess, DiurnalProcess,
+                                    MmppProcess, PoissonProcess)
+from repro.traffic.injector import (OpenLoopInjector, ShedRecord,
+                                    StreamTrafficReport, TokenBucket,
+                                    TrafficRunResult, TrafficStream,
+                                    SHED_QUEUE_FULL, SHED_THROTTLED)
+from repro.traffic.popularity import (PopularityModel, UniformPopularity,
+                                      ZipfPopularity)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "MmppProcess",
+    "DiurnalProcess",
+    "PopularityModel",
+    "ZipfPopularity",
+    "UniformPopularity",
+    "TokenBucket",
+    "TrafficStream",
+    "OpenLoopInjector",
+    "ShedRecord",
+    "StreamTrafficReport",
+    "TrafficRunResult",
+    "SHED_QUEUE_FULL",
+    "SHED_THROTTLED",
+]

@@ -1,0 +1,202 @@
+"""Deterministic arrival processes.
+
+Every process is seeded and generates its arrival timestamps from a
+private :class:`random.Random` — two instances constructed with the
+same parameters emit byte-identical streams on every platform
+(CPython's Mersenne Twister is part of the language spec), which is
+what the ``loadtest-determinism`` CI gate diffs.
+
+The three shapes cover the serving stories the load-line experiments
+need:
+
+* :class:`PoissonProcess` — memoryless arrivals at a constant mean
+  rate, the classic open-loop reference;
+* :class:`MmppProcess` — a Markov-modulated Poisson process cycling
+  through states with different rates and exponential dwell times:
+  bursty traffic with a controllable peak-to-mean ratio;
+* :class:`DiurnalProcess` — a non-homogeneous Poisson process whose
+  rate follows a sinusoidal day curve, sampled by Lewis–Shedler
+  thinning.
+
+``scaled(factor)`` returns the same process shape with every rate
+multiplied by ``factor`` (same seed) — the knob the load-line driver
+ramps to trace offered load up to saturation.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import List
+
+__all__ = ["ArrivalProcess", "PoissonProcess", "MmppProcess",
+           "DiurnalProcess"]
+
+
+class ArrivalProcess(abc.ABC):
+    """One seeded source of monotone arrival timestamps."""
+
+    #: seed the private RNG is built from
+    seed: int = 0
+
+    @abc.abstractmethod
+    def times(self, horizon: float) -> List[float]:
+        """All arrival timestamps in ``[0, horizon)``, ascending."""
+
+    @abc.abstractmethod
+    def scaled(self, factor: float) -> "ArrivalProcess":
+        """The same process with every rate multiplied by ``factor``."""
+
+    @property
+    @abc.abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run mean arrival rate (requests/second)."""
+
+
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` requests/second."""
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be > 0 requests/second")
+        self.rate = float(rate)
+        self.seed = int(seed)
+
+    def times(self, horizon: float) -> List[float]:
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        t = rng.expovariate(self.rate)
+        while t < horizon:
+            out.append(t)
+            t += rng.expovariate(self.rate)
+        return out
+
+    def scaled(self, factor: float) -> "PoissonProcess":
+        return PoissonProcess(self.rate * factor, seed=self.seed)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PoissonProcess(rate={self.rate}, seed={self.seed})"
+
+
+class MmppProcess(ArrivalProcess):
+    """Markov-modulated Poisson process: bursty arrivals.
+
+    The process cycles through ``rates`` (requests/second per state);
+    the dwell time in state ``i`` is exponential with mean
+    ``dwells[i]`` seconds. Because exponentials are memoryless,
+    re-drawing the next-arrival candidate at each state switch is an
+    *exact* simulation, not an approximation.
+
+    A two-state ``rates=(λ_low, λ_high)`` with a short high-rate dwell
+    is the usual burst model; the peak-to-mean ratio is
+    ``max(rates) / mean_rate``.
+    """
+
+    def __init__(self, rates, dwells, seed: int = 0) -> None:
+        self.rates = tuple(float(r) for r in rates)
+        self.dwells = tuple(float(d) for d in dwells)
+        if len(self.rates) < 2:
+            raise ValueError("MMPP needs at least two states")
+        if len(self.rates) != len(self.dwells):
+            raise ValueError("rates and dwells must have equal length")
+        if any(r < 0 for r in self.rates) or not any(self.rates):
+            raise ValueError("state rates must be >= 0 with at least one > 0")
+        if any(d <= 0 for d in self.dwells):
+            raise ValueError("state dwell times must be > 0 seconds")
+        self.seed = int(seed)
+
+    def times(self, horizon: float) -> List[float]:
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        state = 0
+        t = 0.0
+        switch = rng.expovariate(1.0 / self.dwells[state])
+        while t < horizon:
+            rate = self.rates[state]
+            # a zero-rate state emits nothing until its dwell expires
+            step = rng.expovariate(rate) if rate > 0 else float("inf")
+            if t + step >= switch:
+                t = switch
+                state = (state + 1) % len(self.rates)
+                switch = t + rng.expovariate(1.0 / self.dwells[state])
+                continue
+            t += step
+            if t < horizon:
+                out.append(t)
+        return out
+
+    def scaled(self, factor: float) -> "MmppProcess":
+        return MmppProcess(tuple(r * factor for r in self.rates),
+                           self.dwells, seed=self.seed)
+
+    @property
+    def mean_rate(self) -> float:
+        total_dwell = sum(self.dwells)
+        return sum(r * d for r, d in zip(self.rates, self.dwells)) \
+            / total_dwell
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MmppProcess(rates={self.rates}, dwells={self.dwells}, "
+                f"seed={self.seed})")
+
+
+class DiurnalProcess(ArrivalProcess):
+    """Sinusoidally modulated Poisson arrivals (a compressed "day").
+
+    Instantaneous rate ``λ(t) = base_rate * (1 + amplitude *
+    sin(2πt/period + phase))``, sampled exactly by Lewis–Shedler
+    thinning against the peak rate ``base_rate * (1 + amplitude)``.
+    ``amplitude`` must stay in ``[0, 1)`` so the rate never goes
+    negative.
+    """
+
+    def __init__(self, base_rate: float, period: float,
+                 amplitude: float = 0.5, phase: float = 0.0,
+                 seed: int = 0) -> None:
+        if base_rate <= 0:
+            raise ValueError("base rate must be > 0 requests/second")
+        if period <= 0:
+            raise ValueError("period must be > 0 seconds")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must lie in [0, 1)")
+        self.base_rate = float(base_rate)
+        self.period = float(period)
+        self.amplitude = float(amplitude)
+        self.phase = float(phase)
+        self.seed = int(seed)
+
+    def rate_at(self, t: float) -> float:
+        return self.base_rate * (
+            1.0 + self.amplitude
+            * math.sin(2.0 * math.pi * t / self.period + self.phase))
+
+    def times(self, horizon: float) -> List[float]:
+        rng = random.Random(self.seed)
+        peak = self.base_rate * (1.0 + self.amplitude)
+        out: List[float] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(peak)
+            if t >= horizon:
+                return out
+            if rng.random() * peak <= self.rate_at(t):
+                out.append(t)
+
+    def scaled(self, factor: float) -> "DiurnalProcess":
+        return DiurnalProcess(self.base_rate * factor, self.period,
+                              amplitude=self.amplitude, phase=self.phase,
+                              seed=self.seed)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.base_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DiurnalProcess(base_rate={self.base_rate}, "
+                f"period={self.period}, amplitude={self.amplitude}, "
+                f"seed={self.seed})")

@@ -1,0 +1,168 @@
+"""Key-popularity models: which of millions of logical keys a request
+touches.
+
+The serving workloads draw their keys (embedding rows, logical users)
+from these models. :class:`ZipfPopularity` is the interesting one —
+real embedding traffic is heavily skewed, and the hot set is what
+N-D-aware placement (and later caching) exploits.
+
+Sampling uses Hörmann & Derflinger's rejection-inversion method, which
+is O(1) per sample with no per-rank tables, so a universe of millions
+of keys costs nothing to set up. Rank→key scattering is a fixed
+multiplicative permutation: popular ranks land on key ids spread across
+the whole universe instead of clustering at 0, which matters once keys
+map to physically adjacent rows.
+
+Everything is seeded and deterministic; the statistical tests in
+``tests/traffic`` pin both exact golden samples per seed and the
+frequency *shape* (rank-frequency slope ≈ the configured exponent).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+
+__all__ = ["PopularityModel", "ZipfPopularity", "UniformPopularity"]
+
+
+class PopularityModel(abc.ABC):
+    """One seeded source of key ids in ``[0, universe)``."""
+
+    universe: int = 0
+    seed: int = 0
+
+    @abc.abstractmethod
+    def sample(self) -> int:
+        """Next key id (advances the private RNG)."""
+
+    @abc.abstractmethod
+    def fork(self, salt: int) -> "PopularityModel":
+        """An independent model with a salted seed (per-stream use)."""
+
+
+def _coprime_multiplier(universe: int) -> int:
+    """Smallest multiplier >= Knuth's 2^32/φ residue that is coprime to
+    the universe — a fixed bijective scatter of ranks onto key ids."""
+    base = 2654435761 % universe
+    if base < 2:
+        base = 2
+    for candidate in range(base, base + universe):
+        if math.gcd(candidate, universe) == 1:
+            return candidate
+    return 1  # universe == 1
+
+
+class ZipfPopularity(PopularityModel):
+    """Zipf(``exponent``) ranks over ``universe`` keys, scattered.
+
+    ``sample`` draws a 1-based rank ``k`` with ``P(k) ∝ k^-exponent``
+    via rejection inversion (Hörmann & Derflinger 1996 — the same
+    algorithm behind Apache Commons' RejectionInversionZipfSampler),
+    then maps it through a fixed multiplicative permutation so the hot
+    ranks do not all sit on adjacent key ids. ``exponent`` may be any
+    positive value; embedding benchmarks typically use 1.05–1.2.
+    """
+
+    def __init__(self, universe: int, exponent: float = 1.1,
+                 seed: int = 0, scatter: bool = True) -> None:
+        if universe < 1:
+            raise ValueError("universe must hold at least one key")
+        if exponent <= 0:
+            raise ValueError("zipf exponent must be > 0")
+        self.universe = int(universe)
+        self.exponent = float(exponent)
+        self.seed = int(seed)
+        self.scatter = bool(scatter)
+        self._rng = random.Random(self.seed)
+        self._multiplier = (_coprime_multiplier(self.universe)
+                            if scatter else 1)
+        # rejection-inversion precomputation
+        self._h_x1 = self._h_integral(1.5) - 1.0
+        self._h_n = self._h_integral(self.universe + 0.5)
+        self._s = 2.0 - self._h_integral_inverse(
+            self._h_integral(2.5) - self._h(2.0))
+
+    # -- rejection-inversion internals ---------------------------------
+    def _h_integral(self, x: float) -> float:
+        log_x = math.log(x)
+        return _helper2((1.0 - self.exponent) * log_x) * log_x
+
+    def _h(self, x: float) -> float:
+        return math.exp(-self.exponent * math.log(x))
+
+    def _h_integral_inverse(self, x: float) -> float:
+        t = x * (1.0 - self.exponent)
+        if t < -1.0:
+            t = -1.0  # guard against rounding below the pole
+        return math.exp(_helper1(t) * x)
+
+    def rank(self) -> int:
+        """Draw a 1-based Zipf rank (the popularity order)."""
+        while True:
+            u = self._h_n + self._rng.random() * (self._h_x1 - self._h_n)
+            x = self._h_integral_inverse(u)
+            k = int(x + 0.5)
+            if k < 1:
+                k = 1
+            elif k > self.universe:
+                k = self.universe
+            if (k - x <= self._s
+                    or u >= self._h_integral(k + 0.5) - self._h(k)):
+                return k
+
+    def sample(self) -> int:
+        rank = self.rank()
+        return ((rank - 1) * self._multiplier) % self.universe
+
+    def key_of_rank(self, rank: int) -> int:
+        """The key id the 1-based rank ``rank`` scatters to."""
+        if not 1 <= rank <= self.universe:
+            raise ValueError(f"rank {rank} outside 1..{self.universe}")
+        return ((rank - 1) * self._multiplier) % self.universe
+
+    def fork(self, salt: int) -> "ZipfPopularity":
+        return ZipfPopularity(self.universe, self.exponent,
+                              seed=self.seed + 0x9E3779B1 * (salt + 1),
+                              scatter=self.scatter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ZipfPopularity(universe={self.universe}, "
+                f"exponent={self.exponent}, seed={self.seed})")
+
+
+class UniformPopularity(PopularityModel):
+    """Every key equally likely — the no-skew control."""
+
+    def __init__(self, universe: int, seed: int = 0) -> None:
+        if universe < 1:
+            raise ValueError("universe must hold at least one key")
+        self.universe = int(universe)
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def sample(self) -> int:
+        return self._rng.randrange(self.universe)
+
+    def fork(self, salt: int) -> "UniformPopularity":
+        return UniformPopularity(self.universe,
+                                 seed=self.seed + 0x9E3779B1 * (salt + 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"UniformPopularity(universe={self.universe}, "
+                f"seed={self.seed})")
+
+
+def _helper1(x: float) -> float:
+    """``log1p(x) / x`` with the x→0 series (numerically stable)."""
+    if abs(x) > 1e-8:
+        return math.log1p(x) / x
+    return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+
+
+def _helper2(x: float) -> float:
+    """``expm1(x) / x`` with the x→0 series (numerically stable)."""
+    if abs(x) > 1e-8:
+        return math.expm1(x) / x
+    return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))

@@ -5,6 +5,7 @@ from typing import Callable, Dict, List
 from repro.workloads.base import SCALE_NOTE, TileFetch, Workload, WorkloadDataset
 from repro.workloads.bfs import BfsWorkload
 from repro.workloads.conv2d import Conv2dWorkload
+from repro.workloads.embedding import EmbeddingWorkload
 from repro.workloads.gemm import GemmWorkload
 from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.kmeans import KMeansWorkload
@@ -53,6 +54,7 @@ __all__ = [
     "KnnWorkload",
     "PageRankWorkload",
     "Conv2dWorkload",
+    "EmbeddingWorkload",
     "TtvWorkload",
     "TcWorkload",
     "WORKLOAD_FACTORIES",

@@ -1,0 +1,218 @@
+"""SSD-backed embedding-table serving (recommendation models).
+
+The first *serving* workload on the spine, modeled on FBGEMM's SSD
+table-batched-embedding benchmark: huge embedding tables live on flash
+as N-D spaces of shape ``(num_embeddings, embedding_dim)``, and
+requests perform batched sparse lookups (``get``) and optimizer
+updates (``set``) of individual rows, with zipfian hot-set skew over
+millions of logical users. Row lookups are exactly the access pattern
+where N-D building-block placement should beat a striped-LBA layout:
+one row is one short contiguous run, and the baseline pays a full page
+fan-out per row while NDS places rows within building blocks.
+
+Knob names mirror the FBGEMM TBE/SSD benchmark vocabulary
+(``tbe_ssd_benchmark`` CLI and ``ssd_config``/``cache_config``):
+
+===================  ==============================================
+knob                 FBGEMM analogue
+===================  ==============================================
+``num_embeddings``   ``--num-embeddings`` (E, rows per table)
+``embedding_dim``    ``--embedding-dim`` (D)
+``num_tables``       ``--tables`` (T)
+``batch_size``       ``--batch-size`` (B, bags per batch)
+``pooling_factor``   ``--bag-size`` / pooling factor (L, rows/bag)
+``alpha``            ``--alpha`` (zipf skew of row popularity)
+``weights_precision``  ``--weights-precision`` (bytes per element)
+``update_fraction``  ``--mixed`` training update share (set/get mix)
+===================  ==============================================
+
+The workload serves both harnesses:
+
+* **closed loop** — :meth:`tile_plan` is ``num_batches`` table-batched
+  lookup batches (B×L row reads per table each), runnable through
+  :func:`~repro.workloads.runner.run_workload` /
+  :func:`~repro.workloads.runner.co_run_workloads` on all four
+  systems;
+* **open loop** — :meth:`request_factory` builds the per-arrival
+  request generator the
+  :class:`~repro.traffic.injector.OpenLoopInjector` drives: one
+  request is one user inference (T×L row lookups, pooled), and every
+  ``1/update_fraction``-th request also writes its rows back (a
+  training embedding update).
+
+Both draw rows from the same seeded
+:class:`~repro.traffic.popularity.ZipfPopularity`, so runs are
+deterministic end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.accelerator.kernels import KernelModel
+from repro.runtime.tileop import TileOp
+from repro.traffic.popularity import ZipfPopularity
+from repro.workloads.base import TileFetch, Workload, WorkloadDataset
+
+__all__ = ["EmbeddingWorkload"]
+
+
+class EmbeddingWorkload(Workload):
+    """Batched sparse embedding lookups over flash-resident tables."""
+
+    name = "embedding"
+    category = "Serving"
+    data_dim_label = "2D"
+    kernel_dim_label = "1D"
+
+    def __init__(self, num_embeddings: int = 2048, embedding_dim: int = 64,
+                 num_tables: int = 1, batch_size: int = 4,
+                 pooling_factor: int = 2, num_batches: int = 6,
+                 alpha: float = 1.05, weights_precision: int = 4,
+                 update_fraction: float = 0.0, seed: int = 0xE3B,
+                 scatter: bool = True) -> None:
+        if num_embeddings < 1 or embedding_dim < 1 or num_tables < 1:
+            raise ValueError("table shape knobs must be >= 1")
+        if batch_size < 1 or pooling_factor < 1 or num_batches < 1:
+            raise ValueError("batch shape knobs must be >= 1")
+        if weights_precision < 1:
+            raise ValueError("weights_precision is bytes per element (>= 1)")
+        if not 0.0 <= update_fraction <= 1.0:
+            raise ValueError("update_fraction must lie in [0, 1]")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.num_tables = num_tables
+        self.batch_size = batch_size
+        self.pooling_factor = pooling_factor
+        self.num_batches = num_batches
+        self.alpha = alpha
+        self.weights_precision = weights_precision
+        self.update_fraction = update_fraction
+        self.seed = seed
+        self.scatter = scatter
+        # the closed-loop plan is fixed at construction: one seeded
+        # popularity stream drawn in (batch, table, bag, slot) order
+        popularity = ZipfPopularity(num_embeddings, alpha, seed=seed,
+                                    scatter=scatter)
+        lookups = (num_batches * num_tables * batch_size * pooling_factor)
+        self._plan_rows = [popularity.sample() for _ in range(lookups)]
+
+    # ------------------------------------------------------------------
+    # closed-loop interface (Workload)
+    # ------------------------------------------------------------------
+    def table_name(self, table: int) -> str:
+        return f"emb{table}"
+
+    def datasets(self) -> List[WorkloadDataset]:
+        return [WorkloadDataset(self.table_name(t),
+                                (self.num_embeddings, self.embedding_dim),
+                                self.weights_precision)
+                for t in range(self.num_tables)]
+
+    def tile_plan(self) -> List[TileFetch]:
+        plan: List[TileFetch] = []
+        index = 0
+        for _batch in range(self.num_batches):
+            for table in range(self.num_tables):
+                name = self.table_name(table)
+                for _slot in range(self.batch_size * self.pooling_factor):
+                    row = self._plan_rows[index]
+                    index += 1
+                    plan.append(TileFetch(name, (row, 0),
+                                          (1, self.embedding_dim)))
+        return plan
+
+    def kernel_time(self, kernels: KernelModel, fetch: TileFetch) -> float:
+        """Pooling (segment sum) is one streaming pass over the rows."""
+        rows, cols = fetch.extents
+        return kernels.traversal_pass(rows, cols, self.weights_precision)
+
+    # ------------------------------------------------------------------
+    # open-loop interface (traffic)
+    # ------------------------------------------------------------------
+    def request_factory(self, salt: int = 0
+                        ) -> Callable[[int, float], List[TileOp]]:
+        """Build the per-arrival request generator for the injector.
+
+        One request models one user inference: ``pooling_factor`` row
+        lookups in each of the ``num_tables`` tables, drawn from a
+        fresh seeded popularity stream (salted per tenant so co-run
+        tenants do not share hot rows). With ``update_fraction > 0``,
+        every ``round(1/update_fraction)``-th request is a *training*
+        step: it reads its rows and then writes them back (optimizer
+        ``set`` after the ``get``).
+        """
+        popularity = ZipfPopularity(
+            self.num_embeddings, self.alpha,
+            seed=self.seed + 0x51ED5 * (salt + 1), scatter=self.scatter)
+        update_every = (int(round(1.0 / self.update_fraction))
+                        if self.update_fraction > 0 else 0)
+        dim = self.embedding_dim
+
+        def request_ops(seq: int, _time: float) -> List[TileOp]:
+            ops: List[TileOp] = []
+            is_update = update_every and (seq % update_every
+                                          == update_every - 1)
+            for table in range(self.num_tables):
+                name = self.table_name(table)
+                for _ in range(self.pooling_factor):
+                    row = popularity.sample()
+                    ops.append(TileOp.read(name, (row, 0), (1, dim)))
+                    if is_update:
+                        ops.append(TileOp.write(name, (row, 0), (1, dim)))
+            return ops
+
+        return request_ops
+
+    @property
+    def request_bytes(self) -> int:
+        """Payload bytes one inference request fetches."""
+        return (self.num_tables * self.pooling_factor
+                * self.embedding_dim * self.weights_precision)
+
+    # ------------------------------------------------------------------
+    # functional layer
+    # ------------------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        if self.weights_precision != 4:
+            raise NotImplementedError(
+                "functional verification models fp32 tables")
+        return {self.table_name(t): rng.standard_normal(
+                    (self.num_embeddings, self.embedding_dim)
+                ).astype(np.float32)
+                for t in range(self.num_tables)}
+
+    def reference(self, inputs: Dict[str, np.ndarray]) -> np.ndarray:
+        """Pooled (summed) bags: shape ``(num_batches, num_tables,
+        batch_size, embedding_dim)``, following :meth:`tile_plan`'s
+        row order exactly."""
+        out = np.zeros((self.num_batches, self.num_tables,
+                        self.batch_size, self.embedding_dim),
+                       dtype=np.float32)
+        index = 0
+        for batch in range(self.num_batches):
+            for table in range(self.num_tables):
+                rows = inputs[self.table_name(table)]
+                for bag in range(self.batch_size):
+                    for _ in range(self.pooling_factor):
+                        out[batch, table, bag] += rows[
+                            self._plan_rows[index]]
+                        index += 1
+        return out
+
+    def plan_rows(self) -> List[int]:
+        """The closed-loop plan's row ids, in fetch order (testing)."""
+        return list(self._plan_rows)
+
+    def hot_rows(self, top: int = 8) -> List[int]:
+        """The ``top`` most popular row ids under this seed's scatter
+        (rank order, not observed frequency)."""
+        popularity = ZipfPopularity(self.num_embeddings, self.alpha,
+                                    seed=self.seed, scatter=self.scatter)
+        return [popularity.key_of_rank(rank)
+                for rank in range(1, min(top, self.num_embeddings) + 1)]
+
+    def shared_input_group(self) -> Optional[str]:
+        return None

@@ -69,6 +69,31 @@ class TestIsolationSweep:
 
         assert run() == run()
 
+    def test_pooled_sweep_device_split_isolation(self):
+        """With devices=N the sharded regime splits the pool: each
+        tenant gets a disjoint device subset, and the overlap helper
+        (which now recognises d0:ch1-style pooled lines) must see zero
+        shared channels."""
+        sweep = isolation_sweep(devices=2)
+        sweep.pop("traces")
+        assert sweep["devices"] == 2
+        assert sweep["shard_devices"] == [[0], [1]]
+        # pooled channel lines are counted for footprint overlap
+        shared = sweep["scenarios"]["shared"]["overlap"]
+        assert any(ch.startswith("d") for ch in shared["channels"])
+        assert shared["shared_channels"]
+        sharded = sweep["scenarios"]["sharded"]["overlap"]
+        assert sharded["shared_channels"] == []
+        assert sharded["shared_busy_time"] == 0.0
+
+    def test_pooled_sweep_is_deterministic(self):
+        def run():
+            sweep = isolation_sweep(devices=2)
+            sweep.pop("traces")
+            return sweep
+
+        assert run() == run()
+
     def test_slo_reported_when_target_set(self):
         sweep = isolation_sweep(latency_target=1e-9)
         sweep.pop("traces")

@@ -1,0 +1,118 @@
+"""Load-line sweep gates: determinism, saturation, layer attribution,
+multi-tenant aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.loadline_sweep import (arrival_process,
+                                           default_workload,
+                                           format_loadline, loadline_sweep,
+                                           run_load_point, sweep_json)
+from repro.traffic import DiurnalProcess, MmppProcess, PoissonProcess
+
+
+def test_arrival_process_factory():
+    assert isinstance(arrival_process("poisson", 100.0, 1),
+                      PoissonProcess)
+    assert isinstance(arrival_process("mmpp", 100.0, 1), MmppProcess)
+    assert isinstance(arrival_process("diurnal", 100.0, 1),
+                      DiurnalProcess)
+    with pytest.raises(ValueError):
+        arrival_process("weird", 100.0, 1)
+
+
+def test_load_point_reports_tails_and_layers():
+    cell = run_load_point("software-nds", 2000.0)
+    assert cell["system"] == "software-nds"
+    assert cell["completed"] > 0
+    assert cell["goodput_rps"] > 0
+    assert cell["p50_latency"] <= cell["p99_latency"] \
+        <= cell["p999_latency"] <= cell["max_latency"]
+    assert cell["mean_queue_wait"] >= 0.0
+    assert cell["mean_service"] > 0.0
+    layers = cell["layers"]
+    assert layers, "critical-path layer attribution missing"
+    assert sum(entry["share"] for entry in layers.values()) == \
+        pytest.approx(1.0)
+
+
+def test_load_point_unknown_system():
+    with pytest.raises(ValueError):
+        run_load_point("no-such-system", 100.0)
+
+
+def test_sweep_is_byte_deterministic():
+    kwargs = dict(systems=("software-nds",), device_counts=(1,),
+                  max_points=3)
+    assert sweep_json(loadline_sweep(**kwargs)) == \
+        sweep_json(loadline_sweep(**kwargs))
+
+
+def test_sweep_reaches_saturation_knee():
+    sweep = loadline_sweep(systems=("software-nds",), device_counts=(1,),
+                           base_rate=2000.0, max_points=8)
+    cells = sweep["cells"]
+    assert cells[-1]["saturated"] is True
+    assert all(not c["saturated"] for c in cells[:-1])
+    # goodput grows along the ramp until the knee
+    goodputs = [c["goodput_rps"] for c in cells]
+    assert goodputs[0] < goodputs[-2] if len(goodputs) > 2 else True
+
+
+def test_sweep_scales_start_rate_with_devices():
+    sweep = loadline_sweep(systems=("software-nds",),
+                           device_counts=(1, 4), max_points=1,
+                           base_rate=400.0)
+    one = [c for c in sweep["cells"] if c["devices"] == 1][0]
+    four = [c for c in sweep["cells"] if c["devices"] == 4][0]
+    # offered_rate in the cell is measured; the ramp start is 4x
+    assert four["offered"] > 2 * one["offered"]
+
+
+def test_multi_tenant_cells_aggregate():
+    cell = run_load_point("software-nds", 4000.0, tenants=2,
+                          horizon=0.02)
+    assert cell["tenants"] == 2
+    assert sorted(cell["streams"]) == ["serve0", "serve1"]
+    per_stream = cell["streams"]
+    assert cell["offered"] == sum(s["offered"]
+                                  for s in per_stream.values())
+    assert cell["completed"] == sum(s["completed"]
+                                    for s in per_stream.values())
+    assert cell["useful_bytes"] == sum(s["useful_bytes"]
+                                       for s in per_stream.values())
+    # merged tails bound the per-stream tails
+    assert cell["max_latency"] == max(s["max_latency"]
+                                      for s in per_stream.values())
+
+
+def test_multi_tenant_sweep_deterministic():
+    kwargs = dict(systems=("software-nds",), device_counts=(1,),
+                  max_points=2, tenants=2)
+    assert sweep_json(loadline_sweep(**kwargs)) == \
+        sweep_json(loadline_sweep(**kwargs))
+
+
+def test_format_loadline_renders():
+    sweep = loadline_sweep(systems=("software-nds",), device_counts=(1,),
+                           max_points=2)
+    table = format_loadline(sweep)
+    assert "software-nds" in table
+    assert "p999" in table
+
+
+def test_default_workload_shape():
+    wl = default_workload()
+    assert wl.num_embeddings == 256
+    assert wl.embedding_dim == 16
+    assert wl.update_fraction == 0.25
+
+
+def test_mmpp_and_diurnal_points_run():
+    for kind in ("mmpp", "diurnal"):
+        cell = run_load_point("software-nds", 2000.0, arrival=kind,
+                              horizon=0.02, attribute_layers=False)
+        assert cell["arrival"] == kind
+        assert cell["completed"] > 0
+        assert "layers" not in cell

@@ -1,0 +1,80 @@
+"""Tenant co-run cells in the scale-out sweep (pool-aware co-runs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.scaleout_sweep import (ScanWorkload, run_co_cell,
+                                           scaleout_sweep, sweep_json)
+from repro.nvm.profiles import TINY_TEST
+
+
+def _tenants(count=2):
+    return [ScanWorkload(n=64, tile=16, name=f"scan{t}", dataset=f"S{t}")
+            for t in range(count)]
+
+
+def test_scan_tenants_are_distinct():
+    a, b = _tenants()
+    assert a.name != b.name
+    assert a.datasets()[0].name != b.datasets()[0].name
+    assert all(f.dataset == "S1" for f in b.tile_plan())
+
+
+def test_co_cell_reports_per_tenant_and_aggregate():
+    cell = run_co_cell("software-nds", 2, profile=TINY_TEST,
+                       workloads=_tenants())
+    assert cell["tenants"] == 2
+    assert sorted(cell["streams"]) == ["scan0", "scan1"]
+    per_tenant = sum(s["tiles"] for s in cell["streams"].values())
+    assert per_tenant == 2 * len(_tenants()[0].tile_plan())
+    assert cell["goodput_bytes_per_second"] > 0
+    assert cell["device_subops"], "pooled run must report device sub-ops"
+    # every pool member served sub-ops (declustered tenants)
+    assert all(v > 0 for v in cell["device_subops"].values())
+
+
+def test_co_cell_single_device_has_no_device_report():
+    cell = run_co_cell("software-nds", 1, profile=TINY_TEST,
+                       workloads=_tenants())
+    assert "device_subops" not in cell
+
+
+def test_pool_absorbs_the_co_tenant():
+    one = run_co_cell("software-nds", 1, profile=TINY_TEST,
+                      workloads=_tenants())
+    four = run_co_cell("software-nds", 4, profile=TINY_TEST,
+                       workloads=_tenants())
+    assert four["goodput_bytes_per_second"] > \
+        one["goodput_bytes_per_second"]
+    assert four["makespan_seconds"] < one["makespan_seconds"]
+
+
+def test_co_run_sweep_deterministic_and_speedups():
+    # default-size tenant scans need CONSUMER_SSD capacity
+    kwargs = dict(device_counts=(1, 2), systems=("software-nds",),
+                  modes=("fixed-per-device",), tenants=2)
+    sweep = scaleout_sweep(**kwargs)
+    assert sweep["tenants"] == 2
+    one, two = sweep["cells"]
+    assert one["tenants"] == 2 and "streams" in one
+    assert one["speedup_vs_single"] == pytest.approx(1.0)
+    assert two["speedup_vs_single"] > 1.0
+    assert sweep_json(sweep) == sweep_json(scaleout_sweep(**kwargs))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_co_cell("software-nds", 1, tenants=1)
+    with pytest.raises(ValueError):
+        run_co_cell("no-such-system", 1)
+
+
+def test_co_cell_json_stable():
+    a = run_co_cell("software-nds", 2, profile=TINY_TEST,
+                    workloads=_tenants())
+    b = run_co_cell("software-nds", 2, profile=TINY_TEST,
+                    workloads=_tenants())
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

@@ -74,7 +74,8 @@ class TestStreamFaultReport:
         for metrics in system.scheduler.stream_report().values():
             assert set(metrics) == {"ops", "makespan", "mean_latency",
                                     "max_latency", "p50_latency",
-                                    "p95_latency", "mean_queue_wait",
+                                    "p95_latency", "p99_latency",
+                                    "p999_latency", "mean_queue_wait",
                                     "p95_queue_wait", "mean_service",
                                     "p95_service", "weight",
                                     "service_time", "service_share"}

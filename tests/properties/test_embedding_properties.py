@@ -1,0 +1,121 @@
+"""Property-based gates on embedding serving (hypothesis).
+
+The serving story writes single rows at high frequency — exactly the
+churn that drives garbage collection and (with an injector attached)
+retry/relocation paths. The invariant: whatever the storage stack does
+underneath — GC moves, read retries, program-fail relocations — a row
+read must always return the bytes of the *last* write to that row,
+matching a plain numpy mirror.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.model import FaultConfig
+from repro.nvm.profiles import TINY_TEST
+from repro.systems import HardwareNdsSystem, SoftwareNdsSystem
+from repro.traffic.popularity import ZipfPopularity
+from repro.workloads.embedding import EmbeddingWorkload
+
+ROWS, DIM = 48, 16  # 48*16*4B = 3KB of 128KB — room for GC churn
+
+
+def _drive_churn(system, mirror, rows, updates):
+    """Apply seeded single-row updates, tracking a numpy mirror."""
+    clock = 0.0
+    for step, row in enumerate(rows):
+        patch = np.full((1, DIM), (step * 37 + row) % 251,
+                        dtype=np.float32)
+        result = system.write_tile("emb0", (row, 0), (1, DIM), data=patch,
+                                   start_time=clock)
+        clock = result.end_time
+        mirror = mirror.copy()
+        mirror[row] = patch[0]
+    return mirror, clock
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.data())
+def test_readback_equality_under_update_churn(data):
+    """Zipf-skewed row updates (the training half of serving traffic)
+    followed by read-back of every touched row: bytes must equal the
+    numpy mirror on both STL systems."""
+    system_cls = data.draw(st.sampled_from([SoftwareNdsSystem,
+                                            HardwareNdsSystem]))
+    seed = data.draw(st.integers(0, 2 ** 16))
+    system = system_cls(TINY_TEST, store_data=True)
+    rng = np.random.default_rng(seed)
+    mirror = rng.standard_normal((ROWS, DIM)).astype(np.float32)
+    system.ingest("emb0", (ROWS, DIM), 4, data=mirror)
+
+    popularity = ZipfPopularity(ROWS, 1.1, seed=seed)
+    count = data.draw(st.integers(10, 120))
+    rows = [popularity.sample() for _ in range(count)]
+    mirror, clock = _drive_churn(system, mirror, rows, count)
+
+    for row in sorted(set(rows)):
+        result = system.read_tile("emb0", (row, 0), (1, DIM),
+                                  start_time=clock, with_data=True,
+                                  dtype=np.dtype(np.float32))
+        clock = result.end_time
+        np.testing.assert_array_equal(result.data[0], mirror[row])
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.data())
+def test_readback_equality_under_fault_churn(data):
+    """Same invariant with a fault injector attached: ECC retries and
+    program-fail relocations may cost time but never corrupt rows."""
+    seed = data.draw(st.integers(0, 2 ** 16))
+    faults = FaultConfig(seed=seed, rber_base=2e-3,
+                         program_fail_base=0.02)
+    system = SoftwareNdsSystem(TINY_TEST, store_data=True, faults=faults)
+    rng = np.random.default_rng(seed)
+    mirror = rng.standard_normal((ROWS, DIM)).astype(np.float32)
+    system.ingest("emb0", (ROWS, DIM), 4, data=mirror)
+
+    popularity = ZipfPopularity(ROWS, 1.1, seed=seed + 1)
+    count = data.draw(st.integers(10, 80))
+    rows = [popularity.sample() for _ in range(count)]
+    mirror, clock = _drive_churn(system, mirror, rows, count)
+
+    for row in sorted(set(rows)):
+        result = system.read_tile("emb0", (row, 0), (1, DIM),
+                                  start_time=clock, with_data=True,
+                                  dtype=np.dtype(np.float32))
+        clock = result.end_time
+        np.testing.assert_array_equal(result.data[0], mirror[row])
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 2 ** 16))
+def test_gc_pressure_keeps_rows_exact(seed):
+    """Hammer a hot set hard enough to exhaust free access units and
+    force GC, then verify the full table matches the mirror."""
+    system = SoftwareNdsSystem(TINY_TEST, store_data=True)
+    rng = np.random.default_rng(seed)
+    mirror = rng.standard_normal((ROWS, DIM)).astype(np.float32)
+    system.ingest("emb0", (ROWS, DIM), 4, data=mirror)
+
+    hot = ZipfPopularity(ROWS, 1.3, seed=seed)
+    rows = [hot.sample() for _ in range(400)]  # >> free units
+    mirror, clock = _drive_churn(system, mirror, rows, len(rows))
+
+    result = system.read_tile("emb0", (0, 0), (ROWS, DIM),
+                              start_time=clock, with_data=True,
+                              dtype=np.dtype(np.float32))
+    np.testing.assert_array_equal(result.data, mirror)
+
+
+def test_request_factory_rows_stay_in_table():
+    wl = EmbeddingWorkload(num_embeddings=ROWS, embedding_dim=DIM,
+                           update_fraction=0.5, seed=0)
+    factory = wl.request_factory()
+    for seq in range(50):
+        for op in factory(seq, 0.0):
+            assert 0 <= op.origin[0] < ROWS
+            assert op.extents == (1, DIM)

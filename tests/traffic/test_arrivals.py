@@ -1,0 +1,150 @@
+"""Arrival-process gates: golden streams per seed, determinism, shape.
+
+The golden ``float.hex`` prefixes pin the exact per-seed streams —
+CPython's Mersenne Twister is part of the language spec, so these must
+never drift across platforms or refactors (the open-loop experiments'
+byte-stable JSON depends on it).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.traffic import DiurnalProcess, MmppProcess, PoissonProcess
+
+HORIZON = 0.05
+
+# first five arrivals of each process at seed 42, float.hex()
+GOLDEN = {
+    "poisson": ['0x1.0b67164b908f1p-10', '0x1.120ae06fbf35ep-10',
+                '0x1.665ab3c8a38f7p-10', '0x1.a891796947466p-10',
+                '0x1.8314ae8993f36p-9'],
+    "mmpp": ['0x1.099795a74a0fcp-14', '0x1.c6c213715f01cp-11',
+             '0x1.88e9f7ca48ca3p-10', '0x1.3cb96c3cbe96dp-8',
+             '0x1.f5ba5f191b4d6p-8'],
+    "diurnal": ['0x1.4e40dbde74b2dp-11', '0x1.b7a4a40d9222cp-11',
+                '0x1.b6514050f575ap-10', '0x1.919e3e174f299p-9',
+                '0x1.be839a8153c6fp-9'],
+}
+GOLDEN_COUNTS = {"poisson": 60, "mmpp": 41, "diurnal": 47}
+
+
+def _processes(seed: int = 42):
+    return {
+        "poisson": PoissonProcess(1000.0, seed=seed),
+        "mmpp": MmppProcess((400.0, 1600.0), (0.01, 0.01), seed=seed),
+        "diurnal": DiurnalProcess(1000.0, period=0.02, amplitude=0.6,
+                                  seed=seed),
+    }
+
+
+@pytest.mark.parametrize("kind", sorted(GOLDEN))
+def test_golden_streams_per_seed(kind):
+    times = _processes()[kind].times(HORIZON)
+    assert len(times) == GOLDEN_COUNTS[kind]
+    assert [t.hex() for t in times[:5]] == GOLDEN[kind]
+
+
+@pytest.mark.parametrize("kind", sorted(GOLDEN))
+def test_streams_are_deterministic_and_reusable(kind):
+    proc = _processes()[kind]
+    first = proc.times(HORIZON)
+    # times() builds a fresh private RNG per call: same object, same
+    # stream — and a same-seed sibling matches exactly
+    assert proc.times(HORIZON) == first
+    assert _processes()[kind].times(HORIZON) == first
+    assert _processes(seed=43)[kind].times(HORIZON) != first
+
+
+@pytest.mark.parametrize("kind", sorted(GOLDEN))
+def test_streams_are_sorted_within_horizon(kind):
+    times = _processes()[kind].times(HORIZON)
+    assert all(0.0 <= t < HORIZON for t in times)
+    assert times == sorted(times)
+
+
+def test_poisson_mean_rate_statistics():
+    # 200k expected arrivals: the sample mean must sit within ~1 %
+    times = PoissonProcess(2000.0, seed=7).times(100.0)
+    rate = len(times) / 100.0
+    assert rate == pytest.approx(2000.0, rel=0.02)
+
+
+def test_mmpp_exact_states_bound_the_rate():
+    proc = MmppProcess((400.0, 1600.0), (0.01, 0.01), seed=7)
+    assert proc.mean_rate == pytest.approx(1000.0)
+    times = proc.times(50.0)
+    rate = len(times) / 50.0
+    # long-run mean between the state rates, near the dwell-weighted mean
+    assert 400.0 < rate < 1600.0
+    assert rate == pytest.approx(proc.mean_rate, rel=0.05)
+
+
+def test_mmpp_is_burstier_than_poisson():
+    """Index of dispersion of counts > 1 distinguishes MMPP bursts."""
+    def dispersion(times, horizon, bins):
+        width = horizon / bins
+        counts = [0] * bins
+        for t in times:
+            counts[min(int(t / width), bins - 1)] += 1
+        mean = sum(counts) / bins
+        var = sum((c - mean) ** 2 for c in counts) / bins
+        return var / mean
+
+    poisson = dispersion(PoissonProcess(1000.0, seed=3).times(20.0),
+                         20.0, 400)
+    mmpp = dispersion(
+        MmppProcess((200.0, 1800.0), (0.05, 0.05), seed=3).times(20.0),
+        20.0, 400)
+    assert poisson < 1.5  # Poisson: variance ≈ mean
+    assert mmpp > 2.0     # bursty: clearly over-dispersed
+
+
+def test_diurnal_rate_modulation_shows_in_counts():
+    proc = DiurnalProcess(1000.0, period=10.0, amplitude=0.8, seed=5)
+    times = proc.times(10.0)
+    peak_window = [t for t in times if 1.5 <= t < 3.5]    # sin ≈ +1
+    trough_window = [t for t in times if 6.5 <= t < 8.5]  # sin ≈ -1
+    assert len(peak_window) > 3 * len(trough_window)
+    assert proc.rate_at(2.5) == pytest.approx(1800.0)
+    assert proc.rate_at(7.5) == pytest.approx(200.0)
+    assert min(proc.rate_at(t / 100) for t in range(1000)) >= 0.0
+
+
+@pytest.mark.parametrize("kind", sorted(GOLDEN))
+def test_scaled_preserves_seed_and_scales_rate(kind):
+    proc = _processes()[kind]
+    double = proc.scaled(2.0)
+    assert double.seed == proc.seed
+    assert double.mean_rate == pytest.approx(2.0 * proc.mean_rate)
+    n = len(proc.times(HORIZON))
+    assert len(double.times(HORIZON)) == pytest.approx(2 * n, rel=0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PoissonProcess(0.0)
+    with pytest.raises(ValueError):
+        MmppProcess((100.0,), (0.01,))
+    with pytest.raises(ValueError):
+        MmppProcess((100.0, 200.0), (0.01,))
+    with pytest.raises(ValueError):
+        MmppProcess((0.0, 0.0), (0.01, 0.01))
+    with pytest.raises(ValueError):
+        MmppProcess((100.0, 200.0), (0.0, 0.01))
+    with pytest.raises(ValueError):
+        DiurnalProcess(100.0, period=0.0)
+    with pytest.raises(ValueError):
+        DiurnalProcess(100.0, period=1.0, amplitude=1.0)
+    with pytest.raises(ValueError):
+        DiurnalProcess(0.0, period=1.0)
+
+
+def test_mean_rate_definitions():
+    assert PoissonProcess(123.0).mean_rate == 123.0
+    assert DiurnalProcess(55.0, period=1.0).mean_rate == 55.0
+    mmpp = MmppProcess((100.0, 300.0), (0.03, 0.01))
+    expected = (100.0 * 0.03 + 300.0 * 0.01) / 0.04
+    assert mmpp.mean_rate == pytest.approx(expected)

@@ -1,0 +1,241 @@
+"""Open-loop injector gates: admission control, typed sheds, open-loop
+latency growth, determinism, fault accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, FaultPlan
+from repro.nvm import TINY_TEST
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.tileop import TileOp
+from repro.runtime.trace import TraceRecorder
+from repro.systems import BaselineSystem, SoftwareNdsSystem
+from repro.traffic import (SHED_QUEUE_FULL, SHED_THROTTLED, OpenLoopInjector,
+                           PoissonProcess, TokenBucket, TrafficStream)
+
+N = 64
+HORIZON = 0.02
+
+
+def _system(cls=SoftwareNdsSystem, **kwargs):
+    system = cls(TINY_TEST, store_data=False, **kwargs)
+    system.ingest("d", (N, N), 1)
+    system.reset_time()
+    system._reset_runtime()
+    return system
+
+
+def _read_request(seq, _time):
+    row = (seq * 7) % N
+    return TileOp.read("d", (row, 0), (1, N))
+
+
+class TestTokenBucket:
+    def test_disabled_bucket_always_admits(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.take(t * 1e-6) for t in range(1000))
+
+    def test_rate_limits_admissions(self):
+        bucket = TokenBucket(rate=100.0, burst=1.0)
+        admitted = sum(bucket.take(t / 1000.0) for t in range(1000))
+        # ~1 second at 100 tokens/s, starting with one burst token
+        assert 98 <= admitted <= 101
+
+    def test_burst_allows_back_to_back(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0)
+        assert [bucket.take(0.0) for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=10.0, burst=0.5)
+
+
+class TestAdmissionControl:
+    def test_token_bucket_sheds_typed_throttled(self):
+        stream = TrafficStream("t", PoissonProcess(5000.0, seed=1),
+                               _read_request, token_rate=500.0)
+        result = OpenLoopInjector(_system(), [stream],
+                                  horizon=HORIZON).run()
+        report = result.streams["t"]
+        assert report.shed_throttled > 0
+        assert report.shed_queue_full == 0
+        assert report.admitted + report.shed == report.offered
+        assert all(s.reason == SHED_THROTTLED for s in result.sheds)
+        # sheds are recorded in arrival order with stream + seq
+        assert [s.seq for s in result.sheds] == \
+            sorted(s.seq for s in result.sheds)
+
+    def test_bounded_queue_sheds_typed_queue_full(self):
+        stream = TrafficStream("t", PoissonProcess(50000.0, seed=2),
+                               _read_request, admission_queue=4)
+        result = OpenLoopInjector(_system(), [stream],
+                                  horizon=HORIZON).run()
+        report = result.streams["t"]
+        assert report.shed_queue_full > 0
+        assert report.shed_throttled == 0
+        assert all(s.reason == SHED_QUEUE_FULL for s in result.sheds)
+        # completed requests still account for every admitted one
+        assert report.completed == report.admitted
+
+    def test_unbounded_queue_never_sheds(self):
+        stream = TrafficStream("t", PoissonProcess(50000.0, seed=2),
+                               _read_request)
+        result = OpenLoopInjector(_system(), [stream],
+                                  horizon=HORIZON).run()
+        assert result.streams["t"].shed == 0
+        assert not result.sheds
+
+    def test_factory_called_only_for_admitted_requests(self):
+        calls = []
+
+        def factory(seq, time):
+            calls.append(seq)
+            return _read_request(seq, time)
+
+        stream = TrafficStream("t", PoissonProcess(50000.0, seed=2),
+                               factory, admission_queue=4)
+        result = OpenLoopInjector(_system(), [stream],
+                                  horizon=HORIZON).run()
+        assert len(calls) == result.streams["t"].admitted
+
+
+class TestOpenLoopProperty:
+    def test_latency_grows_past_saturation(self):
+        """The defining open-loop behaviour: offered load beyond
+        capacity makes latency grow without bound instead of slowing
+        the generator down (no coordinated omission)."""
+        def tail(rate):
+            stream = TrafficStream("t", PoissonProcess(rate, seed=3),
+                                   _read_request)
+            result = OpenLoopInjector(_system(), [stream],
+                                      horizon=HORIZON).run()
+            return result.streams["t"]
+
+        light = tail(2000.0)
+        heavy = tail(80000.0)
+        assert light.p99_latency < heavy.p99_latency / 10
+        assert heavy.max_latency > 10 * light.max_latency
+        # goodput saturates far below the offered rate
+        assert heavy.goodput_rps < heavy.offered_rate / 2
+        assert light.goodput_rps == pytest.approx(light.offered_rate,
+                                                  rel=0.05)
+
+    def test_requests_execute_at_arrival_time(self):
+        stream = TrafficStream("t", PoissonProcess(500.0, seed=4),
+                               _read_request)
+        system = _system()
+        result = OpenLoopInjector(system, [stream], horizon=HORIZON).run()
+        arrivals = stream.arrivals.times(HORIZON)
+        executed = [op for op in system.scheduler.executed
+                    if op.stream == "t"]
+        assert [op.submit_time for op in executed] == arrivals
+
+    def test_request_fanout_counts_ops_not_requests(self):
+        def fanout(seq, _time):
+            return [TileOp.read("d", ((seq * 3) % N, 0), (1, N)),
+                    TileOp.read("d", ((seq * 3 + 1) % N, 0), (1, N))]
+
+        stream = TrafficStream("t", PoissonProcess(1000.0, seed=5),
+                               fanout)
+        result = OpenLoopInjector(_system(), [stream],
+                                  horizon=HORIZON).run()
+        report = result.streams["t"]
+        assert report.ops == 2 * report.completed
+        assert report.useful_bytes == report.ops * N
+
+
+class TestDeterminismAndAccounting:
+    def test_two_runs_identical(self):
+        def run():
+            streams = [
+                TrafficStream("a", PoissonProcess(3000.0, seed=6),
+                              _read_request, admission_queue=8),
+                TrafficStream("b", PoissonProcess(1500.0, seed=7),
+                              _read_request, token_rate=1000.0),
+            ]
+            result = OpenLoopInjector(_system(), streams,
+                                      horizon=HORIZON).run()
+            return {name: report.to_dict()
+                    for name, report in result.streams.items()}
+
+        assert run() == run()
+
+    def test_multi_stream_reports_are_separate(self):
+        streams = [
+            TrafficStream("a", PoissonProcess(2000.0, seed=8),
+                          _read_request),
+            TrafficStream("b", PoissonProcess(1000.0, seed=9),
+                          _read_request),
+        ]
+        result = OpenLoopInjector(_system(), streams,
+                                  horizon=HORIZON).run()
+        assert result.streams["a"].offered > result.streams["b"].offered
+        assert result.offered == (result.streams["a"].offered
+                                  + result.streams["b"].offered)
+        assert result.goodput_rps > 0
+
+    def test_metrics_and_trace_marks(self):
+        metrics = MetricsRegistry()
+        trace = TraceRecorder()
+        stream = TrafficStream("t", PoissonProcess(5000.0, seed=10),
+                               _read_request, token_rate=1000.0)
+        system = _system()
+        result = OpenLoopInjector(system, [stream], horizon=HORIZON,
+                                  trace=trace, metrics=metrics,
+                                  marks=4).run()
+        report = result.streams["t"]
+        counters = metrics.snapshot()["counters"]
+        assert counters["traffic.offered"] == report.offered
+        assert counters["traffic.admitted"] == report.admitted
+        assert counters["traffic.shed_throttled"] == report.shed_throttled
+        marks = [s for s in trace.spans
+                 if s.instant and s.name == "offered_load"]
+        assert len(marks) >= 4
+
+    def test_failed_requests_counted_not_raised(self):
+        faults = FaultConfig(
+            parity=False, plan=FaultPlan().corrupt_page(0, 0, 0, 0,
+                                                        at=0.0001))
+        system = BaselineSystem(TINY_TEST, store_data=True, faults=faults)
+        data = np.random.default_rng(1).integers(
+            0, 256, size=(N, N), dtype=np.uint8)
+        system.ingest("d", (N, N), 1, data=data)
+        system.reset_time()
+        # every request reads row 0 — the corrupted page
+        stream = TrafficStream("t", PoissonProcess(2000.0, seed=11),
+                               lambda seq, t: TileOp.read("d", (0, 0),
+                                                          (1, N)))
+        result = OpenLoopInjector(system, [stream], horizon=HORIZON).run()
+        report = result.streams["t"]
+        assert report.failed > 0
+        assert report.completed + report.failed == report.admitted
+
+    def test_report_rates(self):
+        stream = TrafficStream("t", PoissonProcess(2000.0, seed=12),
+                               _read_request)
+        result = OpenLoopInjector(_system(), [stream],
+                                  horizon=HORIZON).run()
+        report = result.streams["t"]
+        assert report.offered_rate == pytest.approx(
+            report.offered / HORIZON)
+        span = max(HORIZON, report.makespan)
+        assert report.goodput_rps == pytest.approx(
+            report.completed / span)
+        assert report.shed_rate == 0.0
+
+    def test_validation(self):
+        stream = TrafficStream("t", PoissonProcess(100.0), _read_request)
+        with pytest.raises(ValueError):
+            OpenLoopInjector(_system(), [stream], horizon=0.0)
+        with pytest.raises(ValueError):
+            OpenLoopInjector(_system(), [], horizon=1.0)
+        with pytest.raises(ValueError):
+            OpenLoopInjector(_system(), [stream, stream], horizon=1.0)
+        with pytest.raises(ValueError):
+            TrafficStream("t", PoissonProcess(100.0), _read_request,
+                          admission_queue=0)

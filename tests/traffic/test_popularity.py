@@ -1,0 +1,125 @@
+"""Popularity-model gates: zipf frequency shape, scatter, determinism."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.traffic import UniformPopularity, ZipfPopularity
+
+
+def test_samples_deterministic_per_seed():
+    a = ZipfPopularity(10_000, 1.1, seed=9)
+    b = ZipfPopularity(10_000, 1.1, seed=9)
+    assert [a.sample() for _ in range(200)] == \
+        [b.sample() for _ in range(200)]
+    c = ZipfPopularity(10_000, 1.1, seed=10)
+    assert [ZipfPopularity(10_000, 1.1, seed=9).sample()
+            for _ in range(200)] != [c.sample() for _ in range(200)]
+
+
+def test_samples_stay_in_universe():
+    model = ZipfPopularity(97, 1.2, seed=1)
+    for _ in range(2000):
+        assert 0 <= model.sample() < 97
+
+
+def test_zipf_frequency_shape():
+    """Rank-frequency slope must match the configured exponent.
+
+    With P(k) ∝ k^-s, log(freq(k)) ≈ const - s·log(k). A least-squares
+    fit over the first 20 ranks of 200k draws recovers s to ~10 %.
+    """
+    exponent = 1.2
+    model = ZipfPopularity(100_000, exponent, seed=17)
+    counts = Counter(model.rank() for _ in range(200_000))
+    xs, ys = [], []
+    for rank in range(1, 21):
+        assert counts[rank] > 0, f"rank {rank} never drawn"
+        xs.append(math.log(rank))
+        ys.append(math.log(counts[rank]))
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    slope = (sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+             / sum((x - mean_x) ** 2 for x in xs))
+    assert -slope == pytest.approx(exponent, rel=0.1)
+
+
+def test_zipf_head_dominates():
+    """With s≈1.1 over a million keys, the top-100 ranks must carry a
+    large constant share of all draws (the hot set the placement and
+    caching stories rely on)."""
+    model = ZipfPopularity(1_000_000, 1.1, seed=23)
+    draws = [model.rank() for _ in range(50_000)]
+    head = sum(1 for r in draws if r <= 100)
+    assert head / len(draws) > 0.45
+
+
+def test_scatter_is_a_bijection():
+    model = ZipfPopularity(1000, 1.1, seed=0, scatter=True)
+    keys = {model.key_of_rank(rank) for rank in range(1, 1001)}
+    assert keys == set(range(1000))
+
+
+def test_scatter_spreads_hot_ranks():
+    model = ZipfPopularity(100_000, 1.1, seed=0, scatter=True)
+    hot = [model.key_of_rank(rank) for rank in range(1, 11)]
+    assert len(set(hot)) == 10
+    # adjacent ranks land far apart in key space
+    gaps = [abs(a - b) for a, b in zip(hot, hot[1:])]
+    assert min(gaps) > 1000
+
+
+def test_scatter_disabled_is_identity():
+    model = ZipfPopularity(1000, 1.1, seed=0, scatter=False)
+    assert [model.key_of_rank(rank) for rank in range(1, 6)] == \
+        [0, 1, 2, 3, 4]
+
+
+def test_fork_streams_are_independent():
+    base = ZipfPopularity(10_000, 1.1, seed=3)
+    forked = base.fork(0)
+    assert isinstance(forked, ZipfPopularity)
+    assert forked.seed != base.seed
+    a = [base.sample() for _ in range(100)]
+    b = [forked.sample() for _ in range(100)]
+    assert a != b
+    refork = base.fork(0)
+    assert b == [refork.sample() for _ in range(100)]
+
+
+def test_uniform_is_flat():
+    model = UniformPopularity(50, seed=4)
+    counts = Counter(model.sample() for _ in range(50_000))
+    assert set(counts) == set(range(50))
+    assert max(counts.values()) < 2.0 * min(counts.values())
+
+
+def test_uniform_fork_and_determinism():
+    a = UniformPopularity(1000, seed=8)
+    b = UniformPopularity(1000, seed=8)
+    assert [a.sample() for _ in range(50)] == \
+        [b.sample() for _ in range(50)]
+    assert b.fork(1).seed != b.seed
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ZipfPopularity(0, 1.1)
+    with pytest.raises(ValueError):
+        ZipfPopularity(10, 0.0)
+    with pytest.raises(ValueError):
+        UniformPopularity(0)
+    with pytest.raises(ValueError):
+        ZipfPopularity(10, 1.1).key_of_rank(0)
+    with pytest.raises(ValueError):
+        ZipfPopularity(10, 1.1).key_of_rank(11)
+
+
+def test_single_key_universe():
+    model = ZipfPopularity(1, 1.1, seed=0)
+    assert model.sample() == 0
+    assert model.key_of_rank(1) == 0

@@ -1,0 +1,195 @@
+"""Embedding-serving workload gates: plan shape, reference math,
+request factory, functional read-back on real systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nvm import TINY_TEST
+from repro.runtime.tileop import TileOp
+from repro.systems import SoftwareNdsSystem
+from repro.workloads.embedding import EmbeddingWorkload
+
+
+def _workload(**kwargs) -> EmbeddingWorkload:
+    defaults = dict(num_embeddings=128, embedding_dim=16, num_tables=2,
+                    batch_size=2, pooling_factor=3, num_batches=2,
+                    seed=5)
+    defaults.update(kwargs)
+    return EmbeddingWorkload(**defaults)
+
+
+class TestPlan:
+    def test_datasets_shapes(self):
+        wl = _workload()
+        datasets = wl.datasets()
+        assert [ds.name for ds in datasets] == ["emb0", "emb1"]
+        assert all(ds.dims == (128, 16) for ds in datasets)
+        assert all(ds.element_size == 4 for ds in datasets)
+
+    def test_tile_plan_is_single_rows(self):
+        wl = _workload()
+        plan = wl.tile_plan()
+        # num_batches * num_tables * batch_size * pooling_factor
+        assert len(plan) == 2 * 2 * 2 * 3
+        for fetch in plan:
+            assert fetch.extents == (1, 16)
+            assert fetch.origin[1] == 0
+            assert 0 <= fetch.origin[0] < 128
+
+    def test_plan_deterministic_per_seed(self):
+        assert _workload().plan_rows() == _workload().plan_rows()
+        assert _workload().plan_rows() != _workload(seed=6).plan_rows()
+        # tile_plan is frozen at construction: repeat calls identical
+        wl = _workload()
+        assert wl.tile_plan() == wl.tile_plan()
+
+    def test_zipf_skew_concentrates_rows(self):
+        wl = EmbeddingWorkload(num_embeddings=10_000, embedding_dim=8,
+                               batch_size=8, pooling_factor=8,
+                               num_batches=40, alpha=1.2, seed=3)
+        rows = wl.plan_rows()
+        hot = set(wl.hot_rows(top=64))
+        in_hot = sum(1 for r in rows if r in hot)
+        # 64 of 10k rows carry a large share of all lookups
+        assert in_hot / len(rows) > 0.3
+
+    def test_hot_rows_match_scatter(self):
+        wl = _workload()
+        assert len(set(wl.hot_rows(top=8))) == 8
+        assert all(0 <= r < 128 for r in wl.hot_rows(top=8))
+
+
+class TestReference:
+    def test_reference_is_pooled_sum(self):
+        wl = _workload()
+        rng = np.random.default_rng(0)
+        inputs = wl.generate(rng)
+        out = wl.reference(inputs)
+        assert out.shape == (2, 2, 2, 16)
+        rows = wl.plan_rows()
+        index = 0
+        for batch in range(2):
+            for table in range(2):
+                for bag in range(2):
+                    expected = np.zeros(16, dtype=np.float32)
+                    for _ in range(3):
+                        expected += inputs[f"emb{table}"][rows[index]]
+                        index += 1
+                    np.testing.assert_allclose(
+                        out[batch, table, bag], expected, rtol=1e-6)
+
+    def test_generate_requires_fp32(self):
+        wl = _workload(weights_precision=2)
+        with pytest.raises(NotImplementedError):
+            wl.generate(np.random.default_rng(0))
+
+
+class TestRequestFactory:
+    def test_requests_deterministic_per_salt(self):
+        wl = _workload()
+        # a factory is a stateful stream: build once, drive in order
+        fa = wl.request_factory(salt=0)
+        fb = wl.request_factory(salt=0)
+        a = [[op.origin for op in fa(seq, 0.0)] for seq in range(20)]
+        b = [[op.origin for op in fb(seq, 0.0)] for seq in range(20)]
+        assert a == b
+        fc = wl.request_factory(salt=1)
+        c = [[op.origin for op in fc(seq, 0.0)] for seq in range(20)]
+        assert a != c
+
+    def test_request_shape_reads_only(self):
+        wl = _workload(update_fraction=0.0)
+        factory = wl.request_factory()
+        ops = factory(0, 0.0)
+        # pooling_factor reads per table
+        assert len(ops) == 2 * 3
+        assert all(op.kind == "read" for op in ops)
+        assert all(op.extents == (1, 16) for op in ops)
+        datasets = [op.dataset for op in ops]
+        assert datasets == ["emb0"] * 3 + ["emb1"] * 3
+
+    def test_update_cadence(self):
+        wl = _workload(update_fraction=0.25)
+        factory = wl.request_factory()
+        kinds = []
+        for seq in range(8):
+            ops = factory(seq, 0.0)
+            kinds.append(any(op.kind == "write" for op in ops))
+        # every 4th request (seq 3, 7) is a training update
+        assert kinds == [False, False, False, True,
+                         False, False, False, True]
+        update_ops = factory(11, 0.0)
+        # update requests write back exactly the rows they read
+        reads = [op.origin for op in update_ops if op.kind == "read"]
+        writes = [op.origin for op in update_ops if op.kind == "write"]
+        assert reads == writes
+
+    def test_request_bytes(self):
+        wl = _workload()
+        assert wl.request_bytes == 2 * 3 * 16 * 4
+
+
+class TestOnSystems:
+    def test_functional_readback_matches_reference(self):
+        """Ingest real table bytes, run the closed-loop plan through a
+        store_data system, pool the fetched rows, compare against the
+        analytic reference."""
+        wl = _workload(num_tables=1)
+        system = SoftwareNdsSystem(TINY_TEST, store_data=True)
+        inputs = wl.generate(np.random.default_rng(1))
+        for ds in wl.datasets():
+            system.ingest(ds.name, ds.dims, ds.element_size,
+                          data=inputs[ds.name])
+        expected = wl.reference(inputs)
+        plan = wl.tile_plan()
+        pooled = np.zeros_like(expected)
+        index = 0
+        clock = 0.0
+        for batch in range(wl.num_batches):
+            for table in range(wl.num_tables):
+                for bag in range(wl.batch_size):
+                    for _ in range(wl.pooling_factor):
+                        fetch = plan[index]
+                        index += 1
+                        result = system.read_tile(
+                            fetch.dataset, fetch.origin, fetch.extents,
+                            start_time=clock, with_data=True,
+                            dtype=np.dtype(np.float32))
+                        clock = result.end_time
+                        pooled[batch, table, bag] += result.data[0]
+        np.testing.assert_allclose(pooled, expected, rtol=1e-6)
+
+    def test_runs_through_scheduler_on_all_systems(self):
+        from repro.obs.report import SYSTEM_FACTORIES
+        wl = _workload(num_tables=1, num_batches=1)
+        for name, factory in sorted(SYSTEM_FACTORIES.items()):
+            system = factory(TINY_TEST)
+            if name == "software-oracle":
+                for ds in wl.datasets():
+                    system.ingest(ds.name, ds.dims, ds.element_size,
+                                  tile=(1, wl.embedding_dim))
+            else:
+                for ds in wl.datasets():
+                    system.ingest(ds.name, ds.dims, ds.element_size)
+            system.reset_time()
+            ends = []
+            for fetch in wl.tile_plan():
+                op = TileOp.read(fetch.dataset, fetch.origin,
+                                 fetch.extents, submit_time=0.0)
+                system.scheduler.execute(op)
+                ends.append(op.complete_time)
+            assert len(ends) == len(wl.tile_plan())
+            assert all(e > 0 for e in ends), name
+
+
+def test_knob_validation():
+    with pytest.raises(ValueError):
+        EmbeddingWorkload(num_embeddings=0)
+    with pytest.raises(ValueError):
+        EmbeddingWorkload(batch_size=0)
+    with pytest.raises(ValueError):
+        EmbeddingWorkload(weights_precision=0)
+    with pytest.raises(ValueError):
+        EmbeddingWorkload(update_fraction=1.5)
