@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Host DRAM cache/tiering in front of the device path.
+
+A DRAM tier (``cache=CacheConfig(...)``) absorbs repeated building-block
+and tile reads before they reach flash. Three deterministic acts:
+
+1. **Policies on a zipfian tile loop** — the same skewed tile trace
+   replayed against LRU, CLOCK and admission-filtered eviction on a
+   deliberately small tier; the cell reports hits, evictions and the
+   per-policy end-to-end makespan. The admission filter keeps one-touch
+   tiles out, so the hot set survives the scan.
+2. **Write-back vs write-through** — the optimizer-style read-modify-
+   write loop, once with each durability mode, plus the explicit
+   ``flush_cache`` fence that makes every buffered region durable. The
+   deferred device writes show up in the writeback counter instead of
+   the write path.
+3. **The knee moves** — the embedding load line from
+   ``examples/embedding_serving.py``, cache off vs an 8 MiB LRU tier:
+   zipfian row popularity makes the hot rows DRAM-resident, so the
+   cached line saturates measurably later and the sweep cells carry
+   per-stream hit rates.
+
+The JSON written to ``--out-dir`` is byte-stable (sorted keys, fixed
+separators): the CI ``cache-determinism`` job runs this twice and
+diffs the output, and asserts the cached knee lands past the uncached
+one.
+
+Run:  python examples/cache_tiering.py [--out-dir DIR] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.cache import CACHE_POLICIES, CacheConfig
+from repro.analysis.loadline_sweep import format_loadline, loadline_sweep
+from repro.nvm.profiles import TINY_TEST
+from repro.systems import SoftwareNdsSystem
+from repro.workloads.embedding import EmbeddingWorkload
+
+#: dataset geometry for acts 1 and 2: 128×128 float32 matrix, 32×32
+#: tiles — 16 tiles of 4 KiB, against a 16 KiB tier (4 tiles resident)
+DIMS = (128, 128)
+ELEM = 4
+TILE = (32, 32)
+
+
+def zipf_tile_trace(seed: int, length: int = 192):
+    """A skewed, deterministic tile trace over the 8×8 tile grid."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    grid = DIMS[0] // TILE[0]
+    ranks = rng.zipf(1.3, size=length)
+    tiles = []
+    for rank in ranks:
+        index = int(rank - 1) % (grid * grid)
+        tiles.append(((index // grid) * TILE[0], (index % grid) * TILE[1]))
+    return tiles
+
+
+def act_policies(seed: int) -> dict:
+    """The same trace against each eviction policy."""
+    trace = zipf_tile_trace(seed)
+    cells = {}
+    for policy in CACHE_POLICIES:
+        system = SoftwareNdsSystem(TINY_TEST, cache=CacheConfig(
+            capacity_bytes=16 * 1024, policy=policy))
+        system.ingest("matrix", DIMS, ELEM)
+        system.reset_time()
+        end = 0.0
+        for origin in trace:
+            end = max(end, system.read_tile("matrix", origin, TILE).end_time)
+        report = system.cache_report()
+        cells[policy] = {
+            "makespan": end.hex(),
+            "hits": report["hits"],
+            "misses": report["misses"],
+            "evictions": report["evictions"],
+            "rejected": report["rejected"],
+            "hit_rate": report["hit_rate"],
+        }
+    return cells
+
+
+def act_durability(seed: int) -> dict:
+    """Read-modify-write loop under each durability mode."""
+    trace = zipf_tile_trace(seed, length=64)
+    cells = {}
+    for mode in ("write_through", "write_back"):
+        system = SoftwareNdsSystem(TINY_TEST, cache=CacheConfig(
+            capacity_bytes=64 * 1024, write_back=(mode == "write_back"),
+            dirty_max=8))
+        system.ingest("matrix", DIMS, ELEM)
+        system.reset_time()
+        end = 0.0
+        for origin in trace:
+            end = max(end, system.read_tile("matrix", origin, TILE).end_time)
+            end = max(end, system.write_tile("matrix", origin, TILE).end_time)
+        fence = system.flush_cache(end)
+        report = system.cache_report()
+        cells[mode] = {
+            "makespan": end.hex(),
+            "fence_end": fence.hex(),
+            "writebacks": report["writebacks"],
+            "invalidations": report["invalidations"],
+            "hit_rate": report["hit_rate"],
+        }
+    return cells
+
+
+def act_loadline(seed: int) -> dict:
+    """Embedding load line, cache off vs an 8 MiB LRU tier."""
+    workload = EmbeddingWorkload(num_embeddings=256, embedding_dim=16,
+                                 num_tables=1, batch_size=2,
+                                 pooling_factor=2, num_batches=4,
+                                 alpha=1.05, weights_precision=4,
+                                 update_fraction=0.25)
+    systems = ("software-nds",)
+    uncached = loadline_sweep(systems=systems, workload=workload, seed=seed,
+                              attribute_layers=False)
+    cached = loadline_sweep(systems=systems, workload=workload, seed=seed,
+                            attribute_layers=False,
+                            cache=CacheConfig(capacity_bytes=8 * 2**20))
+    return {"uncached": uncached, "cached": cached}
+
+
+def knee_rate(sweep: dict) -> float:
+    """Goodput at the saturating point (last cell of the ramp)."""
+    best = 0.0
+    for cell in sweep["cells"]:
+        best = max(best, cell["goodput_rps"])
+    return best
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", type=Path, default=Path("."))
+    parser.add_argument("--seed", type=int, default=97)
+    args = parser.parse_args()
+
+    print("== act 1: eviction policies on a zipfian tile loop ==")
+    policies = act_policies(args.seed)
+    for policy in CACHE_POLICIES:
+        cell = policies[policy]
+        print(f"  {policy:10s} hit_rate={cell['hit_rate']:.3f} "
+              f"evictions={cell['evictions']} rejected={cell['rejected']}")
+
+    print("\n== act 2: write-back vs write-through ==")
+    durability = act_durability(args.seed)
+    for mode, cell in sorted(durability.items()):
+        print(f"  {mode:14s} writebacks={cell['writebacks']} "
+              f"hit_rate={cell['hit_rate']:.3f}")
+
+    print("\n== act 3: the embedding knee moves ==")
+    lines = act_loadline(args.seed)
+    print(format_loadline(lines["uncached"]))
+    print(format_loadline(lines["cached"]))
+    uncached_knee = knee_rate(lines["uncached"])
+    cached_knee = knee_rate(lines["cached"])
+    print(f"\nsaturation goodput: uncached {uncached_knee:.0f} req/s, "
+          f"cached {cached_knee:.0f} req/s")
+
+    payload = {
+        "policies": policies,
+        "durability": durability,
+        "loadline": lines,
+        "knees": {"uncached": uncached_knee, "cached": cached_knee},
+    }
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    out = args.out_dir / "cache_tiering.json"
+    out.write_text(json.dumps(payload, sort_keys=True, indent=2,
+                              separators=(",", ": ")) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,16 +52,22 @@ def bench_workloads(max_tiles: int = 48) -> Dict[str, Callable[[], object]]:
     }
 
 
-def run_scenario(cls, workload, devices: int = 1) -> Tuple[int, Dict[str, str]]:
+def run_scenario(cls, workload, devices: int = 1,
+                 cache=None) -> Tuple[int, Dict[str, str]]:
     """Ingest every dataset, read the full tile plan, write one tile.
 
     Returns ``(ops, simulated)`` where ``simulated`` holds the
     deterministic end times as ``float.hex()`` strings. Wall time is
     measured by the caller around this function. ``devices > 1`` runs
-    the scenario over a device pool (the cluster-layer hot path).
+    the scenario over a device pool (the cluster-layer hot path);
+    ``cache=CacheConfig(...)`` puts the host DRAM tier in the hot path
+    (lookup/insert bookkeeping on every access).
     """
-    system = (cls(PAPER_PROTOTYPE, store_data=False) if devices <= 1
-              else cls(PAPER_PROTOTYPE, store_data=False, devices=devices))
+    kwargs = {} if cache is None else {"cache": cache}
+    system = (cls(PAPER_PROTOTYPE, store_data=False, **kwargs)
+              if devices <= 1
+              else cls(PAPER_PROTOTYPE, store_data=False, devices=devices,
+                       **kwargs))
     plan = workload.tile_plan()
     ops = 0
     ingest_result = None
@@ -135,14 +141,23 @@ def run_hotpath_bench(max_tiles: int = 48, repeats: int = 1,
                                      pooling_factor=4, num_batches=6,
                                      alpha=1.05, weights_precision=4)
         cells.append(("embedding/software-nds", embedding,
-                      SoftwareNdsSystem, 1))
-    for key, factory, cls, devices in cells:
+                      SoftwareNdsSystem, 1, None))
+        # the same serving scenario behind a hot DRAM tier: exercises
+        # the cache lookup/insert bookkeeping on the wall-clock path
+        from repro.cache.config import CacheConfig
+        cells.append(("embedding-cached/software-nds", embedding,
+                      SoftwareNdsSystem, 1,
+                      CacheConfig(capacity_bytes=8 * 2**20)))
+    for entry in cells:
+        key, factory, cls, devices = entry[:4]
+        cache = entry[4] if len(entry) > 4 else None
         best = None
         ops = 0
         for _ in range(repeats):
             workload = factory()
             t0 = time.perf_counter()
-            ops, sim = run_scenario(cls, workload, devices=devices)
+            ops, sim = run_scenario(cls, workload, devices=devices,
+                                    cache=cache)
             elapsed = time.perf_counter() - t0
             prior = simulated.get(key)
             if prior is not None and prior != sim:

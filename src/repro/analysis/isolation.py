@@ -120,6 +120,7 @@ def isolation_sweep(profile: DeviceProfile = TINY_TEST,
                     shard_channels: Optional[Tuple[Sequence[int],
                                                    Sequence[int]]] = None,
                     devices: int = 1,
+                    cache=None,
                     ) -> Dict[str, object]:
     """Interference sweep: solo → shared → weighted → sharded.
 
@@ -156,8 +157,8 @@ def isolation_sweep(profile: DeviceProfile = TINY_TEST,
     def system():
         if devices > 1:
             return SoftwareNdsSystem(profile, store_data=False,
-                                     devices=devices)
-        return SoftwareNdsSystem(profile, store_data=False)
+                                     devices=devices, cache=cache)
+        return SoftwareNdsSystem(profile, store_data=False, cache=cache)
 
     solo: Dict[str, float] = {}
     for workload in _workloads():
@@ -171,7 +172,8 @@ def isolation_sweep(profile: DeviceProfile = TINY_TEST,
     def run(key: str, arbitration: str,
             qos: Optional[Dict[str, QosSpec]]) -> None:
         trace = TraceRecorder()
-        result = co_run_workloads(_workloads(), system(),
+        target = system()
+        result = co_run_workloads(_workloads(), target,
                                   queue_depth=queue_depth,
                                   arbitration=arbitration,
                                   trace=trace, qos=qos)
@@ -181,6 +183,11 @@ def isolation_sweep(profile: DeviceProfile = TINY_TEST,
                         for name, stream in result.streams.items()},
             "overlap": channel_overlap(trace, names[0], names[1]),
         }
+        if cache is not None:
+            scenarios[key]["cache"] = target.cache_report()
+            stream_cache = target.scheduler.stream_cache_report()
+            if stream_cache:
+                scenarios[key]["stream_cache"] = stream_cache
         traces[key] = trace
 
     if shard_devices is not None:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence
 
+from repro.cache.config import CacheConfig
 from repro.nvm.profiles import TINY_TEST, DeviceProfile
 from repro.obs.critical_path import critical_path
 from repro.runtime.trace import TraceRecorder
@@ -135,10 +136,15 @@ def run_load_point(system_name: str, offered_rate: float,
                    arrival: str = "poisson",
                    seed: int = 97,
                    tenants: int = 1,
-                   attribute_layers: bool = True) -> Dict[str, object]:
+                   attribute_layers: bool = True,
+                   cache: Optional[CacheConfig] = None) -> Dict[str, object]:
     """One point of the load line: inject ``offered_rate`` requests/s
     of embedding-serving traffic into ``system_name`` over a
     ``devices``-member pool and measure goodput, shed rate and tails.
+
+    ``cache=CacheConfig(...)`` puts the host DRAM tier in front of the
+    device path; the cell then carries the tier's hit/miss report under
+    ``"cache"`` and per-stream hit rates under ``"stream_cache"``.
 
     ``tenants > 1`` splits the offered rate across that many co-running
     traffic streams (``serve0``..) with per-tenant arrival seeds and
@@ -156,8 +162,9 @@ def run_load_point(system_name: str, offered_rate: float,
         raise ValueError("tenants must be >= 1")
     if workload is None:
         workload = default_workload()
-    system = (factory(profile) if devices <= 1
-              else factory(profile, devices=devices))
+    kwargs = {} if cache is None else {"cache": cache}
+    system = (factory(profile, **kwargs) if devices <= 1
+              else factory(profile, devices=devices, **kwargs))
     if system_name == "software-oracle":
         # the oracle stores one tile-major copy per fetch shape
         for ds in workload.datasets():
@@ -208,6 +215,11 @@ def run_load_point(system_name: str, offered_rate: float,
         cell["layers"] = {layer: {"seconds": totals[layer],
                                   "share": shares.get(layer, 0.0)}
                           for layer in sorted(totals)}
+    if cache is not None:
+        cell["cache"] = system.cache_report()
+        stream_cache = system.scheduler.stream_cache_report()
+        if stream_cache:
+            cell["stream_cache"] = stream_cache
     return cell
 
 
@@ -224,7 +236,8 @@ def loadline_sweep(systems: Sequence[str] = LOADLINE_SYSTEMS,
                    arrival: str = "poisson",
                    seed: int = 97,
                    tenants: int = 1,
-                   attribute_layers: bool = True) -> Dict[str, object]:
+                   attribute_layers: bool = True,
+                   cache: Optional[CacheConfig] = None) -> Dict[str, object]:
     """Ramp every (system, devices) series to saturation.
 
     The offered rate starts at ``base_rate`` (scaled by the device
@@ -259,6 +272,13 @@ def loadline_sweep(systems: Sequence[str] = LOADLINE_SYSTEMS,
     }
     if tenants > 1:
         sweep["tenants"] = tenants
+    if cache is not None:
+        sweep["cache"] = {
+            "capacity_bytes": cache.capacity_bytes,
+            "policy": cache.policy,
+            "write_back": cache.write_back,
+            "prefetch": cache.prefetch,
+        }
     for system_name in systems:
         for devices in device_counts:
             previous_goodput: Optional[float] = None
@@ -269,7 +289,7 @@ def loadline_sweep(systems: Sequence[str] = LOADLINE_SYSTEMS,
                     profile=profile, workload=workload, horizon=horizon,
                     admission_queue=admission_queue, arrival=arrival,
                     seed=seed, tenants=tenants,
-                    attribute_layers=attribute_layers)
+                    attribute_layers=attribute_layers, cache=cache)
                 goodput = cell["goodput_rps"]
                 saturated = False
                 if previous_goodput is not None and previous_goodput > 0:
@@ -296,9 +316,10 @@ def format_loadline(sweep: Dict[str, object]) -> str:
     """Human-readable load-line table."""
     from repro.analysis.report import format_table
 
+    with_cache = any("cache" in cell for cell in sweep["cells"])
     rows = []
     for cell in sweep["cells"]:
-        rows.append([
+        row = [
             cell["system"], str(cell["devices"]),
             f"{cell['offered_rate']:.0f}",
             f"{cell['goodput_rps']:.0f}",
@@ -306,10 +327,18 @@ def format_loadline(sweep: Dict[str, object]) -> str:
             f"{cell['p50_latency'] * 1e6:.0f}",
             f"{cell['p99_latency'] * 1e6:.0f}",
             f"{cell['p999_latency'] * 1e6:.0f}",
-            "knee" if cell["saturated"] else "",
-        ])
+        ]
+        if with_cache:
+            report = cell.get("cache")
+            row.append(f"{report['hit_rate']:.1%}" if report else "")
+        row.append("knee" if cell["saturated"] else "")
+        rows.append(row)
+    header = ["system", "dev", "offered (req/s)", "goodput (req/s)",
+              "shed", "p50 (us)", "p99 (us)", "p999 (us)"]
+    if with_cache:
+        header.append("hit")
+    header.append("")
     return format_table(
-        ["system", "dev", "offered (req/s)", "goodput (req/s)", "shed",
-         "p50 (us)", "p99 (us)", "p999 (us)", ""], rows,
+        header, rows,
         title=f"embedding load line — {sweep['arrival']} arrivals, "
               f"profile {sweep['profile']}")

@@ -1,0 +1,13 @@
+"""Host DRAM caching/tiering for building-block and tile reads.
+
+Systems take ``cache=CacheConfig(...)``; with the knob absent every
+timed float stays bit-identical (the faults/metrics discipline).
+"""
+
+from repro.cache.config import CACHE_POLICIES, CacheConfig
+from repro.cache.policy import (AdmissionLruPolicy, ClockPolicy, LruPolicy,
+                                make_policy)
+from repro.cache.tier import CacheEntry, HostTierCache
+
+__all__ = ["CacheConfig", "CACHE_POLICIES", "HostTierCache", "CacheEntry",
+           "LruPolicy", "ClockPolicy", "AdmissionLruPolicy", "make_policy"]

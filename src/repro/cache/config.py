@@ -1,0 +1,73 @@
+"""Configuration knob of the host DRAM cache tier.
+
+``CacheConfig`` follows the discipline of ``FaultConfig`` and the
+metrics registry: the knob is *absent by default* and every timed float
+of the model is bit-identical until a system is constructed with one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "CACHE_POLICIES"]
+
+#: eviction policies the tier knows how to build
+CACHE_POLICIES = ("lru", "clock", "admission")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Host DRAM caching/tiering parameters.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        DRAM budget for cached regions (payload bytes, not counting
+        bookkeeping). Insertions evict until the budget holds.
+    policy:
+        ``"lru"`` (recency list), ``"clock"`` (second-chance ref bits,
+        the classic low-overhead LRU approximation) or ``"admission"``
+        (TinyLFU-style doorkeeper: a region must be touched twice within
+        the recent-miss window before it may displace cached data —
+        scan-resistant for zipfian embedding traffic).
+    write_back:
+        False (default) = write-through: writes run the full device path
+        and refresh the cached copy. True = write-back: writes are
+        absorbed into DRAM, marked dirty, and reach flash on eviction,
+        when the dirty set exceeds ``dirty_max``, or at an explicit
+        ``flush_cache()`` fence (the durability contract).
+    dirty_max:
+        Bound on buffered dirty regions under write-back; the oldest
+        dirty region is flushed once the bound is crossed.
+    prefetch:
+        N-D neighbor prefetch depth. On a demand miss the NDS systems
+        fetch up to ``prefetch`` forward neighbor regions along each
+        accessed axis (origin advanced by the region extent), so tile
+        sweeps and sequential embedding-row scans hit DRAM. 0 disables.
+        The linear systems (baseline/oracle) ignore it — they have no
+        N-D geometry to drive it.
+    admission_window:
+        Size of the admission policy's doorkeeper window (recently seen
+        once-missed keys). Ignored by the other policies.
+    """
+
+    capacity_bytes: int = 8 << 20
+    policy: str = "lru"
+    write_back: bool = False
+    dirty_max: int = 64
+    prefetch: int = 0
+    admission_window: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise ValueError("capacity_bytes must be >= 1")
+        if self.policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache policy {self.policy!r}; "
+                f"choose from {CACHE_POLICIES}")
+        if self.dirty_max < 1:
+            raise ValueError("dirty_max must be >= 1")
+        if self.prefetch < 0:
+            raise ValueError("prefetch must be >= 0")
+        if self.admission_window < 1:
+            raise ValueError("admission_window must be >= 1")

@@ -1,0 +1,62 @@
+"""N-D helpers of the cache tier: region keys, overlap, prefetch.
+
+The NDS systems cache at *block-region* granularity — the exact
+``(block_coord, block_slice)`` a translated access touches — so the
+tier only ever holds bytes the host actually fetched, and the
+single-row reads of embedding serving are individually cacheable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["region_key", "region_group", "slices_overlap",
+           "neighbor_regions"]
+
+
+def region_key(dataset: str, access) -> Tuple:
+    """Cache key of one translated block access."""
+    return ("nd", dataset, access.block_coord, access.block_slice)
+
+
+def region_group(dataset: str, access) -> Tuple:
+    """Locality bucket: all regions of one building block, so write
+    coherence only scans entries that can possibly overlap."""
+    return ("nd", dataset, access.block_coord)
+
+
+def slices_overlap(a: Sequence[Tuple[int, int]],
+                   b: Sequence[Tuple[int, int]]) -> bool:
+    """Axis-aligned interval overlap of two block slices."""
+    for (a_lo, a_hi), (b_lo, b_hi) in zip(a, b):
+        if a_hi <= b_lo or b_hi <= a_lo:
+            return False
+    return True
+
+
+def neighbor_regions(dims: Sequence[int], origin: Sequence[int],
+                     extents: Sequence[int],
+                     depth: int) -> List[Tuple[Tuple[int, ...],
+                                               Tuple[int, ...]]]:
+    """Forward neighbor regions along each accessed axis.
+
+    For every axis whose extent does not already cover the dimension,
+    emit up to ``depth`` regions obtained by advancing the origin by one
+    region extent per step (the next embedding rows, the next tile
+    column, ...), clipped out when they would cross the bound. Order is
+    deterministic: axis-major, nearest first.
+    """
+    regions: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    origin = tuple(int(o) for o in origin)
+    extents = tuple(int(e) for e in extents)
+    for axis, (o, e, d) in enumerate(zip(origin, extents, dims)):
+        if e >= d:
+            continue
+        for step in range(1, depth + 1):
+            shifted = o + step * e
+            if shifted + e > d:
+                break
+            neighbor = list(origin)
+            neighbor[axis] = shifted
+            regions.append((tuple(neighbor), extents))
+    return regions

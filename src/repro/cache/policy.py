@@ -1,0 +1,125 @@
+"""Pluggable eviction policies of the host DRAM tier.
+
+A policy tracks key recency/frequency only — entry payloads and byte
+accounting live in :class:`~repro.cache.tier.HostTierCache`. The
+interface is deliberately tiny:
+
+* ``admit(key)``    – may this key enter the cache at all?
+* ``on_insert(key)`` / ``on_hit(key)`` / ``remove(key)`` – bookkeeping;
+* ``victim()``      – which resident key should be evicted next.
+
+All three policies are deterministic: identical access sequences
+produce identical eviction orders, which is what makes cache-enabled
+reports byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.cache.config import CacheConfig
+
+__all__ = ["LruPolicy", "ClockPolicy", "AdmissionLruPolicy", "make_policy"]
+
+
+class LruPolicy:
+    """Exact least-recently-used: hits refresh recency, the coldest
+    resident key is the victim."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._order
+
+    def admit(self, key: Hashable) -> bool:
+        return True
+
+    def on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_hit(self, key: Hashable) -> None:
+        self._order.move_to_end(key)
+
+    def remove(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Hashable:
+        return next(iter(self._order))
+
+    def clear(self) -> None:
+        self._order.clear()
+
+
+class ClockPolicy(LruPolicy):
+    """Second-chance CLOCK: a hit sets the entry's reference bit; the
+    hand sweeps residents in insertion order, clearing set bits, and
+    evicts the first entry found with its bit clear."""
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._referenced: "OrderedDict[Hashable, bool]" = self._order
+
+    def on_insert(self, key: Hashable) -> None:
+        # new entries start unreferenced, at the back of the sweep
+        self._order[key] = False
+        self._order.move_to_end(key)
+
+    def on_hit(self, key: Hashable) -> None:
+        self._order[key] = True
+
+    def victim(self) -> Hashable:
+        while True:
+            key = next(iter(self._order))
+            if self._order[key]:
+                self._order[key] = False
+                self._order.move_to_end(key)
+                continue
+            return key
+
+
+class AdmissionLruPolicy(LruPolicy):
+    """LRU with a TinyLFU-style doorkeeper: the first miss on a key only
+    records it in a bounded recently-seen window; the key is admitted on
+    its second miss while still in the window. One-touch scans therefore
+    never displace the resident working set."""
+
+    name = "admission"
+
+    def __init__(self, window: int = 1024) -> None:
+        super().__init__()
+        self.window = int(window)
+        self._seen: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def admit(self, key: Hashable) -> bool:
+        if key in self._seen:
+            del self._seen[key]
+            return True
+        self._seen[key] = None
+        while len(self._seen) > self.window:
+            self._seen.popitem(last=False)
+        return False
+
+    def clear(self) -> None:
+        super().clear()
+        self._seen.clear()
+
+
+def make_policy(config: CacheConfig):
+    """Build the eviction policy named by ``config.policy``."""
+    if config.policy == "lru":
+        return LruPolicy()
+    if config.policy == "clock":
+        return ClockPolicy()
+    if config.policy == "admission":
+        return AdmissionLruPolicy(window=config.admission_window)
+    raise ValueError(f"unknown cache policy {config.policy!r}")

@@ -194,6 +194,13 @@ def _cmd_loadtest(args: argparse.Namespace) -> None:
         pooling_factor=args.pooling_factor, batch_size=args.batch_size,
         alpha=args.alpha, update_fraction=args.update_fraction,
         seed=args.seed)
+    cache = None
+    if args.cache_mb:
+        from repro.cache.config import CacheConfig
+        cache = CacheConfig(capacity_bytes=int(args.cache_mb * 2**20),
+                            policy=args.cache_policy,
+                            write_back=args.cache_write_back,
+                            prefetch=args.cache_prefetch)
     sweep = loadline_sweep(systems=args.systems,
                            device_counts=args.devices,
                            base_rate=args.base_rate,
@@ -204,7 +211,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> None:
                            arrival=args.arrival,
                            workload=workload,
                            seed=args.seed,
-                           tenants=args.tenants)
+                           tenants=args.tenants,
+                           cache=cache)
     print(format_loadline(sweep))
     if args.json:
         out = Path(args.json)
@@ -330,6 +338,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "rows back (default 0.25)")
     loadtest.add_argument("--seed", type=int, default=97,
                           help="traffic seed (default 97)")
+    loadtest.add_argument("--cache-mb", type=float, default=0,
+                          help="host DRAM tier capacity in MiB "
+                               "(default 0 = no tier)")
+    loadtest.add_argument("--cache-policy", default="lru",
+                          choices=["lru", "clock", "admission"],
+                          help="tier eviction policy (default lru)")
+    loadtest.add_argument("--cache-write-back", action="store_true",
+                          help="buffer writes in the tier instead of "
+                               "writing through")
+    loadtest.add_argument("--cache-prefetch", type=int, default=0,
+                          help="N-D neighbor prefetch depth "
+                               "(default 0 = off)")
     loadtest.add_argument("--json", default=None, metavar="PATH",
                           help="write the byte-stable sweep JSON to PATH")
     loadtest.set_defaults(fn=_cmd_loadtest)

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.api import array_to_bytes, bytes_to_array
 from repro.core.controller import ControllerTiming, NdsController
+from repro.core.errors import FaultError, NdsError, PayloadError
 from repro.core.stl import SpaceTranslationLayer
 from repro.interconnect.encoding import EncodedCommand, decode_command
 from repro.interconnect.nvme import NvmeOpcode
@@ -100,7 +101,10 @@ class NdsDevice:
             return Completion(opcode=opcode,
                               status=f"unsupported opcode {opcode}",
                               end_time=handled)
-        except Exception as error:  # surface as a failed completion
+        except (NdsError, FaultError) as error:
+            # typed storage failures surface as failed completions;
+            # programming errors (TypeError, stray KeyError, ...)
+            # propagate so bugs are not silently swallowed
             return Completion(opcode=opcode, status=str(error),
                               end_time=handled, space_id=space_id)
 
@@ -138,10 +142,10 @@ class NdsDevice:
         if payload is not None and self.flash.store_data:
             array = np.ascontiguousarray(np.asarray(payload))
             if tuple(array.shape) != tuple(sub_dim):
-                raise ValueError(
+                raise PayloadError(
                     f"payload shape {array.shape} != sub-dim {sub_dim}")
             if array.dtype.itemsize != space.element_size:
-                raise ValueError("payload itemsize != space element size")
+                raise PayloadError("payload itemsize != space element size")
             raw = array_to_bytes(array)
         result = self.stl.write(space_id, coordinate, sub_dim, data=raw,
                                 start_time=translated)
@@ -178,7 +182,7 @@ class NdsDevice:
             flat = np.ascontiguousarray(np.asarray(payload),
                                         dtype=np.uint8).ravel()
             if flat.size != length * page:
-                raise ValueError(
+                raise PayloadError(
                     f"payload of {flat.size} B != {length} pages")
             raw = array_to_bytes(flat)
         result = self.stl.write_region(self._linear_space(),

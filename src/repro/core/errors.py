@@ -18,6 +18,7 @@ __all__ = [
     "SpaceClosedError",
     "InvalidCoordinateError",
     "ViewVolumeError",
+    "PayloadError",
     "CapacityError",
     "FaultError",
     "UncorrectableError",
@@ -47,6 +48,11 @@ class InvalidCoordinateError(NdsError, ValueError):
 class ViewVolumeError(NdsError, ValueError):
     """A consumer view whose volume differs from the producer space
     (§3: views must have matching volumes)."""
+
+
+class PayloadError(NdsError, ValueError):
+    """Write payload does not match the command's sub-dimensionality or
+    the space's element size."""
 
 
 class CapacityError(NdsError, RuntimeError):

@@ -8,8 +8,9 @@ device geometry (Eq. 1–4); the block grid then tiles the space.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.building_block import block_dims, pages_per_block
 from repro.core.errors import InvalidCoordinateError
@@ -46,9 +47,15 @@ class Space:
     #: memoized translation results, keyed by ``(origin, extents)`` /
     #: ``block_slice``. Both caches are pure functions of the geometry
     #: fields above, so they never need churn invalidation; ``resize``
-    #: builds a fresh Space, which starts with empty caches.
-    _region_cache: dict = field(init=False, repr=False, compare=False)
-    _pages_cache: dict = field(init=False, repr=False, compare=False)
+    #: builds a fresh Space, which starts with empty caches. Ordered so
+    #: the translator can evict the least-recently-used entry when a
+    #: cache reaches the capacity limit.
+    _region_cache: OrderedDict = field(init=False, repr=False, compare=False)
+    _pages_cache: OrderedDict = field(init=False, repr=False, compare=False)
+    #: per-space hit/miss counters for both memo caches (module-level
+    #: ``translation_cache_stats()`` aggregates these for compat)
+    _translation_stats: Dict[str, int] = field(init=False, repr=False,
+                                               compare=False)
 
     def __post_init__(self) -> None:
         NVME_LIMITS.validate_dimensionality(self.dims)
@@ -57,13 +64,24 @@ class Space:
         if len(self.bb) != len(self.dims):
             raise ValueError("building-block rank must match space rank")
         self._grid = tuple(-(-d // b) for d, b in zip(self.dims, self.bb))
-        self._region_cache = {}
-        self._pages_cache = {}
+        self._region_cache = OrderedDict()
+        self._pages_cache = OrderedDict()
+        self._translation_stats = {"region_hits": 0, "region_misses": 0,
+                                   "pages_hits": 0, "pages_misses": 0}
 
     def clear_translation_caches(self) -> None:
         """Drop this space's memoized translation results."""
         self._region_cache.clear()
         self._pages_cache.clear()
+
+    def translation_cache_stats(self) -> Dict[str, int]:
+        """This space's own hit/miss counters (independent of every
+        other space, system, and pooled device)."""
+        return dict(self._translation_stats)
+
+    def reset_translation_cache_stats(self) -> None:
+        for key in self._translation_stats:
+            self._translation_stats[key] = 0
 
     # ------------------------------------------------------------------
     @classmethod

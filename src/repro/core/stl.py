@@ -279,6 +279,26 @@ class SpaceTranslationLayer:
                     extents: Sequence[int]) -> List[BlockAccess]:
         return translate_region(self.get_space(space_id), origin, extents)
 
+    def block_region_data(self, space_id: int,
+                          access: BlockAccess) -> np.ndarray:
+        """Region bytes of one block access as a fresh
+        ``(*extent, element_size)`` uint8 array (zeros where unwritten).
+        Pure data plane — charges no model time; the host cache tier
+        uses it to materialize functional payloads for regions that
+        were fetched timing-only into a user buffer."""
+        space = self.get_space(space_id)
+        out = np.zeros(access.extent() + (space.element_size,),
+                       dtype=np.uint8)
+        entry = self.indexes[space_id].lookup(access.block_coord).entry
+        if entry is None:
+            return out
+        buffer = self._block_buffer(space, entry)
+        view = buffer[:space.block_bytes].reshape(
+            space.bb + (space.element_size,))
+        slicer = tuple(slice(lo, hi) for lo, hi in access.block_slice)
+        out[...] = view[slicer]
+        return out
+
     # ------------------------------------------------------------------
     # block-granular execution (systems drive pacing through these)
     # ------------------------------------------------------------------

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,9 +45,10 @@ _VECTOR_THRESHOLD = 16
 
 def set_translation_cache_limit(limit: int) -> None:
     """Set the per-Space translation cache capacity (entries per cache;
-    0 disables memoization). A full cache is cleared wholesale — the
-    working set of real tile plans is far below any sane cap, so an
-    eviction policy would be pure overhead."""
+    0 disables memoization). A full cache evicts its least-recently-used
+    entry — hits refresh recency — so a working set one entry over the
+    cap degrades gracefully instead of thrashing from a wholesale
+    clear."""
     global _cache_limit
     if limit < 0:
         raise ValueError("cache limit must be >= 0")
@@ -58,12 +59,24 @@ def translation_cache_limit() -> int:
     return _cache_limit
 
 
-def translation_cache_stats() -> dict:
-    """Global hit/miss counters over both memo caches."""
+def translation_cache_stats(space: Optional[Space] = None) -> dict:
+    """Hit/miss counters over both memo caches.
+
+    With ``space`` given, that space's own counters; without, the
+    process-wide aggregate across every space (the historical behaviour,
+    kept as a compat shim — prefer :meth:`Space.translation_cache_stats`
+    when comparing systems, since the aggregate mixes every space,
+    system, and pooled device in the process)."""
+    if space is not None:
+        return space.translation_cache_stats()
     return dict(_cache_stats)
 
 
-def reset_translation_cache_stats() -> None:
+def reset_translation_cache_stats(space: Optional[Space] = None) -> None:
+    """Zero the aggregate counters, or one space's with ``space``."""
+    if space is not None:
+        space.reset_translation_cache_stats()
+        return
     for key in _cache_stats:
         _cache_stats[key] = 0
 
@@ -121,10 +134,14 @@ def translate_region(space: Space, origin: Sequence[int],
     records themselves are frozen and shared)."""
     key = (tuple(origin), tuple(extents))
     cache = space._region_cache
+    stats = space._translation_stats
     hit = cache.get(key)
     if hit is not None:
+        stats["region_hits"] += 1
         _cache_stats["region_hits"] += 1
+        cache.move_to_end(key)
         return list(hit)
+    stats["region_misses"] += 1
     _cache_stats["region_misses"] += 1
     if len(origin) != space.rank or len(extents) != space.rank:
         raise ValueError("origin/extents rank mismatch")
@@ -154,8 +171,8 @@ def translate_region(space: Space, origin: Sequence[int],
             out_slice=tuple(out_slice),
         ))
     if _cache_limit:
-        if len(cache) >= _cache_limit:
-            cache.clear()
+        while len(cache) >= _cache_limit:
+            cache.popitem(last=False)
         cache[key] = tuple(accesses)
     return accesses
 
@@ -171,10 +188,14 @@ def pages_for_region(space: Space,
     walk over the outer rows instead of the per-row Python loop."""
     key = tuple(tuple(pair) for pair in block_slice)
     cache = space._pages_cache
+    stats = space._translation_stats
     hit = cache.get(key)
     if hit is not None:
+        stats["pages_hits"] += 1
         _cache_stats["pages_hits"] += 1
+        cache.move_to_end(key)
         return list(hit)
+    stats["pages_misses"] += 1
     _cache_stats["pages_misses"] += 1
     bb = space.bb
     elem = space.element_size
@@ -185,8 +206,8 @@ def pages_for_region(space: Space,
     if full:
         pages = list(range(page))
         if _cache_limit:
-            if len(cache) >= _cache_limit:
-                cache.clear()
+            while len(cache) >= _cache_limit:
+                cache.popitem(last=False)
             cache[key] = tuple(pages)
         return pages
 
@@ -217,8 +238,8 @@ def pages_for_region(space: Space,
             page_set.update(range(first_page, last_page + 1))
         pages = sorted(page_set)
     if _cache_limit:
-        if len(cache) >= _cache_limit:
-            cache.clear()
+        while len(cache) >= _cache_limit:
+            cache.popitem(last=False)
         cache[key] = tuple(pages)
     return pages
 

@@ -66,15 +66,17 @@ class HostCpu:
         return end
 
     def copy(self, num_bytes: int, earliest_start: float,
-             chunk_bytes: int = 0) -> float:
-        """Charge a (possibly chunked) marshalling copy; returns finish."""
+             chunk_bytes: int = 0, label: str = "host_copy") -> float:
+        """Charge a (possibly chunked) marshalling copy; returns finish.
+        ``label`` names the trace span (the DRAM cache tier uses
+        ``"cache_copy"`` so hit service attributes to its own layer)."""
         duration = self.memory.copy_time(num_bytes, chunk_bytes)
         start, end, _core = self.copy_lines.reserve(earliest_start, duration)
         self.stats.count("host_copies")
         self.stats.count("host_copied_bytes", num_bytes)
         self.stats.add_time("host_copy", duration)
         if self.trace is not None:
-            self.trace.span("host_copy", start, end, name="host_copy",
+            self.trace.span("host_copy", start, end, name=label,
                             bytes=num_bytes)
         if self.metrics is not None:
             self.metrics.observe("host.copy", duration)

@@ -32,8 +32,8 @@ __all__ = ["LAYERS", "classify_span", "span_device", "attribute_op",
 #: attribution layers ordered host → device; the index doubles as the
 #: tie-break priority (higher = deeper in the stack = wins ties)
 LAYERS: Tuple[str, ...] = (
-    "unattributed", "host_issue", "host_copy", "link", "controller",
-    "stl", "ftl", "channel", "bank",
+    "unattributed", "host_issue", "host_copy", "cache", "link",
+    "controller", "stl", "ftl", "channel", "bank",
 )
 
 _DEPTH = {layer: index for index, layer in enumerate(LAYERS)}
@@ -43,6 +43,7 @@ _NAME_LAYERS = {
     "issue_io": "host_issue",
     "issue_work": "host_issue",
     "host_copy": "host_copy",
+    "cache_copy": "cache",
     "link_transfer": "link",
     "nvme_command": "controller",
     "assemble": "controller",

@@ -230,6 +230,9 @@ class RequestScheduler:
         #: unless the executor exposes ``fault_counters`` and an
         #: injector is attached)
         self._fault_totals: Dict[str, Dict[str, int]] = {}
+        #: per-stream deltas of the executor's DRAM cache counters
+        #: (empty unless a cache tier is attached)
+        self._cache_totals: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # stream management
@@ -364,6 +367,7 @@ class RequestScheduler:
         self._pending.clear()
         self._next_op_id = 0
         self._fault_totals.clear()
+        self._cache_totals.clear()
 
     # ------------------------------------------------------------------
     # reporting
@@ -413,6 +417,14 @@ class RequestScheduler:
                     "met": handle.slo_met,
                     "violated": handle.slo_violated,
                 }
+            cache_totals = self._cache_totals.get(name)
+            if cache_totals:
+                hits = cache_totals.get("hits", 0)
+                misses = cache_totals.get("misses", 0)
+                cache_entry: Dict[str, object] = dict(cache_totals)
+                cache_entry["hit_rate"] = (round(hits / (hits + misses), 6)
+                                           if hits + misses else 0.0)
+                entry["cache"] = cache_entry
             report[name] = entry
         return report
 
@@ -434,6 +446,22 @@ class RequestScheduler:
         return {name: dict(counters)
                 for name, counters in self._fault_totals.items() if counters}
 
+    def stream_cache_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-stream DRAM-tier counters accumulated across all executed
+        ops (empty when no cache tier is attached), each with its
+        derived ``hit_rate``."""
+        report: Dict[str, Dict[str, object]] = {}
+        for name, counters in self._cache_totals.items():
+            if not counters:
+                continue
+            entry: Dict[str, object] = dict(counters)
+            hits = counters.get("hits", 0)
+            misses = counters.get("misses", 0)
+            entry["hit_rate"] = (round(hits / (hits + misses), 6)
+                                 if hits + misses else 0.0)
+            report[name] = entry
+        return report
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -452,11 +480,23 @@ class RequestScheduler:
         if failed:
             totals["ops_failed"] = totals.get("ops_failed", 0) + 1
 
+    def _account_cache(self, op: TileOp, before: Dict[str, int],
+                       after: Optional[Dict[str, int]]) -> None:
+        if after is None:
+            return
+        totals = self._cache_totals.setdefault(op.stream, {})
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                totals[name] = totals.get(name, 0) + delta
+
     def _run(self, op: TileOp) -> None:
         handle = self.streams[op.stream]
         earliest = handle.window.earliest(op.submit_time)
         probe = getattr(self.executor, "fault_counters", None)
         before = probe() if probe is not None else None
+        cache_probe = getattr(self.executor, "cache_counters", None)
+        cache_before = cache_probe() if cache_probe is not None else None
         if self.trace is not None:
             self.trace.push_op(op.stream, op.op_id)
         try:
@@ -473,6 +513,8 @@ class RequestScheduler:
         op.complete_time = result.end_time
         if before is not None:
             self._account_faults(op, before, probe(), result=result)
+        if cache_before is not None:
+            self._account_cache(op, cache_before, cache_probe())
         handle.window.complete(result.end_time)
         handle.ops.append(op)
         self.executed.append(op)

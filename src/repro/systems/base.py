@@ -76,6 +76,10 @@ class StorageSystem(abc.ABC):
     #: constructor is given ``devices > 1`` or an explicit pool)
     cluster = None
 
+    #: host DRAM cache tier (None = uncached, bit-identical; set by
+    #: :meth:`_init_tier` when a constructor is given ``cache=``)
+    tier = None
+
     # ------------------------------------------------------------------
     # the request spine
     # ------------------------------------------------------------------
@@ -136,6 +140,8 @@ class StorageSystem(abc.ABC):
             gc = getattr(holder, "gc", None)
             if gc is not None and hasattr(gc, "metrics"):
                 gc.metrics = registry
+        if self.tier is not None:
+            self.tier.metrics = registry
 
     def fault_counters(self) -> Optional[dict]:
         """Snapshot of the flash fault injector's counters (None when no
@@ -148,6 +154,84 @@ class StorageSystem(abc.ABC):
             if flash is not None and getattr(flash, "faults", None) is not None:
                 return flash.faults.counters()
         return None
+
+    # ------------------------------------------------------------------
+    # host DRAM cache tier (optional; absent = bit-identical)
+    # ------------------------------------------------------------------
+    def _init_tier(self, cache) -> None:
+        """Attach a :class:`~repro.cache.HostTierCache` when the
+        constructor was given ``cache=CacheConfig(...)``. With the knob
+        absent nothing is attached and every timed float is
+        bit-identical to the uncached model."""
+        if cache is None:
+            return
+        from repro.cache import HostTierCache
+        self.tier = HostTierCache(cache)
+        self.tier.flush_fn = self._flush_cache_entry
+
+    def _flush_cache_entry(self, entry, now: float) -> float:
+        """Replay the architecture's device write path for one dirty
+        cached region (write-back durability). Systems that support
+        ``write_back=True`` override this."""
+        raise NotImplementedError(
+            f"{self.name} does not support write-back caching")
+
+    def _member_systems(self) -> tuple:
+        """Pool member systems (empty for single-device systems)."""
+        if self.cluster is None:
+            return ()
+        return tuple(handle.system for handle in self.cluster.pool.devices)
+
+    def cache_counters(self) -> Optional[dict]:
+        """Snapshot of the DRAM tier's counters (summed over pool
+        members when clustered; None with no tier attached) — the
+        scheduler diffs this around each op for per-stream hit rates."""
+        if self.tier is not None:
+            return self.tier.counters_snapshot()
+        totals: Optional[dict] = None
+        for member in self._member_systems():
+            tier = member.tier
+            if tier is None:
+                continue
+            if totals is None:
+                totals = {}
+            for key, value in tier.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def flush_cache(self, start_time: float = 0.0) -> float:
+        """Durability fence: write every buffered dirty region back to
+        flash. Returns the completion time (``start_time`` when there
+        is nothing to flush or no tier attached)."""
+        if self.tier is not None:
+            return self.tier.flush_all(start_time)
+        end = start_time
+        for member in self._member_systems():
+            end = max(end, member.flush_cache(start_time))
+        return end
+
+    def cache_report(self) -> Optional[dict]:
+        """Deterministic tier summary (aggregated over pool members
+        when clustered; None with no tier attached)."""
+        if self.tier is not None:
+            return self.tier.report()
+        reports = [m.cache_report() for m in self._member_systems()]
+        reports = [r for r in reports if r is not None]
+        if not reports:
+            return None
+        merged = dict(reports[0])
+        for report in reports[1:]:
+            for key, value in report.items():
+                if isinstance(value, bool) or not isinstance(value, int):
+                    continue
+                merged[key] = merged.get(key, 0) + value
+        demand = merged["hits"] + merged["misses"]
+        merged["hit_rate"] = (round(merged["hits"] / demand, 6)
+                              if demand else 0.0)
+        merged["prefetch_accuracy"] = (
+            round(merged["prefetch_hits"] / merged["prefetch_issued"], 6)
+            if merged["prefetch_issued"] else 0.0)
+        return merged
 
     def _execute_op(self, op: TileOp, earliest_start: float) -> SystemOpResult:
         """Dispatch one scheduled op to the architecture's flow."""

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.config import CacheConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.model import FaultConfig
 from repro.ftl.ssd import BaselineSSD
@@ -27,7 +28,7 @@ from repro.interconnect.link import Link
 from repro.nvm.profiles import DeviceProfile
 from repro.systems.base import StorageSystem, SystemOpResult, row_runs
 
-__all__ = ["BaselineSystem"]
+__all__ = ["BaselineSystem", "LpnTierOps"]
 
 #: request size at which the interconnect saturates (§2.1 [P2])
 DEFAULT_MAX_REQUEST_BYTES = 2 * 2**20
@@ -53,7 +54,46 @@ class _Dataset:
         return tuple(origin), tuple(extents)
 
 
-class BaselineSystem(StorageSystem):
+class LpnTierOps:
+    """DRAM-tier glue shared by the linear (LPN-addressed) systems.
+
+    Entries are whole request runs keyed ``("lpn", first, last)`` with
+    the originating :class:`IoRequest` as payload, so a write-back
+    flush replays the exact request through the host I/O engine."""
+
+    def _flush_cache_entry(self, entry, now: float) -> float:
+        """Write one buffered dirty run back through the I/O engine, so
+        a deferred flush costs exactly what the write would have."""
+        return self.engine.run_writes([entry.payload], now).end_time
+
+    def _flush_overlapping_lpns(self, first: int, last: int, now: float,
+                                invalidate: bool = False) -> float:
+        """Flush buffered dirty runs overlapping [first, last]; with
+        ``invalidate`` the caller is overwriting the range, so exact
+        covers are dropped unflushed and partial overlaps are flushed
+        (they hold bytes outside the overwritten range) then dropped."""
+        tier = self.tier
+        for key in list(tier.entries):
+            if not (key[1] <= last and first <= key[2]):
+                continue
+            entry = tier.get(key)
+            if entry is None:
+                continue
+            covered = first <= key[1] and key[2] <= last
+            if entry.dirty and not (invalidate and covered):
+                now = tier.flush_entry(key, now)
+            if invalidate:
+                tier.invalidate(key)
+        return now
+
+    def _invalidate_overlapping_lpns(self, first: int, last: int) -> None:
+        tier = self.tier
+        for key in list(tier.entries):
+            if key[1] <= last and first <= key[2]:
+                tier.invalidate(key)
+
+
+class BaselineSystem(LpnTierOps, StorageSystem):
     """Conventional SSD system with host-side data restructuring."""
 
     name = "baseline"
@@ -65,7 +105,8 @@ class BaselineSystem(StorageSystem):
                  cache_pages: int = 0,
                  faults: Optional["FaultConfig"] = None,
                  devices: int = 1, pool=None,
-                 extents_per_device: int = 1, rebalance=None) -> None:
+                 extents_per_device: int = 1, rebalance=None,
+                 cache: Optional[CacheConfig] = None) -> None:
         self.profile = profile
         self.store_data = store_data
         self.max_request_bytes = max_request_bytes
@@ -75,7 +116,7 @@ class BaselineSystem(StorageSystem):
                 lambda i, f: BaselineSystem(
                     profile, store_data=store_data, queue_depth=queue_depth,
                     max_request_bytes=max_request_bytes,
-                    cache_pages=cache_pages, faults=f)):
+                    cache_pages=cache_pages, faults=f, cache=cache)):
             return
         self.ssd = BaselineSSD(profile, store_data=store_data)
         if faults is not None:
@@ -90,6 +131,7 @@ class BaselineSystem(StorageSystem):
         self.cache = PageCache(cache_pages)
         self._datasets: Dict[str, _Dataset] = {}
         self._next_page = 0
+        self._init_tier(cache)
 
     # ------------------------------------------------------------------
     def _execute_ingest(self, dataset: str, dims: Sequence[int],
@@ -157,6 +199,26 @@ class BaselineSystem(StorageSystem):
                 requests.append(self._read_request(
                     record, byte_start, byte_len, placement_chunk=0))
                 spans.append((byte_start, byte_len))
+        # DRAM tier: whole-request hits never reach the engine — one
+        # contiguous host copy out of the tier per resident run
+        tier = self.tier
+        tier_end = start_time
+        if tier is not None:
+            if with_data and self.store_data:
+                raise NotImplementedError(
+                    "functional reads with the DRAM tier enabled are not "
+                    "supported on the linear systems; use cache=None for "
+                    "data verification")
+            remaining = []
+            for request in requests:
+                key = ("lpn", request.lpns[0], request.lpns[-1])
+                if tier.lookup(key) is not None:
+                    tier_end = max(tier_end, self.cpu.copy(
+                        request.useful_bytes, start_time, 0,
+                        label="cache_copy"))
+                    continue
+                remaining.append(request)
+            requests = remaining
         # host page cache: hits skip the device, costing one host copy
         cached_bytes = 0
         if self.cache.capacity:
@@ -175,11 +237,27 @@ class BaselineSystem(StorageSystem):
                     useful_bytes=request.useful_bytes,
                     placement_chunk=request.placement_chunk))
             requests = remaining
-        run_result = self.engine.run_reads(requests, start_time,
+        read_start = start_time
+        if tier is not None:
+            # coherence: buffered dirty runs overlapping the misses must
+            # reach flash before the device serves them
+            for request in requests:
+                read_start = self._flush_overlapping_lpns(
+                    request.lpns[0], request.lpns[-1], read_start)
+        run_result = self.engine.run_reads(requests, start_time
+                                           if tier is None else read_start,
                                            with_data=with_data and self.store_data)
         if cached_bytes:
             copy_end = self.cpu.copy(cached_bytes, start_time, 0)
             run_result.end_time = max(run_result.end_time, copy_end)
+        if tier is not None:
+            end = run_result.end_time
+            for request in requests:
+                end = tier.insert(
+                    ("lpn", request.lpns[0], request.lpns[-1]),
+                    len(request.lpns) * self.page_size, end,
+                    payload=request)
+            run_result.end_time = max(run_result.end_time, end, tier_end)
         data = None
         if with_data and self.store_data:
             data = self._assemble(record, l_extents, spans, run_result.data)
@@ -243,6 +321,34 @@ class BaselineSystem(StorageSystem):
         if self.cache.capacity:
             for request in requests:
                 self.cache.invalidate(request.lpns)
+        tier = self.tier
+        if tier is not None and tier.config.write_back:
+            # write-back: the runs never reach the engine now — one host
+            # copy into the DRAM tier each; the device write is paid at
+            # eviction, dirty-bound or fence
+            end = start_time
+            for request in requests:
+                done = self.cpu.copy(request.useful_bytes, start_time, 0,
+                                     label="cache_copy")
+                done = self._flush_overlapping_lpns(
+                    request.lpns[0], request.lpns[-1], done,
+                    invalidate=True)
+                end = max(end, tier.insert(
+                    ("lpn", request.lpns[0], request.lpns[-1]),
+                    len(request.lpns) * self.page_size, done,
+                    payload=request, dirty=True))
+            useful = elem
+            for extent in extents:
+                useful *= extent
+            return SystemOpResult(start_time=start_time, end_time=end,
+                                  useful_bytes=useful, fetched_bytes=0,
+                                  requests=len(requests))
+        if tier is not None:
+            # write-through: cached copies of the overwritten runs are
+            # now stale
+            for request in requests:
+                self._invalidate_overlapping_lpns(request.lpns[0],
+                                                  request.lpns[-1])
         run_result = self.engine.run_writes(requests, start_time)
         useful = elem
         for extent in extents:

@@ -20,8 +20,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.config import CacheConfig
+from repro.cache.nd import (neighbor_regions, region_group, region_key,
+                            slices_overlap)
 from repro.core.api import bytes_to_array
 from repro.core.controller import ControllerTiming, NdsController
+from repro.core.errors import FaultError, NdsError
 from repro.core.stl import SpaceTranslationLayer
 from repro.core.translator import pages_for_region
 from repro.faults.injector import FaultInjector
@@ -52,7 +56,8 @@ class HardwareNdsSystem(StorageSystem):
                  cipher=None,
                  faults: Optional[FaultConfig] = None,
                  devices: int = 1, pool=None,
-                 extents_per_device: int = 1, rebalance=None) -> None:
+                 extents_per_device: int = 1, rebalance=None,
+                 cache: Optional[CacheConfig] = None) -> None:
         self.profile = profile
         self.store_data = store_data
         self.segment_bytes = segment_bytes
@@ -65,7 +70,7 @@ class HardwareNdsSystem(StorageSystem):
                     profile, store_data=store_data,
                     controller_timing=controller_timing,
                     segment_bytes=segment_bytes, bb_override=bb_override,
-                    cipher=cipher, faults=f)):
+                    cipher=cipher, faults=f, cache=cache)):
             return
         self.flash = FlashArray(profile.geometry, profile.timing,
                                 store_data=store_data)
@@ -84,6 +89,8 @@ class HardwareNdsSystem(StorageSystem):
         from repro.sim.resources import Timeline
         self.cipher_line = Timeline("aes_engine")
         self._spaces: Dict[str, int] = {}
+        self._bulk_ingest = False
+        self._init_tier(cache)
 
     def _crypt(self, earliest_start: float, num_bytes: int) -> float:
         """Push bytes through the shared AES engine; returns finish."""
@@ -112,8 +119,14 @@ class HardwareNdsSystem(StorageSystem):
             # (§4.1 Eq. 3/4)
             use_3d_blocks=len(tuple(dims)) >= 3 and self.bb_override is None)
         self._spaces[dataset] = space.space_id
-        return self._execute_write(dataset, tuple(0 for _ in dims), dims,
-                                   data=data, start_time=start_time)
+        # bulk load bypasses the DRAM tier: a whole dataset would blow
+        # through the byte budget and churn the dirty set for nothing
+        self._bulk_ingest = True
+        try:
+            return self._execute_write(dataset, tuple(0 for _ in dims), dims,
+                                       data=data, start_time=start_time)
+        finally:
+            self._bulk_ingest = False
 
     # ------------------------------------------------------------------
     def _execute_read(self, dataset: str, origin: Sequence[int],
@@ -125,40 +138,86 @@ class HardwareNdsSystem(StorageSystem):
         accesses = self.stl.plan_region(space_id, origin, extents)
         elem = space.element_size
 
-        # One extended NVMe command from the host (§5.3.1).
-        issued = self.cpu.issue_io(start_time)
-        cmd_done = self.controller.handle_command(issued)
+        tier = self.tier
+        hit_pairs = []
+        if tier is not None:
+            remaining = []
+            for access in accesses:
+                entry = tier.lookup(region_key(dataset, access))
+                if entry is not None:
+                    hit_pairs.append((access, entry))
+                else:
+                    remaining.append(access)
+            accesses = remaining
 
         out = None
         if with_data and self.store_data:
             out = np.zeros(tuple(extents) + (elem,), dtype=np.uint8)
 
-        fetched = 0
-        pending_bytes = 0
-        pending_ready = cmd_done
-        end = cmd_done
-        translate_done = cmd_done
-        for access in accesses:
-            translate_done = self.controller.translate(
-                translate_done, space.rank, 1)
-            block = self.stl.read_block(space_id, access, translate_done,
-                                        out=out)
-            fetched += block.pages * self.page_size
+        # DRAM hits never leave the host: one contiguous copy each, and
+        # if everything is resident no NVMe command is issued at all.
+        end = start_time
+        for access, entry in hit_pairs:
+            if out is not None and entry.data is not None:
+                slicer = tuple(slice(lo, hi) for lo, hi in access.out_slice)
+                out[slicer] = entry.data
             region_bytes = access.element_count() * elem
-            decrypted = self._crypt(block.completion_time,
-                                    block.pages * self.page_size)
-            ready = self.controller.assemble(decrypted, region_bytes,
-                                             block.pages)
-            pending_bytes += region_bytes
-            pending_ready = max(pending_ready, ready)
-            while pending_bytes >= self.segment_bytes:
-                transfer = self.link.transfer(self.segment_bytes,
-                                              pending_ready)
-                pending_bytes -= self.segment_bytes
+            end = max(end, self.cpu.copy(region_bytes, start_time, 0,
+                                         label="cache_copy"))
+
+        fetched = 0
+        missed = bool(accesses)
+        if tier is None or missed:
+            # One extended NVMe command from the host (§5.3.1) covers
+            # the regions not resident in the host tier.
+            issued = self.cpu.issue_io(start_time)
+            cmd_done = self.controller.handle_command(issued)
+            pending_bytes = 0
+            pending_ready = cmd_done
+            end = max(end, cmd_done)
+            translate_done = cmd_done
+            for access in accesses:
+                if tier is not None:
+                    # coherence: buffered dirty regions overlapping this
+                    # block slice must reach flash before we read it
+                    translate_done = self._flush_overlapping(
+                        dataset, access, translate_done)
+                translate_done = self.controller.translate(
+                    translate_done, space.rank, 1)
+                block = self.stl.read_block(space_id, access, translate_done,
+                                            out=out)
+                fetched += block.pages * self.page_size
+                region_bytes = access.element_count() * elem
+                decrypted = self._crypt(block.completion_time,
+                                        block.pages * self.page_size)
+                ready = self.controller.assemble(decrypted, region_bytes,
+                                                 block.pages)
+                pending_bytes += region_bytes
+                pending_ready = max(pending_ready, ready)
+                while pending_bytes >= self.segment_bytes:
+                    transfer = self.link.transfer(self.segment_bytes,
+                                                  pending_ready)
+                    pending_bytes -= self.segment_bytes
+                    end = max(end, transfer.end_time)
+            if pending_bytes > 0:
+                transfer = self.link.transfer(pending_bytes, pending_ready)
                 end = max(end, transfer.end_time)
-        if pending_bytes > 0:
-            transfer = self.link.transfer(pending_bytes, pending_ready)
-            end = max(end, transfer.end_time)
+            if tier is not None:
+                # assembled regions land in the host tier once the final
+                # segment arrives
+                for access in accesses:
+                    region_bytes = access.element_count() * elem
+                    data = (self.stl.block_region_data(space_id, access)
+                            if self.store_data else None)
+                    end = tier.insert(
+                        region_key(dataset, access), region_bytes, end,
+                        payload=(dataset, space_id, access), data=data,
+                        group=region_group(dataset, access))
+        if tier is not None and missed and tier.config.prefetch:
+            # async readahead: speculative commands ride the shared
+            # timelines after the demand work but do not hold up this op
+            self._prefetch_neighbors(dataset, space_id, space, origin,
+                                     extents, end)
 
         useful = elem
         for extent in extents:
@@ -180,9 +239,6 @@ class HardwareNdsSystem(StorageSystem):
         accesses = self.stl.plan_region(space_id, origin, extents)
         elem = space.element_size
 
-        issued = self.cpu.issue_io(start_time)
-        cmd_done = self.controller.handle_command(issued)
-
         raw = None
         if data is not None and self.store_data:
             array = np.ascontiguousarray(np.asarray(data))
@@ -192,12 +248,35 @@ class HardwareNdsSystem(StorageSystem):
             raw = array.view(np.uint8).reshape(
                 tuple(extents) + (array.dtype.itemsize,))
 
-        # The device pulls the source object over the link in saturating
-        # segments (the SSD "requests host main memory content in 4 KB
-        # pages and breaks them up later", §7.1) — DMA, no host copies.
         useful = elem
         for extent in extents:
             useful *= extent
+
+        tier = None if self._bulk_ingest else self.tier
+        if tier is not None and tier.config.write_back:
+            # write-back: the object never reaches the device now — one
+            # host-memory copy per region into the DRAM tier; the NVMe
+            # command is paid at eviction, dirty-bound or fence
+            end = start_time
+            for access in accesses:
+                region = None
+                if raw is not None:
+                    slicer = tuple(slice(lo, hi)
+                                   for lo, hi in access.out_slice)
+                    region = raw[slicer]
+                done = self._absorb_write(dataset, space_id, access, region,
+                                          start_time)
+                end = max(end, done)
+            return SystemOpResult(start_time=start_time, end_time=end,
+                                  useful_bytes=useful, fetched_bytes=0,
+                                  requests=1)
+
+        issued = self.cpu.issue_io(start_time)
+        cmd_done = self.controller.handle_command(issued)
+
+        # The device pulls the source object over the link in saturating
+        # segments (the SSD "requests host main memory content in 4 KB
+        # pages and breaks them up later", §7.1) — DMA, no host copies.
         arrival_times = self._segment_arrivals(useful, cmd_done)
 
         sent = 0
@@ -225,9 +304,131 @@ class HardwareNdsSystem(StorageSystem):
                                          region=region)
             sent += pages * self.page_size
             end = max(end, block.completion_time)
+            if tier is not None:
+                self._note_write_through(dataset, space_id, access)
         return SystemOpResult(start_time=start_time, end_time=end,
                               useful_bytes=useful, fetched_bytes=sent,
                               requests=1)
+
+    # ------------------------------------------------------------------
+    # DRAM tier glue (only reached with cache=CacheConfig(...) set)
+    # ------------------------------------------------------------------
+    def _flush_cache_entry(self, entry, now: float) -> float:
+        """Write one buffered dirty region back: a single-region NDS
+        write command replayed through the controller path, so a
+        deferred flush costs exactly what the write would have."""
+        dataset, space_id, access = entry.payload
+        space = self.stl.get_space(space_id)
+        elem = space.element_size
+        region_bytes = access.element_count() * elem
+        issued = self.cpu.issue_io(now)
+        cmd_done = self.controller.handle_command(issued)
+        transfer = self.link.transfer(region_bytes, cmd_done)
+        translated = self.controller.translate(cmd_done, space.rank, 1)
+        pages = len(pages_for_region(space, access.block_slice))
+        alloc_done = self.controller.allocate(
+            max(translated, transfer.end_time), pages)
+        disassembled = self.controller.assemble(alloc_done, region_bytes,
+                                                pages)
+        disassembled = self._crypt(disassembled, pages * self.page_size)
+        block = self.stl.write_block(space_id, access, disassembled,
+                                     region=entry.data)
+        return block.completion_time
+
+    def _flush_overlapping(self, dataset: str, access,
+                           now: float) -> float:
+        """Flush buffered dirty regions overlapping ``access``."""
+        tier = self.tier
+        for key in tier.group_keys(region_group(dataset, access)):
+            entry = tier.get(key)
+            if entry is None or not entry.dirty:
+                continue
+            if slices_overlap(entry.payload[2].block_slice,
+                              access.block_slice):
+                now = tier.flush_entry(key, now)
+        return now
+
+    def _absorb_write(self, dataset: str, space_id: int, access, region,
+                      earliest: float) -> float:
+        """Write-back: absorb one region into DRAM. The host does no
+        marshalling in this architecture, so the copy is contiguous."""
+        tier = self.tier
+        space = self.stl.get_space(space_id)
+        region_bytes = access.element_count() * space.element_size
+        done = self.cpu.copy(region_bytes, earliest, 0, label="cache_copy")
+        key = region_key(dataset, access)
+        # overlapping buffered regions: older dirty data must hit flash
+        # first (write order), overlapping clean copies are now stale
+        for other in tier.group_keys(region_group(dataset, access)):
+            if other == key:
+                continue
+            entry = tier.get(other)
+            if entry is None:
+                continue
+            if slices_overlap(entry.payload[2].block_slice,
+                              access.block_slice):
+                if entry.dirty:
+                    done = tier.flush_entry(other, done)
+                tier.invalidate(other)
+        data = None
+        if region is not None:
+            data = np.ascontiguousarray(region).copy()
+        return tier.insert(key, region_bytes, done,
+                           payload=(dataset, space_id, access), data=data,
+                           dirty=True, group=region_group(dataset, access))
+
+    def _note_write_through(self, dataset: str, space_id: int,
+                            access) -> None:
+        """Write-through coherence: refresh the exact cached region,
+        drop overlapping neighbors (their bytes are now stale)."""
+        tier = self.tier
+        key = region_key(dataset, access)
+        for other in tier.group_keys(region_group(dataset, access)):
+            if other == key:
+                continue
+            entry = tier.get(other)
+            if entry is not None and slices_overlap(
+                    entry.payload[2].block_slice, access.block_slice):
+                tier.invalidate(other)
+        entry = tier.get(key)
+        if entry is not None and self.store_data:
+            entry.data = self.stl.block_region_data(space_id, access)
+
+    def _prefetch_neighbors(self, dataset: str, space_id: int, space,
+                            origin: Sequence[int], extents: Sequence[int],
+                            start: float) -> None:
+        """Fetch forward neighbor regions along the accessed axes into
+        the tier via speculative single-region commands (charged on the
+        shared timelines, asynchronously)."""
+        tier = self.tier
+        elem = space.element_size
+        for p_origin, p_extents in neighbor_regions(
+                space.dims, origin, extents, tier.config.prefetch):
+            for access in self.stl.plan_region(space_id, p_origin,
+                                               p_extents):
+                key = region_key(dataset, access)
+                if tier.contains(key):
+                    continue
+                issued = self.cpu.issue_io(start)
+                cmd_done = self.controller.handle_command(issued)
+                translated = self.controller.translate(cmd_done,
+                                                       space.rank, 1)
+                try:
+                    block = self.stl.read_block(space_id, access, translated)
+                except (NdsError, FaultError):
+                    continue  # speculative read; demand path will retry
+                region_bytes = access.element_count() * elem
+                decrypted = self._crypt(block.completion_time,
+                                        block.pages * self.page_size)
+                ready = self.controller.assemble(decrypted, region_bytes,
+                                                 block.pages)
+                transfer = self.link.transfer(region_bytes, ready)
+                data = (self.stl.block_region_data(space_id, access)
+                        if self.store_data else None)
+                tier.insert(key, region_bytes, transfer.end_time,
+                            payload=(dataset, space_id, access), data=data,
+                            prefetched=True,
+                            group=region_group(dataset, access))
 
     # ------------------------------------------------------------------
     def reset_time(self) -> None:

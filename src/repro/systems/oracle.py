@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cache.config import CacheConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.model import FaultConfig
 from repro.ftl.ssd import BaselineSSD
@@ -27,7 +28,7 @@ from repro.host.io_engine import HostIoEngine, IoRequest
 from repro.interconnect.link import Link
 from repro.nvm.profiles import DeviceProfile
 from repro.systems.base import StorageSystem, SystemOpResult
-from repro.systems.baseline import DEFAULT_MAX_REQUEST_BYTES
+from repro.systems.baseline import DEFAULT_MAX_REQUEST_BYTES, LpnTierOps
 
 __all__ = ["OracleSystem"]
 
@@ -42,7 +43,7 @@ class _TiledCopy:
     tile_pages: int
 
 
-class OracleSystem(StorageSystem):
+class OracleSystem(LpnTierOps, StorageSystem):
     """Best-possible software layout: tile-major storage per consumer."""
 
     name = "software-oracle"
@@ -52,7 +53,8 @@ class OracleSystem(StorageSystem):
                  max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
                  faults: Optional[FaultConfig] = None,
                  devices: int = 1, pool=None,
-                 extents_per_device: int = 1, rebalance=None) -> None:
+                 extents_per_device: int = 1, rebalance=None,
+                 cache: Optional[CacheConfig] = None) -> None:
         self.profile = profile
         self.store_data = store_data
         self.max_request_bytes = max_request_bytes
@@ -61,7 +63,8 @@ class OracleSystem(StorageSystem):
                 devices, pool, faults, rebalance, extents_per_device,
                 lambda i, f: OracleSystem(
                     profile, store_data=store_data, queue_depth=queue_depth,
-                    max_request_bytes=max_request_bytes, faults=f)):
+                    max_request_bytes=max_request_bytes, faults=f,
+                    cache=cache)):
             return
         self.ssd = BaselineSSD(profile, store_data=store_data)
         if faults is not None:
@@ -73,6 +76,7 @@ class OracleSystem(StorageSystem):
         #: dataset -> tile shape -> stored copy
         self._copies: Dict[str, Dict[Tuple[int, ...], _TiledCopy]] = {}
         self._next_page = 0
+        self._init_tier(cache)
 
     # ------------------------------------------------------------------
     def _execute_ingest(self, dataset: str, dims: Sequence[int],
@@ -138,8 +142,41 @@ class OracleSystem(StorageSystem):
         # software NDS" (§7.2) despite its perfect layout.
         for request in requests:
             request.placement_chunk = 0
-        run = self.engine.run_reads(requests, start_time,
+        # DRAM tier: resident tile runs never reach the engine
+        tier = self.tier
+        tier_end = start_time
+        if tier is not None:
+            if with_data and self.store_data:
+                raise NotImplementedError(
+                    "functional reads with the DRAM tier enabled are not "
+                    "supported on the linear systems; use cache=None for "
+                    "data verification")
+            remaining = []
+            for request in requests:
+                key = ("lpn", request.lpns[0], request.lpns[-1])
+                if tier.lookup(key) is not None:
+                    tier_end = max(tier_end, self.cpu.copy(
+                        request.useful_bytes, start_time, 0,
+                        label="cache_copy"))
+                    continue
+                remaining.append(request)
+            requests = remaining
+        read_start = start_time
+        if tier is not None:
+            for request in requests:
+                read_start = self._flush_overlapping_lpns(
+                    request.lpns[0], request.lpns[-1], read_start)
+        run = self.engine.run_reads(requests, start_time
+                                    if tier is None else read_start,
                                     with_data=with_data and self.store_data)
+        if tier is not None:
+            end = run.end_time
+            for request in requests:
+                end = tier.insert(
+                    ("lpn", request.lpns[0], request.lpns[-1]),
+                    len(request.lpns) * self.page_size, end,
+                    payload=request)
+            run.end_time = max(run.end_time, end, tier_end)
         data = None
         if with_data and self.store_data:
             pages = [p for group in run.data if group for p in group]
@@ -174,6 +211,29 @@ class OracleSystem(StorageSystem):
             payload = [raw[i * self.page_size:(i + 1) * self.page_size]
                        for i in range(copy.tile_pages)]
         requests = self._split(first, copy.tile_pages, payload)
+        tier = self.tier
+        if tier is not None and tier.config.write_back:
+            end = start_time
+            for request in requests:
+                done = self.cpu.copy(request.useful_bytes, start_time, 0,
+                                     label="cache_copy")
+                done = self._flush_overlapping_lpns(
+                    request.lpns[0], request.lpns[-1], done,
+                    invalidate=True)
+                end = max(end, tier.insert(
+                    ("lpn", request.lpns[0], request.lpns[-1]),
+                    len(request.lpns) * self.page_size, done,
+                    payload=request, dirty=True))
+            useful = copy.element_size
+            for t in copy.tile:
+                useful *= t
+            return SystemOpResult(start_time=start_time, end_time=end,
+                                  useful_bytes=useful, fetched_bytes=0,
+                                  requests=len(requests))
+        if tier is not None:
+            for request in requests:
+                self._invalidate_overlapping_lpns(request.lpns[0],
+                                                  request.lpns[-1])
         run = self.engine.run_writes(requests, start_time)
         useful = copy.element_size
         for t in copy.tile:

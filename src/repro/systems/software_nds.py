@@ -20,7 +20,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.cache.config import CacheConfig
+from repro.cache.nd import (neighbor_regions, region_group, region_key,
+                            slices_overlap)
 from repro.core.api import bytes_to_array
+from repro.core.errors import FaultError, NdsError
 from repro.core.stl import SpaceTranslationLayer
 from repro.core.translator import pages_for_region
 from repro.faults.injector import FaultInjector
@@ -66,7 +70,8 @@ class SoftwareNdsSystem(StorageSystem):
                  cpu: Optional[HostCpu] = None,
                  faults: Optional[FaultConfig] = None,
                  devices: int = 1, pool=None,
-                 extents_per_device: int = 1, rebalance=None) -> None:
+                 extents_per_device: int = 1, rebalance=None,
+                 cache: Optional[CacheConfig] = None) -> None:
         self.profile = profile
         self.store_data = store_data
         self.queue_depth = queue_depth
@@ -77,7 +82,8 @@ class SoftwareNdsSystem(StorageSystem):
                 devices, pool, faults, rebalance, extents_per_device,
                 lambda i, f: SoftwareNdsSystem(
                     profile, store_data=store_data, queue_depth=queue_depth,
-                    costs=costs, bb_override=bb_override, faults=f)):
+                    costs=costs, bb_override=bb_override, faults=f,
+                    cache=cache)):
             return
         self.flash = FlashArray(profile.geometry, profile.timing,
                                 store_data=store_data)
@@ -90,6 +96,8 @@ class SoftwareNdsSystem(StorageSystem):
         self.link = Link(profile.link_bandwidth, profile.link_command_overhead)
         self.cpu = cpu if cpu is not None else HostCpu()
         self._spaces: Dict[str, int] = {}
+        self._bulk_ingest = False
+        self._init_tier(cache)
 
     # ------------------------------------------------------------------
     def _execute_ingest(self, dataset: str, dims: Sequence[int],
@@ -107,8 +115,14 @@ class SoftwareNdsSystem(StorageSystem):
             # axis would shatter depth-crossing accesses
             use_3d_blocks=len(tuple(dims)) >= 3 and self.bb_override is None)
         self._spaces[dataset] = space.space_id
-        return self._execute_write(dataset, tuple(0 for _ in dims), dims,
-                                   data=data, start_time=start_time)
+        # bulk load bypasses the DRAM tier: a whole dataset would blow
+        # through the byte budget and churn the dirty set for nothing
+        self._bulk_ingest = True
+        try:
+            return self._execute_write(dataset, tuple(0 for _ in dims), dims,
+                                       data=data, start_time=start_time)
+        finally:
+            self._bulk_ingest = False
 
     # ------------------------------------------------------------------
     def _execute_read(self, dataset: str, origin: Sequence[int],
@@ -132,8 +146,30 @@ class SoftwareNdsSystem(StorageSystem):
         window = QueueDepthWindow(self.queue_depth)
         completions: List[float] = []
         fetched = 0
+        tier = self.tier
+        missed = tier is None
         for access in accesses:
             earliest = window.earliest(setup_done)
+            region_bytes = access.element_count() * elem
+            row_bytes = access.extent()[-1] * elem
+            if tier is not None:
+                entry = tier.lookup(region_key(dataset, access))
+                if entry is not None:
+                    # DRAM hit: one marshalling copy at host-memory
+                    # bandwidth, no command/flash/link work at all
+                    if out is not None and entry.data is not None:
+                        slicer = tuple(slice(lo, hi)
+                                       for lo, hi in access.out_slice)
+                        out[slicer] = entry.data
+                    done = self.cpu.copy(region_bytes, earliest, row_bytes,
+                                         label="cache_copy")
+                    window.complete(done)
+                    completions.append(done)
+                    continue
+                missed = True
+                # coherence: buffered dirty regions overlapping this
+                # block slice must reach flash before we read around them
+                earliest = self._flush_overlapping(dataset, access, earliest)
             # One vectored LightNVM command per building block, plus the
             # host B-tree walk for that block.
             issued = self.cpu.run_issue_work(
@@ -146,12 +182,23 @@ class SoftwareNdsSystem(StorageSystem):
                                           block.completion_time)
             # Host assembly: scatter the block's rows into the tile
             # buffer — one memcpy per block-row segment ([P1] residue).
-            region_bytes = access.element_count() * elem
-            row_bytes = access.extent()[-1] * elem
             done = self.cpu.copy(region_bytes, transfer.end_time, row_bytes)
+            if tier is not None:
+                data = (self.stl.block_region_data(space_id, access)
+                        if self.store_data else None)
+                done = tier.insert(region_key(dataset, access), region_bytes,
+                                   done, payload=(dataset, space_id, access),
+                                   data=data,
+                                   group=region_group(dataset, access))
             window.complete(done)
             completions.append(done)
         end = max(completions, default=setup_done)
+        if tier is not None and missed and tier.config.prefetch:
+            # async readahead: neighbor regions ride the shared
+            # timelines after the demand work but do not hold up this
+            # op's completion
+            self._prefetch_neighbors(dataset, space_id, space, origin,
+                                     extents, end)
         useful = elem
         for extent in extents:
             useful *= extent
@@ -186,29 +233,27 @@ class SoftwareNdsSystem(StorageSystem):
         window = QueueDepthWindow(self.queue_depth)
         completions: List[float] = []
         sent = 0
+        tier = None if self._bulk_ingest else self.tier
+        write_back = tier is not None and tier.config.write_back
         for access in accesses:
             earliest = window.earliest(setup_done)
-            # Host breaks the source object into the block's layout:
-            # one memcpy per block-row segment (the paper's 256 × 2 KB).
-            region_bytes = access.element_count() * elem
-            row_bytes = access.extent()[-1] * elem
-            gathered = self.cpu.copy(region_bytes, earliest, row_bytes)
-            pages = self._pages_of(space_id, access)
-            issued = self.cpu.run_issue_work(
-                gathered,
-                self.costs.per_command + self.costs.per_node * space.rank
-                + self.costs.per_unit_write * pages,
-                label="stl_translate")
-            transfer = self.link.transfer(pages * self.page_size, issued)
-            sent += pages * self.page_size
             region = None
             if raw is not None:
                 slicer = tuple(slice(lo, hi) for lo, hi in access.out_slice)
                 region = raw[slicer]
-            block = self.stl.write_block(space_id, access, transfer.end_time,
-                                         region=region)
-            window.complete(block.completion_time)
-            completions.append(block.completion_time)
+            if write_back:
+                done = self._absorb_write(dataset, space_id, access, region,
+                                          earliest)
+                window.complete(done)
+                completions.append(done)
+                continue
+            done, pages = self._write_access(space_id, access, region,
+                                             earliest)
+            sent += pages * self.page_size
+            if tier is not None:
+                self._note_write_through(dataset, space_id, access)
+            window.complete(done)
+            completions.append(done)
         end = max(completions, default=setup_done)
         useful = elem
         for extent in extents:
@@ -216,6 +261,136 @@ class SoftwareNdsSystem(StorageSystem):
         return SystemOpResult(start_time=start_time, end_time=end,
                               useful_bytes=useful, fetched_bytes=sent,
                               requests=len(accesses))
+
+    def _write_access(self, space_id: int, access, region,
+                      earliest: float) -> tuple:
+        """One building-block device write: gather copy → LightNVM
+        command → link transfer → STL write. Shared by the direct write
+        path and write-back flushes, so a deferred flush costs exactly
+        what the write would have."""
+        space = self.stl.get_space(space_id)
+        elem = space.element_size
+        # Host breaks the source object into the block's layout:
+        # one memcpy per block-row segment (the paper's 256 × 2 KB).
+        region_bytes = access.element_count() * elem
+        row_bytes = access.extent()[-1] * elem
+        gathered = self.cpu.copy(region_bytes, earliest, row_bytes)
+        pages = self._pages_of(space_id, access)
+        issued = self.cpu.run_issue_work(
+            gathered,
+            self.costs.per_command + self.costs.per_node * space.rank
+            + self.costs.per_unit_write * pages,
+            label="stl_translate")
+        transfer = self.link.transfer(pages * self.page_size, issued)
+        block = self.stl.write_block(space_id, access, transfer.end_time,
+                                     region=region)
+        return block.completion_time, pages
+
+    # ------------------------------------------------------------------
+    # DRAM tier glue (only reached with cache=CacheConfig(...) set)
+    # ------------------------------------------------------------------
+    def _flush_cache_entry(self, entry, now: float) -> float:
+        """Write one buffered dirty region back through the device."""
+        _dataset, space_id, access = entry.payload
+        done, _pages = self._write_access(space_id, access, entry.data, now)
+        return done
+
+    def _flush_overlapping(self, dataset: str, access,
+                           now: float) -> float:
+        """Flush buffered dirty regions overlapping ``access``."""
+        tier = self.tier
+        for key in tier.group_keys(region_group(dataset, access)):
+            entry = tier.get(key)
+            if entry is None or not entry.dirty:
+                continue
+            if slices_overlap(entry.payload[2].block_slice,
+                              access.block_slice):
+                now = tier.flush_entry(key, now)
+        return now
+
+    def _absorb_write(self, dataset: str, space_id: int, access, region,
+                      earliest: float) -> float:
+        """Write-back: absorb one region into DRAM (gather copy only);
+        the device write happens at eviction, dirty-bound or fence."""
+        tier = self.tier
+        space = self.stl.get_space(space_id)
+        elem = space.element_size
+        region_bytes = access.element_count() * elem
+        row_bytes = access.extent()[-1] * elem
+        done = self.cpu.copy(region_bytes, earliest, row_bytes,
+                             label="cache_copy")
+        key = region_key(dataset, access)
+        # overlapping buffered regions: older dirty data must hit flash
+        # first (write order), overlapping clean copies are now stale
+        for other in tier.group_keys(region_group(dataset, access)):
+            if other == key:
+                continue
+            entry = tier.get(other)
+            if entry is None:
+                continue
+            if slices_overlap(entry.payload[2].block_slice,
+                              access.block_slice):
+                if entry.dirty:
+                    done = tier.flush_entry(other, done)
+                tier.invalidate(other)
+        data = None
+        if region is not None:
+            data = np.ascontiguousarray(region).copy()
+        return tier.insert(key, region_bytes, done,
+                           payload=(dataset, space_id, access), data=data,
+                           dirty=True, group=region_group(dataset, access))
+
+    def _note_write_through(self, dataset: str, space_id: int,
+                            access) -> None:
+        """Write-through coherence: refresh the exact cached region,
+        drop overlapping neighbors (their bytes are now stale)."""
+        tier = self.tier
+        key = region_key(dataset, access)
+        for other in tier.group_keys(region_group(dataset, access)):
+            if other == key:
+                continue
+            entry = tier.get(other)
+            if entry is not None and slices_overlap(
+                    entry.payload[2].block_slice, access.block_slice):
+                tier.invalidate(other)
+        entry = tier.get(key)
+        if entry is not None and self.store_data:
+            entry.data = self.stl.block_region_data(space_id, access)
+
+    def _prefetch_neighbors(self, dataset: str, space_id: int, space,
+                            origin: Sequence[int], extents: Sequence[int],
+                            start: float) -> None:
+        """Fetch forward neighbor regions along the accessed axes into
+        the tier (charged on the shared timelines, asynchronously)."""
+        tier = self.tier
+        elem = space.element_size
+        for p_origin, p_extents in neighbor_regions(
+                space.dims, origin, extents, tier.config.prefetch):
+            for access in self.stl.plan_region(space_id, p_origin,
+                                               p_extents):
+                key = region_key(dataset, access)
+                if tier.contains(key):
+                    continue
+                issued = self.cpu.run_issue_work(
+                    start,
+                    self.costs.per_command + self.costs.per_node * space.rank,
+                    label="stl_translate")
+                try:
+                    block = self.stl.read_block(space_id, access, issued)
+                except (NdsError, FaultError):
+                    continue  # speculative read; demand path will retry
+                region_bytes = access.element_count() * elem
+                transfer = self.link.transfer(
+                    block.pages * self.page_size, block.completion_time)
+                done = self.cpu.copy(region_bytes, transfer.end_time,
+                                     access.extent()[-1] * elem,
+                                     label="cache_copy")
+                data = (self.stl.block_region_data(space_id, access)
+                        if self.store_data else None)
+                tier.insert(key, region_bytes, done,
+                            payload=(dataset, space_id, access), data=data,
+                            prefetched=True,
+                            group=region_group(dataset, access))
 
     # ------------------------------------------------------------------
     def reset_time(self) -> None:

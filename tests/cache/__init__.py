@@ -1,0 +1,1 @@
+"""Tests for the host DRAM cache tier (repro.cache)."""

@@ -1,0 +1,33 @@
+"""Unit tests for the N-D cache helpers (keys, overlap, prefetch plan)."""
+
+from repro.cache.nd import neighbor_regions, slices_overlap
+
+
+class TestSlicesOverlap:
+    def test_overlapping(self):
+        assert slices_overlap(((0, 8), (0, 8)), ((4, 12), (4, 12)))
+
+    def test_touching_edges_do_not_overlap(self):
+        assert not slices_overlap(((0, 8),), ((8, 16),))
+
+    def test_disjoint_on_one_axis_is_enough(self):
+        assert not slices_overlap(((0, 8), (0, 8)), ((0, 8), (8, 16)))
+
+
+class TestNeighborRegions:
+    def test_axis_major_nearest_first(self):
+        regions = neighbor_regions((64, 64), (0, 0), (16, 16), depth=2)
+        assert regions == [((16, 0), (16, 16)), ((32, 0), (16, 16)),
+                           ((0, 16), (16, 16)), ((0, 32), (16, 16))]
+
+    def test_clipped_at_the_bound(self):
+        regions = neighbor_regions((32,), (16,), (16,), depth=4)
+        assert regions == []
+
+    def test_full_axis_emits_nothing(self):
+        regions = neighbor_regions((64, 64), (0, 0), (64, 16), depth=2)
+        assert all(origin[0] == 0 for origin, _ in regions)
+        assert regions == [((0, 16), (64, 16)), ((0, 32), (64, 16))]
+
+    def test_depth_zero_disables(self):
+        assert neighbor_regions((64,), (0,), (16,), depth=0) == []

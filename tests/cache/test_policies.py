@@ -1,0 +1,113 @@
+"""Unit tests for the pluggable eviction policies."""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.cache.policy import (AdmissionLruPolicy, ClockPolicy, LruPolicy,
+                                make_policy)
+
+
+class TestLru:
+    def test_victim_is_least_recently_used(self):
+        policy = LruPolicy()
+        for key in "abc":
+            policy.on_insert(key)
+        assert policy.victim() == "a"
+
+    def test_hit_refreshes_recency(self):
+        policy = LruPolicy()
+        for key in "abc":
+            policy.on_insert(key)
+        policy.on_hit("a")
+        assert policy.victim() == "b"
+
+    def test_remove_is_idempotent(self):
+        policy = LruPolicy()
+        policy.on_insert("a")
+        policy.remove("a")
+        policy.remove("a")
+        assert len(policy) == 0
+
+    def test_admits_everything(self):
+        policy = LruPolicy()
+        assert policy.admit("never-seen")
+
+
+class TestClock:
+    def test_unreferenced_entry_is_victim(self):
+        policy = ClockPolicy()
+        for key in "abc":
+            policy.on_insert(key)
+        assert policy.victim() == "a"
+
+    def test_second_chance_skips_referenced(self):
+        policy = ClockPolicy()
+        for key in "abc":
+            policy.on_insert(key)
+        policy.on_hit("a")
+        # the hand clears a's bit, moves it behind c, and lands on b
+        assert policy.victim() == "b"
+
+    def test_reference_bit_is_consumed(self):
+        policy = ClockPolicy()
+        for key in "ab":
+            policy.on_insert(key)
+        policy.on_hit("a")
+        assert policy.victim() == "b"
+        policy.remove("b")
+        # a's bit was cleared by the first sweep: next victim is a
+        assert policy.victim() == "a"
+
+
+class TestAdmission:
+    def test_first_touch_is_rejected(self):
+        policy = AdmissionLruPolicy(window=4)
+        assert not policy.admit("x")
+
+    def test_second_touch_is_admitted(self):
+        policy = AdmissionLruPolicy(window=4)
+        policy.admit("x")
+        assert policy.admit("x")
+
+    def test_window_bounds_the_doorkeeper(self):
+        policy = AdmissionLruPolicy(window=2)
+        policy.admit("x")
+        policy.admit("y")
+        policy.admit("z")  # pushes x out of the seen window
+        assert not policy.admit("x")
+
+    def test_scan_resistance(self):
+        """A one-touch scan never enters the cache; the re-touched hot
+        key does."""
+        policy = AdmissionLruPolicy(window=64)
+        admitted = [key for key in range(32) if policy.admit(key)]
+        assert admitted == []
+        assert policy.admit(7)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LruPolicy),
+                                          ("clock", ClockPolicy),
+                                          ("admission", AdmissionLruPolicy)])
+    def test_make_policy(self, name, cls):
+        policy = make_policy(CacheConfig(capacity_bytes=1024, policy=name))
+        assert type(policy) is cls
+        assert policy.name == name
+
+    def test_admission_window_threads_through(self):
+        policy = make_policy(CacheConfig(capacity_bytes=1024,
+                                         policy="admission",
+                                         admission_window=7))
+        assert policy.window == 7
+
+    def test_unknown_policy_rejected_at_config_time(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_bytes=1024, policy="belady")
+
+    @pytest.mark.parametrize("kwargs", [{"capacity_bytes": 0},
+                                        {"dirty_max": 0},
+                                        {"prefetch": -1},
+                                        {"admission_window": 0}])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CacheConfig(**kwargs)

@@ -1,0 +1,176 @@
+"""Integration tests: the DRAM tier wired through all four systems."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheConfig
+from repro.nvm import TINY_TEST
+from repro.systems import (BaselineSystem, HardwareNdsSystem, OracleSystem,
+                           SoftwareNdsSystem)
+
+ALL_SYSTEMS = (BaselineSystem, SoftwareNdsSystem, HardwareNdsSystem,
+               OracleSystem)
+IDS = ("baseline", "software", "hardware", "oracle")
+
+DIMS = (64, 64)
+TILE = (16, 16)
+
+
+def make_system(cls, cache, **kwargs):
+    system = cls(TINY_TEST, cache=cache, **kwargs)
+    tile = {"tile": TILE} if cls is OracleSystem else {}
+    system.ingest("m", DIMS, 4, **tile)
+    return system
+
+
+class TestWiring:
+    @pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=IDS)
+    def test_no_cache_means_no_tier(self, cls):
+        system = make_system(cls, cache=None)
+        assert system.tier is None
+        assert system.cache_report() is None
+        assert system.cache_counters() is None
+        # the fence is a no-op without a tier
+        assert system.flush_cache(1.5) == 1.5
+
+    @pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=IDS)
+    def test_repeat_read_hits_and_speeds_up(self, cls):
+        system = make_system(cls, cache=CacheConfig(capacity_bytes=1 << 20))
+        miss = system.read_tile("m", (0, 0), TILE).end_time
+        system.reset_time()  # drain timelines so latencies compare 1:1
+        hit = system.read_tile("m", (0, 0), TILE).end_time
+        report = system.cache_report()
+        assert report["hits"] >= 1
+        assert report["misses"] >= 1
+        assert hit < miss
+
+    @pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=IDS)
+    def test_per_stream_hit_rates(self, cls):
+        system = make_system(cls, cache=CacheConfig(capacity_bytes=1 << 20))
+        system.read_tile("m", (0, 0), TILE, stream="hot")
+        system.read_tile("m", (0, 0), TILE, stream="hot")
+        system.read_tile("m", (16, 16), TILE, stream="cold")
+        streams = system.scheduler.stream_cache_report()
+        assert streams["hot"]["hits"] >= 1
+        assert streams["hot"]["hit_rate"] > 0
+        assert streams["cold"].get("hits", 0) == 0
+        # the per-op report surfaces the same counters
+        assert system.scheduler.stream_report()["hot"]["cache"]["hits"] >= 1
+
+    @pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=IDS)
+    def test_write_through_keeps_device_path(self, cls):
+        system = make_system(cls, cache=CacheConfig(capacity_bytes=1 << 20))
+        result = system.write_tile("m", (0, 0), TILE)
+        assert result.fetched_bytes > 0
+        assert system.cache_report()["writebacks"] == 0
+
+    @pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=IDS)
+    def test_write_back_defers_then_fences(self, cls):
+        system = make_system(cls, cache=CacheConfig(
+            capacity_bytes=1 << 20, write_back=True, dirty_max=64))
+        result = system.write_tile("m", (0, 0), TILE)
+        assert result.fetched_bytes == 0  # absorbed in DRAM
+        assert system.tier.dirty_count >= 1
+        fence = system.flush_cache(result.end_time)
+        assert fence > result.end_time  # the deferred device write ran
+        assert system.tier.dirty_count == 0
+        assert system.cache_report()["writebacks"] >= 1
+
+    @pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=IDS)
+    def test_read_after_write_back_hits_dram(self, cls):
+        system = make_system(cls, cache=CacheConfig(
+            capacity_bytes=1 << 20, write_back=True))
+        system.write_tile("m", (0, 0), TILE)
+        before = system.cache_report()["hits"]
+        system.read_tile("m", (0, 0), TILE)
+        assert system.cache_report()["hits"] > before
+
+
+class TestFunctionalCoherence:
+    @pytest.mark.parametrize("cls", (SoftwareNdsSystem, HardwareNdsSystem),
+                             ids=("software", "hardware"))
+    @pytest.mark.parametrize("write_back", (False, True),
+                             ids=("write-through", "write-back"))
+    def test_cached_reads_return_fresh_bytes(self, cls, write_back, rng):
+        system = cls(TINY_TEST, store_data=True, cache=CacheConfig(
+            capacity_bytes=1 << 20, write_back=write_back))
+        data = rng.integers(0, 2**31, DIMS).astype(np.int32)
+        system.ingest("m", DIMS, 4, data=data)
+        # populate the tier, then overwrite the cached tile
+        system.read_tile("m", (0, 0), TILE, with_data=True, dtype=np.int32)
+        patch = rng.integers(0, 2**31, TILE).astype(np.int32)
+        system.write_tile("m", (0, 0), TILE, data=patch)
+        result = system.read_tile("m", (0, 0), TILE, with_data=True,
+                                  dtype=np.int32)
+        assert np.array_equal(result.data, patch)
+        # unrelated tiles are untouched
+        other = system.read_tile("m", (16, 16), TILE, with_data=True,
+                                 dtype=np.int32)
+        assert np.array_equal(other.data, data[16:32, 16:32])
+
+    @pytest.mark.parametrize("cls", (BaselineSystem, OracleSystem),
+                             ids=("baseline", "oracle"))
+    def test_linear_systems_refuse_functional_reads_with_tier(self, cls):
+        system = cls(TINY_TEST, store_data=True,
+                     cache=CacheConfig(capacity_bytes=1 << 20))
+        tile = {"tile": TILE} if cls is OracleSystem else {}
+        system.ingest("m", DIMS, 4, **tile)
+        with pytest.raises(NotImplementedError):
+            system.read_tile("m", (0, 0), TILE, with_data=True)
+
+
+class TestPrefetch:
+    @pytest.mark.parametrize("cls", (SoftwareNdsSystem, HardwareNdsSystem),
+                             ids=("software", "hardware"))
+    def test_sequential_scan_hits_prefetched_regions(self, cls):
+        system = cls(TINY_TEST, cache=CacheConfig(capacity_bytes=1 << 20,
+                                                  prefetch=2))
+        system.ingest("m", DIMS, 4)
+        for row in range(0, DIMS[0], TILE[0]):
+            system.read_tile("m", (row, 0), TILE)
+        report = system.cache_report()
+        assert report["prefetch_issued"] > 0
+        assert report["prefetch_hits"] > 0
+        assert report["prefetch_accuracy"] > 0
+
+    @pytest.mark.parametrize("cls", (BaselineSystem, OracleSystem),
+                             ids=("baseline", "oracle"))
+    def test_linear_systems_ignore_prefetch(self, cls):
+        system = make_system(cls, cache=CacheConfig(
+            capacity_bytes=1 << 20, prefetch=2))
+        system.read_tile("m", (0, 0), TILE)
+        assert system.cache_report()["prefetch_issued"] == 0
+
+
+class TestDeterminism:
+    @staticmethod
+    def _trace(cls, cache):
+        system = cls(TINY_TEST, cache=cache)
+        tile = {"tile": TILE} if cls is OracleSystem else {}
+        system.ingest("m", DIMS, 4, **tile)
+        ends = []
+        for origin in [(0, 0), (16, 0), (0, 0), (16, 16), (0, 0)]:
+            ends.append(system.read_tile("m", origin, TILE).end_time.hex())
+            ends.append(system.write_tile("m", origin, TILE).end_time.hex())
+        fence = system.flush_cache()
+        return ends, fence.hex(), system.cache_report()
+
+    @pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=IDS)
+    @pytest.mark.parametrize("policy", ("lru", "clock", "admission"))
+    def test_two_runs_bit_identical(self, cls, policy):
+        cache = CacheConfig(capacity_bytes=32 * 1024, policy=policy,
+                            write_back=True, dirty_max=4)
+        assert self._trace(cls, cache) == self._trace(cls, cache)
+
+
+class TestPooledAggregation:
+    def test_cache_report_merges_pool_members(self):
+        system = SoftwareNdsSystem(TINY_TEST, devices=2,
+                                   cache=CacheConfig(capacity_bytes=1 << 20))
+        system.ingest("m", DIMS, 4)
+        system.read_tile("m", (0, 0), TILE)
+        system.read_tile("m", (0, 0), TILE)
+        report = system.cache_report()
+        assert report is not None
+        assert report["hits"] >= 1
+        assert 0.0 < report["hit_rate"] <= 1.0

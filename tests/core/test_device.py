@@ -124,3 +124,28 @@ class TestConventionalCompatibility:
         bogus = EncodedCommand(sqe=b"\xff" * 64)
         completion = device.submit(bogus)
         assert not completion.success
+
+
+class TestErrorPropagation:
+    """Regression: the completion path only converts *typed* storage
+    failures (NdsError/FaultError) into failed completions; programming
+    errors escape so bugs are not silently swallowed."""
+
+    def test_programming_error_in_handler_propagates(self, device):
+        sid = _open(device, (32, 32))
+
+        def broken_plan(space_id, coordinate, sub_dim):
+            raise TypeError("broken callback")
+
+        device.stl.plan = broken_plan
+        with pytest.raises(TypeError, match="broken callback"):
+            device.submit(encode_command(NvmeOpcode.ND_READ, space_id=sid,
+                                         coordinate=(0, 0),
+                                         sub_dim=(16, 16)))
+
+    def test_typed_storage_error_stays_a_failed_completion(self, device):
+        completion = device.submit(
+            encode_command(NvmeOpcode.ND_READ, space_id=999,
+                           coordinate=(0, 0), sub_dim=(16, 16)))
+        assert not completion.success
+        assert "999" in completion.status

@@ -95,3 +95,109 @@ class TestPagesForRegion:
         assert space1d.bb == (256,)
         assert pages_for_region(space1d, ((0, 64),)) == [0]
         assert pages_for_region(space1d, ((60, 130),)) == [0, 1, 2]
+
+
+class TestTranslationCacheEviction:
+    """Regression: a full memo cache evicts one LRU entry instead of
+    clearing wholesale (the old behaviour thrashed every working set
+    one entry over the cap)."""
+
+    def test_full_cache_keeps_recently_used_entries(self, geometry):
+        from repro.core import translator
+
+        space = Space.create(7, (64, 64), 4, geometry)
+        old_limit = translator.translation_cache_limit()
+        translator.set_translation_cache_limit(4)
+        try:
+            hot = ((0, 0), (16, 16))
+            translate_region(space, *hot)
+            for i in range(1, 4):
+                translate_region(space, (16 * i, 0), (16, 16))
+            translate_region(space, *hot)  # hit: refresh recency
+            before = space.translation_cache_stats()["region_hits"]
+            # one more distinct region forces a single LRU eviction...
+            translate_region(space, (0, 16), (16, 16))
+            assert len(space._region_cache) <= 4
+            # ...and the hot entry survives it
+            translate_region(space, *hot)
+            after = space.translation_cache_stats()["region_hits"]
+            assert after == before + 1
+        finally:
+            translator.set_translation_cache_limit(old_limit)
+
+    def test_hot_entry_survives_overflowing_working_set(self, geometry):
+        """A region re-accessed between every cold access stays resident
+        while the working set overflows the cap: recency protects it.
+        The old clear() dropped it at every overflow, so the hot region
+        missed repeatedly despite being touched on every other access."""
+        from repro.core import translator
+
+        space = Space.create(8, (64, 64), 4, geometry)
+        old_limit = translator.translation_cache_limit()
+        translator.set_translation_cache_limit(4)
+        try:
+            hot = ((0, 0), (16, 16))
+            cold = [((16 * (i % 4), 16), (16, 16)) for i in range(8)]
+            translate_region(space, *hot)
+            for origin, extents in cold:
+                translate_region(space, origin, extents)
+                translate_region(space, *hot)
+            stats = space.translation_cache_stats()
+            assert stats["region_hits"] >= len(cold)
+            assert len(space._region_cache) <= 4
+        finally:
+            translator.set_translation_cache_limit(old_limit)
+
+
+class TestPerSpaceStats:
+    """Regression: hit/miss counters are per-Space; two spaces (or two
+    concurrently-driven systems) never pollute each other's counts."""
+
+    def test_stats_are_independent_between_spaces(self, geometry):
+        a = Space.create(11, (64, 64), 4, geometry)
+        b = Space.create(12, (64, 64), 4, geometry)
+        translate_region(a, (0, 0), (16, 16))
+        translate_region(a, (0, 0), (16, 16))
+        translate_region(b, (0, 0), (16, 16))
+        stats_a = a.translation_cache_stats()
+        stats_b = b.translation_cache_stats()
+        assert stats_a["region_hits"] == 1
+        assert stats_a["region_misses"] == 1
+        assert stats_b["region_hits"] == 0
+        assert stats_b["region_misses"] == 1
+
+    def test_reset_is_per_space(self, geometry):
+        a = Space.create(13, (64, 64), 4, geometry)
+        b = Space.create(14, (64, 64), 4, geometry)
+        translate_region(a, (0, 0), (16, 16))
+        translate_region(b, (0, 0), (16, 16))
+        from repro.core.translator import (reset_translation_cache_stats,
+                                           translation_cache_stats)
+        reset_translation_cache_stats(a)
+        assert translation_cache_stats(a)["region_misses"] == 0
+        assert translation_cache_stats(b)["region_misses"] == 1
+
+    def test_module_shim_aggregates_without_space(self, geometry):
+        from repro.core.translator import (reset_translation_cache_stats,
+                                           translation_cache_stats)
+        reset_translation_cache_stats()
+        space = Space.create(15, (64, 64), 4, geometry)
+        translate_region(space, (0, 0), (16, 16))
+        assert translation_cache_stats()["region_misses"] >= 1
+
+    def test_two_systems_report_independent_counts(self):
+        from repro.nvm import TINY_TEST
+        from repro.systems import SoftwareNdsSystem
+
+        first = SoftwareNdsSystem(TINY_TEST)
+        second = SoftwareNdsSystem(TINY_TEST)
+        first.ingest("d", (64, 64), 4)
+        second.ingest("d", (64, 64), 4)
+        space_second = second.stl.get_space(second._spaces["d"])
+        baseline = dict(space_second.translation_cache_stats())
+        for _ in range(3):
+            first.read_tile("d", (0, 0), (16, 16))
+        # driving the first system leaves the second's counters alone
+        assert space_second.translation_cache_stats() == baseline
+        second.read_tile("d", (0, 0), (16, 16))
+        assert space_second.translation_cache_stats() != baseline

@@ -1,0 +1,103 @@
+"""Property-based tests: the DRAM tier never changes what reads return.
+
+The tier is a pure performance artifact — whatever mix of policies,
+write-back buffering, evictions, flush fences and injected flash faults
+a run goes through, a functional read must return exactly the bytes the
+last write put there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CACHE_POLICIES, CacheConfig
+from repro.faults import FaultConfig
+from repro.nvm import TINY_TEST
+from repro.systems import SoftwareNdsSystem
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+DIMS = (64, 64)
+TILE = (16, 16)
+ORIGINS = [(r, c) for r in range(0, DIMS[0], TILE[0])
+           for c in range(0, DIMS[1], TILE[1])]
+
+#: fault knobs that keep injected faults recoverable (mirrors the
+#: fault property suite) so byte equality stays provable
+_SAFE_RETRY = dict(rber_base=1e-3, jitter_log2=2.0)
+
+
+@SETTINGS
+@given(seed=st.integers(0, 2**31 - 1),
+       policy=st.sampled_from(CACHE_POLICIES),
+       write_back=st.booleans(),
+       capacity_kib=st.sampled_from([4, 16, 64, 1024]),
+       dirty_max=st.integers(1, 8),
+       prefetch=st.integers(0, 2),
+       ops=st.lists(st.tuples(st.booleans(),
+                              st.sampled_from(range(len(ORIGINS)))),
+                    min_size=4, max_size=24))
+def test_readback_equality_under_cache_churn(seed, policy, write_back,
+                                             capacity_kib, dirty_max,
+                                             prefetch, ops):
+    """Random read/write tile traffic through every tier configuration
+    (tiny capacities force eviction+flush churn; write-back buffers
+    dirty tiles; faults age the flash) reads back exactly the mirror."""
+    system = SoftwareNdsSystem(
+        TINY_TEST, store_data=True,
+        cache=CacheConfig(capacity_bytes=capacity_kib * 1024, policy=policy,
+                          write_back=write_back, dirty_max=dirty_max,
+                          prefetch=prefetch),
+        faults=FaultConfig(seed=seed, initial_wear=4000, **_SAFE_RETRY))
+    rng = np.random.default_rng(seed)
+    mirror = rng.integers(0, 2**31, DIMS).astype(np.int32)
+    system.ingest("m", DIMS, 4, data=mirror.copy())
+    for is_write, index in ops:
+        r, c = ORIGINS[index]
+        if is_write:
+            patch = rng.integers(0, 2**31, TILE).astype(np.int32)
+            mirror[r:r + TILE[0], c:c + TILE[1]] = patch
+            system.write_tile("m", (r, c), TILE, data=patch)
+        else:
+            result = system.read_tile("m", (r, c), TILE, with_data=True,
+                                      dtype=np.int32)
+            assert np.array_equal(result.data,
+                                  mirror[r:r + TILE[0], c:c + TILE[1]])
+    # the durability fence flushes every buffered tile, after which a
+    # full re-read still matches the mirror exactly
+    system.flush_cache()
+    result = system.read_tile("m", (0, 0), DIMS, with_data=True,
+                              dtype=np.int32)
+    assert np.array_equal(result.data, mirror)
+    assert system.tier.dirty_count == 0
+
+
+@SETTINGS
+@given(seed=st.integers(0, 2**31 - 1),
+       policy=st.sampled_from(CACHE_POLICIES))
+def test_cache_timings_are_replayable(seed, policy):
+    """Same seed, same config: every timed float and counter is
+    bit-identical between runs (the determinism contract the CI
+    cache job asserts end to end)."""
+    def run():
+        system = SoftwareNdsSystem(
+            TINY_TEST,
+            cache=CacheConfig(capacity_bytes=32 * 1024, policy=policy,
+                              write_back=True, dirty_max=4))
+        system.ingest("m", DIMS, 4)
+        rng = np.random.default_rng(seed)
+        trace = []
+        for _ in range(12):
+            r, c = ORIGINS[int(rng.integers(len(ORIGINS)))]
+            if rng.integers(2):
+                trace.append(
+                    system.write_tile("m", (r, c), TILE).end_time.hex())
+            else:
+                trace.append(
+                    system.read_tile("m", (r, c), TILE).end_time.hex())
+        trace.append(system.flush_cache().hex())
+        return trace, system.cache_report()
+    assert run() == run()
