@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.cache.config import CacheConfig
 from repro.nvm.profiles import TINY_TEST, DeviceProfile
 from repro.obs.critical_path import critical_path
+from repro.obs.monitor import Monitor
+from repro.obs.slo import SloPolicy
 from repro.runtime.trace import TraceRecorder
 from repro.traffic.arrivals import (ArrivalProcess, DiurnalProcess,
                                     MmppProcess, PoissonProcess)
@@ -137,10 +139,17 @@ def run_load_point(system_name: str, offered_rate: float,
                    seed: int = 97,
                    tenants: int = 1,
                    attribute_layers: bool = True,
-                   cache: Optional[CacheConfig] = None) -> Dict[str, object]:
+                   cache: Optional[CacheConfig] = None,
+                   monitor: Optional[SloPolicy] = None) -> Dict[str, object]:
     """One point of the load line: inject ``offered_rate`` requests/s
     of embedding-serving traffic into ``system_name`` over a
     ``devices``-member pool and measure goodput, shed rate and tails.
+
+    ``monitor=SloPolicy(...)`` attaches a fresh windowed
+    :class:`~repro.obs.monitor.Monitor` to the run; the cell then
+    carries the full monitor report (windowed series, SLO burn rates,
+    alerts and — when layer attribution is on — per-window attribution,
+    device series and alert diagnoses) under ``"monitor"``.
 
     ``cache=CacheConfig(...)`` puts the host DRAM tier in front of the
     device path; the cell then carries the tier's hit/miss report under
@@ -190,8 +199,11 @@ def run_load_point(system_name: str, offered_rate: float,
             workload.request_factory(salt=t),
             token_rate=token_rate, admission_queue=admission_queue)
             for t in range(tenants)]
+    mon = Monitor(slo=monitor, horizon=horizon) if monitor is not None \
+        else None
     injector = OpenLoopInjector(system, streams, horizon=horizon,
-                                trace=trace, marks=8 if trace else 0)
+                                trace=trace, marks=8 if trace else 0,
+                                monitor=mon)
     result = injector.run()
 
     cell: Dict[str, object] = {
@@ -220,6 +232,8 @@ def run_load_point(system_name: str, offered_rate: float,
         stream_cache = system.scheduler.stream_cache_report()
         if stream_cache:
             cell["stream_cache"] = stream_cache
+    if mon is not None:
+        cell["monitor"] = mon.report(trace=trace)
     return cell
 
 
@@ -237,7 +251,8 @@ def loadline_sweep(systems: Sequence[str] = LOADLINE_SYSTEMS,
                    seed: int = 97,
                    tenants: int = 1,
                    attribute_layers: bool = True,
-                   cache: Optional[CacheConfig] = None) -> Dict[str, object]:
+                   cache: Optional[CacheConfig] = None,
+                   monitor: Optional[SloPolicy] = None) -> Dict[str, object]:
     """Ramp every (system, devices) series to saturation.
 
     The offered rate starts at ``base_rate`` (scaled by the device
@@ -279,6 +294,8 @@ def loadline_sweep(systems: Sequence[str] = LOADLINE_SYSTEMS,
             "write_back": cache.write_back,
             "prefetch": cache.prefetch,
         }
+    if monitor is not None:
+        sweep["slo"] = monitor.to_dict()
     for system_name in systems:
         for devices in device_counts:
             previous_goodput: Optional[float] = None
@@ -289,7 +306,8 @@ def loadline_sweep(systems: Sequence[str] = LOADLINE_SYSTEMS,
                     profile=profile, workload=workload, horizon=horizon,
                     admission_queue=admission_queue, arrival=arrival,
                     seed=seed, tenants=tenants,
-                    attribute_layers=attribute_layers, cache=cache)
+                    attribute_layers=attribute_layers, cache=cache,
+                    monitor=monitor)
                 goodput = cell["goodput_rps"]
                 saturated = False
                 if previous_goodput is not None and previous_goodput > 0:

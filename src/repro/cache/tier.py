@@ -222,6 +222,12 @@ class HostTierCache:
     def dirty_count(self) -> int:
         return len(self._dirty)
 
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes buffered in the write-back dirty set (the exposure a
+        durability fence would have to flush)."""
+        return sum(self.entries[key].nbytes for key in self._dirty)
+
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------

@@ -221,6 +221,124 @@ def _cmd_loadtest(args: argparse.Namespace) -> None:
         print(f"wrote {args.json}")
 
 
+def _run_monitor_scenario(args: argparse.Namespace, policy):
+    """Run the scripted live-monitor scenario and return (trace, payload).
+
+    The defaults reproduce the worked scenario from
+    ``docs/OBSERVABILITY.md``: a bursty MMPP embedding-serving stream
+    pushed past the knee so the burn-rate rules fire; ``--kill-device``
+    and ``--cache-mb --cache-write-back`` layer a mid-run device loss
+    and a write-back DRAM tier on top.
+    """
+    from repro.analysis.loadline_sweep import (arrival_process,
+                                               default_workload)
+    from repro.nvm.profiles import TINY_TEST
+    from repro.obs.monitor import Monitor
+    from repro.obs.report import SYSTEM_FACTORIES
+    from repro.runtime.trace import TraceRecorder
+    from repro.traffic.injector import OpenLoopInjector, TrafficStream
+
+    factory = SYSTEM_FACTORIES.get(args.system)
+    if factory is None:
+        raise SystemExit(f"unknown system {args.system!r}; pick from "
+                         f"{sorted(SYSTEM_FACTORIES)}")
+    kwargs = {}
+    if args.devices > 1:
+        kwargs["devices"] = args.devices
+    if args.cache_mb:
+        from repro.cache.config import CacheConfig
+        kwargs["cache"] = CacheConfig(
+            capacity_bytes=int(args.cache_mb * 2**20),
+            write_back=args.cache_write_back)
+    if args.kill_device is not None:
+        from repro.faults.model import FaultConfig
+        from repro.faults.plan import FaultPlan
+        if args.devices < 2:
+            raise SystemExit("--kill-device needs --devices >= 2 "
+                             "(parity rebuild requires surviving peers)")
+        kill_at = (args.kill_at if args.kill_at is not None
+                   else args.horizon / 2)
+        kwargs["faults"] = FaultConfig(parity=True,
+                                       plan=FaultPlan().kill_device(
+                                           args.kill_device, at=kill_at))
+    system = factory(TINY_TEST, **kwargs)
+    workload = default_workload(seed=args.seed)
+    if args.system == "software-oracle":
+        for ds in workload.datasets():
+            system.ingest(ds.name, ds.dims, ds.element_size,
+                          tile=(1, workload.embedding_dim))
+    else:
+        for ds in workload.datasets():
+            system.ingest(ds.name, ds.dims, ds.element_size)
+    system.reset_time()
+    system._reset_runtime()
+
+    if args.tenants <= 1:
+        streams = [TrafficStream(
+            "serve", arrival_process(args.arrival, args.rate, args.seed),
+            workload.request_factory(),
+            admission_queue=args.admission_queue or None)]
+    else:
+        streams = [TrafficStream(
+            f"serve{t}",
+            arrival_process(args.arrival, args.rate / args.tenants,
+                            args.seed + 7919 * t),
+            workload.request_factory(salt=t),
+            admission_queue=args.admission_queue or None)
+            for t in range(args.tenants)]
+    monitor = Monitor(windows=args.windows, slo=policy,
+                      horizon=args.horizon)
+    trace = TraceRecorder()
+    injector = OpenLoopInjector(system, streams, horizon=args.horizon,
+                                trace=trace, marks=args.windows,
+                                monitor=monitor)
+    injector.run()
+    return trace, monitor.report(trace=trace)
+
+
+def _cmd_monitor(args: argparse.Namespace) -> None:
+    from repro.obs.monitor import (Monitor, format_monitor, monitor_csv,
+                                   monitor_json, monitor_prometheus)
+    from repro.obs.slo import SloPolicy
+
+    policy = SloPolicy(latency_target=args.slo_target_us * 1e-6,
+                       target_fraction=args.slo_fraction)
+    if args.trace:
+        from repro.runtime.trace import TraceRecorder
+        trace = TraceRecorder.load(args.trace)
+        # an explicit --horizon pins the window grid (exact live-run
+        # match); otherwise infer it from the trace extent
+        monitor = Monitor.from_trace(trace, windows=args.windows,
+                                     slo=policy, horizon=args.horizon)
+        payload = monitor.report(trace=trace)
+    else:
+        if args.horizon is None:
+            args.horizon = 0.08
+        trace, payload = _run_monitor_scenario(args, policy)
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(monitor_json(payload))
+        print(f"wrote {args.json}")
+    if args.csv:
+        out = Path(args.csv)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(monitor_csv(payload))
+        print(f"wrote {args.csv}")
+    if args.prom:
+        out = Path(args.prom)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(monitor_prometheus(payload))
+        print(f"wrote {args.prom}")
+    if args.trace_out:
+        out = Path(args.trace_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        trace.save(out)
+        print(f"wrote {args.trace_out}")
+    if not args.json or args.text:
+        print(format_monitor(payload))
+
+
 def _cmd_bench(args: argparse.Namespace) -> None:
     from repro.analysis.bench import (bench_json, format_bench,
                                       run_hotpath_bench)
@@ -241,6 +359,8 @@ def _cmd_all(args: argparse.Namespace) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.obs.utilization import DEFAULT_WINDOWS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'NDS: N-Dimensional Storage' (MICRO 2021)")
@@ -282,8 +402,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--devices", type=int, default=1,
                         help="device-pool size (default 1 = single "
                              "device; >1 adds a per-device breakdown)")
-    report.add_argument("--windows", type=int, default=16,
-                        help="utilization windows (default 16)")
+    report.add_argument("--windows", type=int, default=DEFAULT_WINDOWS,
+                        help="utilization windows "
+                             f"(default {DEFAULT_WINDOWS})")
     report.add_argument("--json", default=None, metavar="PATH",
                         help="write the byte-stable JSON report to PATH")
     report.add_argument("--csv-dir", default=None, metavar="DIR",
@@ -353,6 +474,67 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--json", default=None, metavar="PATH",
                           help="write the byte-stable sweep JSON to PATH")
     loadtest.set_defaults(fn=_cmd_loadtest)
+    monitor = sub.add_parser(
+        "monitor", help="live windowed monitor: time-series, SLO "
+                        "burn-rate alerts, bottleneck diagnosis")
+    monitor.add_argument("--trace", default=None, metavar="PATH",
+                         help="replay a saved Chrome trace through the "
+                              "monitor instead of running live")
+    monitor.add_argument("--system", default="software-nds",
+                         help="system to run live (default software-nds)")
+    monitor.add_argument("--devices", type=int, default=1,
+                         help="device-pool size (default 1)")
+    monitor.add_argument("--rate", type=float, default=4000.0,
+                         help="offered rate, requests/s (default 4000 — "
+                              "past the TINY_TEST knee so alerts fire)")
+    monitor.add_argument("--arrival", default="mmpp",
+                         choices=["poisson", "mmpp", "diurnal"],
+                         help="arrival shape (default: mmpp burst)")
+    monitor.add_argument("--horizon", type=float, default=None,
+                         help="injection horizon, model seconds "
+                              "(default 0.08; with --trace, pins the "
+                              "replay window grid instead of inferring "
+                              "it from the trace extent)")
+    monitor.add_argument("--windows", type=int, default=DEFAULT_WINDOWS,
+                         help="monitor windows over the horizon "
+                              f"(default {DEFAULT_WINDOWS})")
+    monitor.add_argument("--tenants", type=int, default=1,
+                         help="co-running traffic streams (default 1)")
+    monitor.add_argument("--admission-queue", type=int, default=64,
+                         help="per-stream admission queue bound "
+                              "(default 64; 0 = unbounded)")
+    monitor.add_argument("--seed", type=int, default=97,
+                         help="traffic seed (default 97)")
+    monitor.add_argument("--slo-target-us", type=float, default=500.0,
+                         help="SLO latency bound in microseconds "
+                              "(default 500)")
+    monitor.add_argument("--slo-fraction", type=float, default=0.999,
+                         help="SLO good fraction (default 0.999)")
+    monitor.add_argument("--cache-mb", type=float, default=0,
+                         help="host DRAM tier capacity in MiB "
+                              "(default 0 = no tier)")
+    monitor.add_argument("--cache-write-back", action="store_true",
+                         help="buffer writes in the tier")
+    monitor.add_argument("--kill-device", type=int, default=None,
+                         metavar="N",
+                         help="kill pool member N mid-run (needs "
+                              "--devices >= 2; parity rebuild covers it)")
+    monitor.add_argument("--kill-at", type=float, default=None,
+                         help="kill time, model seconds "
+                              "(default horizon/2)")
+    monitor.add_argument("--json", default=None, metavar="PATH",
+                         help="write the byte-stable monitor JSON to PATH")
+    monitor.add_argument("--csv", default=None, metavar="PATH",
+                         help="write the windowed series as CSV to PATH")
+    monitor.add_argument("--prom", default=None, metavar="PATH",
+                         help="write Prometheus text format (with "
+                              "model-time timestamps) to PATH")
+    monitor.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="save the annotated Chrome trace (alert "
+                              "instants included) to PATH")
+    monitor.add_argument("--text", action="store_true",
+                         help="print the text timeline even with --json")
+    monitor.set_defaults(fn=_cmd_monitor)
     bench = sub.add_parser(
         "bench", help="wall-clock hot-path benchmark (BENCH_sim.json)")
     bench.add_argument("--json", default=None, metavar="PATH",

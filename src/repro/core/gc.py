@@ -70,6 +70,11 @@ class NdsGarbageCollector:
         #: optional metrics registry (set via the owning system's
         #: ``set_metrics``)
         self.metrics = None
+        #: optional trace recorder (set via ``set_trace``); collections
+        #: are marked as instants, never duration spans — a GC child
+        #: span would steal critical-path attribution from the flash
+        #: work it triggered
+        self.trace = None
         #: relocation callback for parity units (position
         #: :data:`~repro.faults.parity.PARITY_POSITION` in the reverse
         #: table): called as ``parity_patcher(space_id, coord, new_ppa)``
@@ -117,6 +122,12 @@ class NdsGarbageCollector:
             self.metrics.count("stl.gc.units_relocated",
                                result.units_relocated)
             self.metrics.count("stl.gc.blocks_erased", result.blocks_erased)
+        if self.trace is not None and result.ran:
+            self.trace.instant(
+                "gc", result.end_time, name="gc", start=now,
+                duration=result.end_time - now, channel=channel, bank=bank,
+                units_relocated=result.units_relocated,
+                blocks_erased=result.blocks_erased)
         return result
 
     def _collect(self, channel: int, bank: int, now: float,

@@ -59,6 +59,11 @@ class GarbageCollector:
         #: optional metrics registry (set via the owning system's
         #: ``set_metrics``)
         self.metrics = None
+        #: optional trace recorder (set via ``set_trace``); collections
+        #: are marked as instants, never duration spans — a GC child
+        #: span would steal critical-path attribution from the flash
+        #: work it triggered
+        self.trace = None
 
     def _recovery(self):
         """Context for internal relocation traffic: probabilistic fault
@@ -97,6 +102,12 @@ class GarbageCollector:
             self.metrics.count("ftl.gc.pages_relocated",
                                result.pages_relocated)
             self.metrics.count("ftl.gc.blocks_erased", result.blocks_erased)
+        if self.trace is not None and result.ran:
+            self.trace.instant(
+                "gc", result.end_time, name="gc", start=now,
+                duration=result.end_time - now, channel=channel, bank=bank,
+                pages_relocated=result.pages_relocated,
+                blocks_erased=result.blocks_erased)
         return result
 
     def _collect(self, channel: int, bank: int, now: float) -> GcResult:

@@ -13,19 +13,37 @@
 * :mod:`repro.obs.report` — the ``python -m repro report`` backend:
   runs a workload (or loads a saved Chrome trace) and emits breakdown
   tables, histograms and utilization data as text / stable JSON /
-  Prometheus text.
+  Prometheus text;
+* :mod:`repro.obs.monitor` — the live monitor: windowed time-series
+  (latency p50/p99, goodput/offered/shed, queue depth, cache, per-
+  device busy and GC share) streamed during a run or replayed from a
+  trace, behind ``python -m repro monitor``;
+* :mod:`repro.obs.slo` — SRE-style SLO policies with multi-window
+  burn-rate alert rules firing deterministic ``AlertEvent`` s;
+* :mod:`repro.obs.diagnose` — automated bottleneck diagnosis: each
+  alert's window span is diffed against the preceding healthy baseline
+  to name the dominant layer/device/stream.
 """
 
 from repro.obs.critical_path import (LAYERS, OpAttribution, attribute_op,
                                      classify_span, critical_path)
+from repro.obs.diagnose import diagnose_report
 from repro.obs.metrics import (DEFAULT_LATENCY_BUCKETS, Counter, Gauge,
                                Histogram, MetricsRegistry)
-from repro.obs.utilization import utilization_csv, utilization_timeline
+from repro.obs.monitor import (Monitor, format_monitor, monitor_csv,
+                               monitor_json, monitor_prometheus)
+from repro.obs.slo import AlertEvent, BurnRule, SloPolicy
+from repro.obs.utilization import (DEFAULT_WINDOWS, utilization_csv,
+                                   utilization_timeline)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "LAYERS", "OpAttribution", "attribute_op", "classify_span",
     "critical_path",
-    "utilization_timeline", "utilization_csv",
+    "DEFAULT_WINDOWS", "utilization_timeline", "utilization_csv",
+    "Monitor", "format_monitor", "monitor_json", "monitor_csv",
+    "monitor_prometheus",
+    "SloPolicy", "BurnRule", "AlertEvent",
+    "diagnose_report",
 ]

@@ -113,6 +113,11 @@ class OpAttribution:
     end: float
     queue_wait: float
     by_layer: Dict[str, float] = field(default_factory=dict)
+    #: the elementary ``(start, end, layer)`` segments the sweep
+    #: produced, in time order — they partition ``[start, end)``
+    #: exactly, so any window clipped out of them inherits the same
+    #: exact-sum discipline (the live monitor's windowed attribution)
+    segments: List[Tuple[float, float, str]] = field(default_factory=list)
 
     @property
     def service_time(self) -> float:
@@ -187,6 +192,7 @@ def attribute_op(op_span: TraceSpan,
         else:
             layer = "unattributed"
         by_layer[layer] = by_layer.get(layer, 0.0) + (seg_hi - seg_lo)
+        attribution.segments.append((seg_lo, seg_hi, layer))
     return attribution
 
 

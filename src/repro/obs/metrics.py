@@ -96,6 +96,38 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate.
+
+        Walks the cumulative counts to the bucket holding the ``q``-th
+        sample and interpolates the sample's position inside it —
+        geometrically for log-spaced buckets (both edges positive),
+        linearly when the bucket touches zero. The estimate is within
+        one bucket width of the exact sample quantile by construction;
+        samples in the +Inf overflow bucket are reported at the last
+        finite bound (the histogram cannot know more).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile fraction must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        # nearest-rank target (1-based), matching the deterministic
+        # percentile() used on raw sample lists
+        rank = max(1, min(self.count, round(q * self.count)))
+        running = 0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if running + count >= rank:
+                hi = self.bounds[index]
+                lo = self.bounds[index - 1] if index > 0 else 0.0
+                position = (rank - running) / count
+                if lo > 0.0:
+                    return lo * (hi / lo) ** position
+                return lo + (hi - lo) * position
+            running += count
+        return self.bounds[-1]
+
     def cumulative(self) -> List[Tuple[str, int]]:
         """(le-label, running count) pairs, ending with ``+Inf``."""
         running = 0
@@ -196,6 +228,8 @@ class MetricsRegistry:
                     "count": hist.count,
                     "sum": hist.total,
                     "mean": hist.mean,
+                    "p50": hist.quantile(0.50),
+                    "p99": hist.quantile(0.99),
                     "buckets": hist.nonzero_buckets(),
                 }
                 for name, hist in sorted(self._histograms.items())

@@ -22,7 +22,8 @@ from repro.nvm.profiles import CONSUMER_SSD, DeviceProfile
 from repro.obs.critical_path import (LAYERS, critical_path,
                                      device_layer_totals)
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.utilization import utilization_csv, utilization_timeline
+from repro.obs.utilization import (DEFAULT_WINDOWS, utilization_csv,
+                                   utilization_timeline)
 from repro.runtime.tileop import TileOp
 from repro.runtime.trace import TraceRecorder
 from repro.systems import (BaselineSystem, HardwareNdsSystem, OracleSystem,
@@ -88,7 +89,7 @@ def _attribution_section(trace: TraceRecorder,
 def run_system_report(system_name: str, workload,
                       profile: DeviceProfile = CONSUMER_SSD,
                       queue_depth: int = 8,
-                      windows: int = 16,
+                      windows: int = DEFAULT_WINDOWS,
                       include_ops: bool = True,
                       prometheus: bool = False,
                       devices: int = 1) -> Dict[str, object]:
@@ -142,7 +143,7 @@ def build_report(workload=None,
                  systems: Sequence[str] = DEFAULT_SYSTEMS,
                  profile: DeviceProfile = CONSUMER_SSD,
                  queue_depth: int = 8,
-                 windows: int = 16,
+                 windows: int = DEFAULT_WINDOWS,
                  include_ops: bool = True,
                  prometheus: bool = False,
                  devices: int = 1) -> Dict[str, object]:
@@ -166,7 +167,7 @@ def build_report(workload=None,
     return report
 
 
-def analyze_trace(trace: TraceRecorder, windows: int = 16,
+def analyze_trace(trace: TraceRecorder, windows: int = DEFAULT_WINDOWS,
                   include_ops: bool = True) -> Dict[str, object]:
     """Offline analysis of a saved trace (no metrics registry — only
     what the spans themselves carry)."""
@@ -256,14 +257,13 @@ def _format_histograms(section: Dict[str, object],
     for name, hist in sorted(metrics["histograms"].items()):
         if not hist["count"]:
             continue
-        top = max(hist["buckets"].items(),
-                  key=lambda item: item[1], default=(None, 0))
         rows.append([name, str(hist["count"]),
-                     _fmt_us(hist["mean"]), _fmt_us(hist["sum"]),
-                     f"<= {top[0]}s" if top[0] is not None else "-"])
+                     _fmt_us(hist["mean"]), _fmt_us(hist["p50"]),
+                     _fmt_us(hist["p99"]), _fmt_us(hist["sum"])])
     if rows:
         lines.append(format_table(
-            ["metric", "count", "mean (us)", "total (us)", "mode bucket"],
+            ["metric", "count", "mean (us)", "p50 (us)", "p99 (us)",
+             "total (us)"],
             rows, title="latency histograms"))
 
 

@@ -1,0 +1,185 @@
+"""SRE-style SLO policies and multi-window burn-rate alerting.
+
+An :class:`SloPolicy` states the objective the serving stack promises —
+"`target_fraction` of requests finish within `latency_target` seconds,
+and shed requests count against the promise" — which leaves an *error
+budget* of ``1 - target_fraction``. Each monitor window contributes a
+``(bad, total)`` pair; the **burn rate** of a span of windows is the
+fraction of requests that were bad divided by the budget, i.e. how many
+times faster than "exactly on budget" the service is consuming its
+allowance (burn 1.0 = on budget, 14.0 = the budget will be gone in
+1/14th of the period).
+
+Alerting follows the multi-window, multi-burn-rate recipe from the SRE
+workbook: a :class:`BurnRule` fires only when *both* a long window
+(noise suppression) and a short window (still-happening check) exceed
+the rule's threshold. Rules are evaluated per monitor window, fire
+deterministic :class:`AlertEvent` s on the rising edge, and stay silent
+while the condition persists — re-arming once the rule stops matching.
+
+Everything here is pure arithmetic over window counts: no wall clock,
+no randomness, byte-stable output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["BurnRule", "SloPolicy", "AlertEvent", "DEFAULT_BURN_RULES"]
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One multi-window burn-rate alert rule.
+
+    ``long_windows`` / ``short_windows`` are rolling spans measured in
+    monitor windows ending at the window under evaluation; the rule
+    matches when both spans burn at ``threshold`` × budget or faster.
+    """
+
+    name: str
+    long_windows: int
+    short_windows: int
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.long_windows < 1 or self.short_windows < 1:
+            raise ValueError("burn-rule windows must be >= 1")
+        if self.short_windows > self.long_windows:
+            raise ValueError("short window cannot exceed the long window")
+        if self.threshold <= 0:
+            raise ValueError("burn threshold must be > 0")
+
+
+#: the classic fast-burn / slow-burn pair, scaled to a 16-window run:
+#: "fast" catches an outage eating budget 8× over a 4-window span;
+#: "slow" catches a simmering 2× burn over 12 windows.
+DEFAULT_BURN_RULES: Tuple[BurnRule, ...] = (
+    BurnRule("fast", long_windows=4, short_windows=1, threshold=8.0),
+    BurnRule("slow", long_windows=12, short_windows=3, threshold=2.0),
+)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One deterministic burn-rate alert firing (rising edge)."""
+
+    rule: str
+    #: model time of the firing window's right edge
+    time: float
+    #: index of the monitor window whose evaluation fired the rule
+    window: int
+    #: rolling burn rates at the firing window
+    burn_long: float
+    burn_short: float
+    threshold: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "time": self.time,
+            "window": self.window,
+            "burn_long": self.burn_long,
+            "burn_short": self.burn_short,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """One service-level objective plus its alerting rules.
+
+    ``latency_target`` is the per-request latency bound; a completed
+    request slower than the bound is *bad*, and every shed request is
+    bad too (the user saw an error, not a slow answer).
+    ``target_fraction`` is the promised good fraction; the error budget
+    is the remainder.
+    """
+
+    latency_target: float
+    target_fraction: float = 0.999
+    rules: Tuple[BurnRule, ...] = DEFAULT_BURN_RULES
+    #: objective label used in reports and alert summaries
+    objective: str = "latency"
+
+    def __post_init__(self) -> None:
+        if self.latency_target <= 0:
+            raise ValueError("latency target must be > 0 seconds")
+        if not 0.0 < self.target_fraction < 1.0:
+            raise ValueError("target fraction must be in (0, 1)")
+        if not self.rules:
+            raise ValueError("an SLO policy needs at least one burn rule")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target_fraction
+
+    # ------------------------------------------------------------------
+    def burn_rate(self, bad: int, total: int) -> float:
+        """Burn-rate multiple of one span of windows (0.0 when idle)."""
+        if total <= 0:
+            return 0.0
+        return (bad / total) / self.error_budget
+
+    def evaluate(self, bad: Sequence[int], total: Sequence[int],
+                 window_seconds: float) -> Dict[str, object]:
+        """Evaluate every rule over per-window ``(bad, total)`` counts.
+
+        Returns a JSON-ready dict: per-window burn rates, per-rule
+        rolling burns, and the rising-edge :class:`AlertEvent` list in
+        time order (ties broken by rule order).
+        """
+        if len(bad) != len(total):
+            raise ValueError("bad/total series lengths differ")
+        count = len(bad)
+        burn = [self.burn_rate(bad[i], total[i]) for i in range(count)]
+
+        def rolling(span: int, end: int) -> float:
+            lo = max(0, end - span + 1)
+            return self.burn_rate(sum(bad[lo:end + 1]),
+                                  sum(total[lo:end + 1]))
+
+        rules_out: Dict[str, object] = {}
+        alerts: List[AlertEvent] = []
+        for rule in self.rules:
+            longs = [rolling(rule.long_windows, i) for i in range(count)]
+            shorts = [rolling(rule.short_windows, i) for i in range(count)]
+            firing = [longs[i] >= rule.threshold
+                      and shorts[i] >= rule.threshold for i in range(count)]
+            for i in range(count):
+                if firing[i] and (i == 0 or not firing[i - 1]):
+                    alerts.append(AlertEvent(
+                        rule=rule.name, time=(i + 1) * window_seconds,
+                        window=i, burn_long=longs[i], burn_short=shorts[i],
+                        threshold=rule.threshold))
+            rules_out[rule.name] = {
+                "long_windows": rule.long_windows,
+                "short_windows": rule.short_windows,
+                "threshold": rule.threshold,
+                "burn_long": longs,
+                "burn_short": shorts,
+                "firing": firing,
+            }
+        alerts.sort(key=lambda a: (a.window, a.rule))
+        return {
+            "objective": self.objective,
+            "latency_target": self.latency_target,
+            "target_fraction": self.target_fraction,
+            "error_budget": self.error_budget,
+            "bad": list(bad),
+            "total": list(total),
+            "burn": burn,
+            "rules": rules_out,
+            "alerts": [alert.to_dict() for alert in alerts],
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "objective": self.objective,
+            "latency_target": self.latency_target,
+            "target_fraction": self.target_fraction,
+            "rules": [{"name": r.name, "long_windows": r.long_windows,
+                       "short_windows": r.short_windows,
+                       "threshold": r.threshold} for r in self.rules],
+        }

@@ -14,7 +14,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.runtime.trace import TraceRecorder
 
-__all__ = ["utilization_timeline", "utilization_csv"]
+__all__ = ["DEFAULT_WINDOWS", "utilization_timeline", "utilization_csv"]
+
+#: the one windowing default for every windowed view — utilization
+#: heatmaps, ``repro report`` sections, and the live monitor's series
+#: all divide their horizon into this many fixed-width windows unless
+#: told otherwise (it used to be 32 here vs 16 in the report layer;
+#: one constant keeps the views aligned window-for-window)
+DEFAULT_WINDOWS = 16
 
 
 def _is_flash_resource(resource: str) -> bool:
@@ -27,7 +34,7 @@ def _is_flash_resource(resource: str) -> bool:
     return resource.startswith("ch") and resource[2:].isdigit()
 
 
-def utilization_timeline(trace: TraceRecorder, windows: int = 32,
+def utilization_timeline(trace: TraceRecorder, windows: int = DEFAULT_WINDOWS,
                          resources: Optional[Sequence[str]] = None,
                          flash_only: bool = False) -> Dict[str, object]:
     """Busy fraction per resource per time window.

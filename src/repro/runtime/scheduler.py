@@ -222,6 +222,10 @@ class RequestScheduler:
         #: optional :class:`~repro.obs.metrics.MetricsRegistry`; per-op
         #: queue-wait / service / latency observations land here
         self.metrics = metrics
+        #: optional :class:`~repro.obs.monitor.Monitor`; completed ops
+        #: are streamed to it (observation only — the monitor never
+        #: feeds anything back into scheduling or timing)
+        self.monitor = None
         self.streams: Dict[str, StreamHandle] = {}
         self.executed: List[TileOp] = []
         self._pending: List[TileOp] = []
@@ -513,8 +517,9 @@ class RequestScheduler:
         op.complete_time = result.end_time
         if before is not None:
             self._account_faults(op, before, probe(), result=result)
+        cache_after = cache_probe() if cache_before is not None else None
         if cache_before is not None:
-            self._account_cache(op, cache_before, cache_probe())
+            self._account_cache(op, cache_before, cache_after)
         handle.window.complete(result.end_time)
         handle.ops.append(op)
         self.executed.append(op)
@@ -532,10 +537,15 @@ class RequestScheduler:
             self.trace.op_span(op.stream, op.op_id, op.label,
                                result.start_time, result.end_time,
                                kind=op.kind, dataset=op.dataset,
-                               queue_wait=result.start_time - op.submit_time)
+                               queue_wait=result.start_time - op.submit_time,
+                               submit=op.submit_time)
             if violated:
                 self.trace.instant(
                     "slo", result.end_time, name="slo_violation",
                     stream=op.stream, op_id=op.op_id,
                     latency=result.end_time - op.submit_time,
                     target=handle.latency_target)
+        if self.monitor is not None:
+            self.monitor.note_op(op, violated=violated,
+                                 cache_before=cache_before,
+                                 cache_after=cache_after)

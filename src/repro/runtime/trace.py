@@ -39,6 +39,11 @@ class TraceSpan:
     op_id: int = -1
     args: Tuple[Tuple[str, Union[int, float, str]], ...] = ()
     instant: bool = False
+    #: ``counter=True`` marks a Chrome counter sample (``"ph": "C"``):
+    #: ``args`` holds the numeric series values at ``start``. Counter
+    #: spans are also ``instant`` so every busy-time consumer
+    #: (utilization, critical path, resource metrics) skips them.
+    counter: bool = False
 
     @property
     def duration(self) -> float:
@@ -109,10 +114,30 @@ class TraceRecorder:
             op_id=op_id if op_id is not None else self.current_op,
             args=tuple(sorted(args.items())), instant=True))
 
+    def counter(self, resource: str, time: float, name: str,
+                stream: Optional[str] = None, **series) -> None:
+        """Record a Chrome counter sample (``"ph": "C"``): one or more
+        named numeric series values at ``time``. Perfetto renders each
+        distinct ``name`` as a stacked-area track, so queue depth,
+        offered load, and cache dirty bytes become live timelines next
+        to the spans."""
+        self.spans.append(TraceSpan(
+            name=name, resource=resource,
+            stream=stream if stream is not None else self.current_stream,
+            start=time, end=time, op_id=-1,
+            args=tuple(sorted(series.items())), instant=True,
+            counter=True))
+
     def instants(self, resource: Optional[str] = None) -> List[TraceSpan]:
-        """All point events, optionally filtered by resource."""
-        return [s for s in self.spans if s.instant
+        """All point events, optionally filtered by resource (counter
+        samples excluded — see :meth:`counters`)."""
+        return [s for s in self.spans if s.instant and not s.counter
                 and (resource is None or s.resource == resource)]
+
+    def counters(self, name: Optional[str] = None) -> List[TraceSpan]:
+        """All counter samples, optionally filtered by counter name."""
+        return [s for s in self.spans if s.counter
+                and (name is None or s.name == name)]
 
     # ------------------------------------------------------------------
     # reporting
@@ -121,6 +146,8 @@ class TraceRecorder:
         """Aggregate busy time / span count / byte count per resource."""
         metrics: Dict[str, Dict[str, float]] = {}
         for span in self.spans:
+            if span.counter:
+                continue  # samples, not busy time
             entry = metrics.setdefault(
                 span.resource, {"busy_time": 0.0, "spans": 0, "bytes": 0})
             entry["busy_time"] += span.duration
@@ -181,6 +208,17 @@ class TraceRecorder:
                                "name": "thread_sort_index",
                                "args": {"sort_index": tid}})
         for span in self.spans:
+            if span.counter:
+                events.append({
+                    "ph": "C",
+                    "pid": pids[span.stream],
+                    "tid": tids[span.resource],
+                    "name": span.name,
+                    "cat": "counter",
+                    "ts": span.start * 1e6,
+                    "args": dict(span.args),
+                })
+                continue
             if span.instant:
                 events.append({
                     "ph": "i",
@@ -235,7 +273,7 @@ class TraceRecorder:
         recorder = cls()
         for event in events:
             phase = event.get("ph")
-            if phase not in ("X", "i"):
+            if phase not in ("X", "i", "C"):
                 continue
             pid, tid = event["pid"], event["tid"]
             stream = streams.get(pid, str(pid))
@@ -248,7 +286,8 @@ class TraceRecorder:
                 name=event.get("name", resource), resource=resource,
                 stream=stream, start=start, end=end, op_id=op_id,
                 args=tuple(sorted(args.items())),
-                instant=(phase == "i")))
+                instant=(phase in ("i", "C")),
+                counter=(phase == "C")))
         return recorder
 
     @classmethod
@@ -307,3 +346,8 @@ class ScopedTraceRecorder:
                 op_id: Optional[int] = None, **args) -> None:
         self.parent.instant(self.prefix + resource, time, name=name,
                             stream=stream, op_id=op_id, **args)
+
+    def counter(self, resource: str, time: float, name: str,
+                stream: Optional[str] = None, **series) -> None:
+        self.parent.counter(self.prefix + resource, time, name=name,
+                            stream=stream, **series)

@@ -108,6 +108,10 @@ class StorageSystem(abc.ABC):
             flash = getattr(holder, "flash", None)
             if flash is not None and hasattr(flash, "trace"):
                 flash.trace = recorder
+        for holder in (getattr(self, "ssd", None), getattr(self, "stl", None)):
+            gc = getattr(holder, "gc", None)
+            if gc is not None and hasattr(gc, "trace"):
+                gc.trace = recorder
 
     def set_metrics(self, registry) -> None:
         """Attach (or detach with None) a
@@ -198,6 +202,19 @@ class StorageSystem(abc.ABC):
             for key, value in tier.counters.items():
                 totals[key] = totals.get(key, 0) + value
         return totals
+
+    def cache_dirty_bytes(self) -> Optional[int]:
+        """Bytes currently buffered dirty in the DRAM tier (summed over
+        pool members when clustered; None with no tier attached) — the
+        live monitor and the trace counter track sample this."""
+        if self.tier is not None:
+            return self.tier.dirty_bytes
+        total: Optional[int] = None
+        for member in self._member_systems():
+            if member.tier is None:
+                continue
+            total = (total or 0) + member.tier.dirty_bytes
+        return total
 
     def flush_cache(self, start_time: float = 0.0) -> float:
         """Durability fence: write every buffered dirty region back to

@@ -280,7 +280,7 @@ class OpenLoopInjector:
 
     def __init__(self, system, streams: Sequence[TrafficStream],
                  horizon: float, trace=None, metrics=None,
-                 marks: int = 0) -> None:
+                 marks: int = 0, monitor=None) -> None:
         if horizon <= 0:
             raise ValueError("horizon must be > 0 seconds")
         if marks < 0:
@@ -296,6 +296,11 @@ class OpenLoopInjector:
         self.trace = trace
         self.metrics = metrics
         self.marks = marks
+        #: optional :class:`~repro.obs.monitor.Monitor`; arrival /
+        #: admission / shed events stream into it and it is attached to
+        #: the scheduler for op completions. Observation only — it
+        #: never feeds back into admission or timing.
+        self.monitor = monitor
 
     # ------------------------------------------------------------------
     def run(self) -> TrafficRunResult:
@@ -304,6 +309,10 @@ class OpenLoopInjector:
             self.system.set_trace(self.trace)
         if self.metrics is not None:
             self.system.set_metrics(self.metrics)
+        if self.monitor is not None:
+            self.monitor.attach(self.system, horizon=self.horizon,
+                                request_driven=True)
+            scheduler.monitor = self.monitor
 
         # merged arrival schedule: (time, stream index, per-stream seq);
         # stream order breaks exact-time ties deterministically
@@ -329,13 +338,25 @@ class OpenLoopInjector:
         def flush_marks(boundary: float) -> None:
             if self.trace is None:
                 return
-            for stream in self.streams:
+            for index, stream in enumerate(self.streams):
                 offered, admitted, shed = window_counts[stream.name]
                 self.trace.instant(
                     "traffic", boundary, name="offered_load",
                     stream=stream.name, op_id=-1, offered=offered,
                     admitted=admitted, shed=shed)
+                # Perfetto counter tracks alongside the spans
+                self.trace.counter("counters", boundary, "queue_depth",
+                                   stream=stream.name,
+                                   depth=len(backlogs[index]))
+                self.trace.counter("counters", boundary, "offered",
+                                   stream=stream.name, offered=offered,
+                                   shed=shed)
                 window_counts[stream.name] = [0, 0, 0]
+            dirty = self.system.cache_dirty_bytes() \
+                if hasattr(self.system, "cache_dirty_bytes") else None
+            if dirty is not None:
+                self.trace.counter("counters", boundary, "dirty_bytes",
+                                   stream="main", dirty_bytes=dirty)
 
         for time, index, seq in schedule:
             stream = self.streams[index]
@@ -348,6 +369,8 @@ class OpenLoopInjector:
             counts[0] += 1
             if self.metrics is not None:
                 self.metrics.count("traffic.offered")
+            if self.monitor is not None:
+                self.monitor.note_offered(stream.name, time)
             # admission control, in frontend order: throttle, then queue
             if not buckets[index].take(time):
                 report.shed_throttled += 1
@@ -356,12 +379,16 @@ class OpenLoopInjector:
                                         SHED_THROTTLED))
                 if self.metrics is not None:
                     self.metrics.count("traffic.shed_throttled")
+                if self.monitor is not None:
+                    self.monitor.note_shed(stream.name, time, SHED_THROTTLED)
                 continue
             backlog = backlogs[index]
             while backlog and backlog[0] <= time:
                 heappop(backlog)
             if self.metrics is not None:
                 self.metrics.observe("traffic.backlog", float(len(backlog)))
+            if self.monitor is not None:
+                self.monitor.note_backlog(stream.name, time, len(backlog))
             if (stream.admission_queue is not None
                     and len(backlog) >= stream.admission_queue):
                 report.shed_queue_full += 1
@@ -370,6 +397,8 @@ class OpenLoopInjector:
                                         SHED_QUEUE_FULL))
                 if self.metrics is not None:
                     self.metrics.count("traffic.shed_queue_full")
+                if self.monitor is not None:
+                    self.monitor.note_shed(stream.name, time, SHED_QUEUE_FULL)
                 continue
             report.admitted += 1
             counts[1] += 1
@@ -400,6 +429,8 @@ class OpenLoopInjector:
             report.completed += 1
             report.makespan = max(report.makespan, finish)
             report.latencies.append(finish - time)
+            if self.monitor is not None:
+                self.monitor.note_request(stream.name, time, finish)
         if window_end is not None:
             flush_marks(window_end)
 

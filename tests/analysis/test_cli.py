@@ -12,7 +12,7 @@ class TestParser:
                    if hasattr(a, "choices") and a.choices)
         assert set(sub.choices) == {"fig3", "fig9", "fig10", "overhead",
                                     "report", "scorecard", "table1",
-                                    "bench", "loadtest", "all"}
+                                    "bench", "loadtest", "monitor", "all"}
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

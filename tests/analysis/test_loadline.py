@@ -109,6 +109,34 @@ def test_default_workload_shape():
     assert wl.update_fraction == 0.25
 
 
+def test_monitor_cells_carry_series_and_alerts():
+    from repro.obs.slo import SloPolicy
+    policy = SloPolicy(latency_target=300e-6)
+    sweep = loadline_sweep(systems=("software-nds",), device_counts=(1,),
+                           base_rate=2000.0, max_points=3,
+                           arrival="mmpp", monitor=policy)
+    assert sweep["slo"] == policy.to_dict()
+    cells = sweep["cells"]
+    assert all("monitor" in cell for cell in cells)
+    for cell in cells:
+        series = cell["monitor"]["series"]
+        assert len(series["completed"]) == series["windows"]
+        assert sum(series["completed"]) == cell["completed"]
+        assert "alerts" in cell["monitor"]["slo"]
+        # attribution rides along because the sweep traces by default
+        assert "attribution" in cell["monitor"]
+    # the saturated tail of the ramp must be burning budget
+    assert cells[-1]["monitor"]["slo"]["alerts"]
+
+
+def test_monitor_sweep_deterministic():
+    from repro.obs.slo import SloPolicy
+    kwargs = dict(systems=("software-nds",), device_counts=(1,),
+                  max_points=2, monitor=SloPolicy(latency_target=300e-6))
+    assert sweep_json(loadline_sweep(**kwargs)) == \
+        sweep_json(loadline_sweep(**kwargs))
+
+
 def test_mmpp_and_diurnal_points_run():
     for kind in ("mmpp", "diurnal"):
         cell = run_load_point("software-nds", 2000.0, arrival=kind,

@@ -1,0 +1,122 @@
+"""Automated bottleneck diagnosis over synthetic monitor payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.diagnose import (_baseline_span, diagnose_alert,
+                                diagnose_report)
+
+WINDOWS = 8
+
+
+def make_payload(gc_fraction: float = 0.5):
+    """A synthetic 8-window payload: healthy for windows 0-3, then the
+    'bank' layer on device d1 (driven by GC) triples per-op latency in
+    windows 4-7, with tenant1 taking the hit."""
+    completed = [10] * WINDOWS
+    healthy_bank, hot_bank = 0.001, 0.009
+    layers = []
+    busy_d0, busy_d1, gc_d1 = [], [], []
+    for window in range(WINDOWS):
+        hot = window >= 4
+        bank = hot_bank if hot else healthy_bank
+        layers.append({"bank": bank, "stl": 0.002})
+        busy_d0.append(0.002)
+        busy_d1.append(bank)
+        gc_d1.append(gc_fraction * (bank - healthy_bank) if hot else 0.0)
+    alert = {"rule": "fast", "time": 5 * 0.01, "window": 4,
+             "burn_long": 14.2, "burn_short": 20.0, "threshold": 8.0}
+    stream = lambda base, hot: {  # noqa: E731
+        "completed": [5] * WINDOWS,
+        "mean_latency": [hot if w >= 4 else base
+                         for w in range(WINDOWS)],
+        "bad": [0] * WINDOWS, "offered": [5] * WINDOWS,
+        "shed": [0] * WINDOWS}
+    return {
+        "series": {
+            "completed": completed,
+            "streams": {"tenant0": stream(1e-4, 1.2e-4),
+                        "tenant1": stream(1e-4, 9e-4)},
+        },
+        "slo": {
+            "burn": [0.5, 0.5, 0.5, 0.5, 14.0, 14.0, 14.0, 14.0],
+            "alerts": [alert],
+            "rules": {"fast": {"long_windows": 1, "short_windows": 1,
+                               "threshold": 8.0}},
+        },
+        "policy": {"objective": "latency",
+                   "rules": [{"name": "fast", "long_windows": 1,
+                              "short_windows": 1, "threshold": 8.0}]},
+        "attribution": {"layers": layers,
+                        "attributed_seconds": [sum(r.values())
+                                               for r in layers]},
+        "devices": {"busy_seconds": {"d0": busy_d0, "d1": busy_d1},
+                    "gc_seconds": {"d1": gc_d1}},
+    }
+
+
+def test_names_dominant_layer_device_and_stream():
+    diagnoses = diagnose_report(make_payload())
+    assert len(diagnoses) == 1
+    d = diagnoses[0]
+    assert d["dominant_layer"] == "bank"
+    assert d["layer_share"] == pytest.approx(1.0)
+    assert d["dominant_device"] == "d1"
+    assert d["device_gc"] is True
+    assert d["dominant_stream"] == "tenant1"
+    assert d["stream_latency_delta"] == pytest.approx(8e-4)
+    assert "'bank' on d1 (GC)" in d["summary"]
+    assert "stream=tenant1" in d["summary"]
+    assert d["summary"].startswith("latency SLO burn 14.2x")
+
+
+def test_gc_tag_needs_meaningful_share():
+    diagnoses = diagnose_report(make_payload(gc_fraction=0.01))
+    assert diagnoses[0]["dominant_device"] == "d1"
+    assert diagnoses[0]["device_gc"] is False
+    assert "(GC)" not in diagnoses[0]["summary"]
+
+
+def test_baseline_is_healthy_windows_only():
+    payload = make_payload()
+    d = diagnose_alert(payload["slo"]["alerts"][0], payload,
+                       long_windows=1)
+    assert d["alert_windows"] == [4, 4]
+    assert d["baseline_windows"] == [0, 3]
+
+
+def test_baseline_span_edge_cases():
+    # no healthy window before the alert: all preceding windows
+    assert _baseline_span([5.0, 5.0, 5.0], 2) == (0, 1)
+    # alert at window 0: nothing to compare
+    assert _baseline_span([5.0, 5.0], 0) is None
+    # trailing healthy run
+    assert _baseline_span([0.2, 3.0, 0.4, 9.0], 3) == (0, 2)
+
+
+def test_alert_at_window_zero_still_diagnoses():
+    payload = make_payload()
+    alert = dict(payload["slo"]["alerts"][0], window=0)
+    d = diagnose_alert(alert, payload, long_windows=1)
+    assert d["baseline_windows"] is None
+    assert d["summary"]  # still produces a sentence
+
+
+def test_no_alerts_no_diagnoses():
+    payload = make_payload()
+    payload["slo"]["alerts"] = []
+    assert diagnose_report(payload) == []
+    assert diagnose_report({"series": {}}) == []
+
+
+def test_diagnosis_without_trace_sections():
+    """A payload with no attribution/devices (series-only monitor)
+    still yields a stream-level diagnosis."""
+    payload = make_payload()
+    del payload["attribution"]
+    del payload["devices"]
+    d = diagnose_report(payload)[0]
+    assert d["dominant_layer"] is None
+    assert d["dominant_device"] is None
+    assert d["dominant_stream"] == "tenant1"

@@ -56,6 +56,52 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("lat", bounds=(2.0, 1.0))
 
+    def test_quantile_within_one_bucket_of_exact(self):
+        """The estimate must land in the same bucket as the exact
+        nearest-rank sample quantile (= within one bucket width)."""
+        import random
+        rng = random.Random(7)
+        samples = [rng.uniform(1e-6, 5e-3) for _ in range(500)]
+        h = Histogram("lat")
+        for value in samples:
+            h.observe(value)
+        bounds = (0.0,) + tuple(h.bounds)
+        ordered = sorted(samples)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = ordered[max(1, min(len(ordered),
+                                       round(q * len(ordered)))) - 1]
+            estimate = h.quantile(q)
+            bucket = next(i for i in range(1, len(bounds))
+                          if exact <= bounds[i])
+            assert bounds[bucket - 1] <= estimate <= bounds[bucket], \
+                f"q={q}: {estimate} outside bucket of exact {exact}"
+
+    def test_quantile_single_bucket_interpolates_geometrically(self):
+        h = Histogram("lat", bounds=(1e-6, 1e-3, 1.0))
+        for _ in range(4):
+            h.observe(2e-4)  # all land in the (1e-6, 1e-3] bucket
+        # rank 2 of 4 => position 0.5, geometric midpoint of the bucket
+        assert h.quantile(0.5) == pytest.approx(
+            1e-6 * (1e-3 / 1e-6) ** 0.5)
+
+    def test_quantile_edges_and_overflow(self):
+        h = Histogram("lat", bounds=(1.0, 2.0))
+        assert h.quantile(0.5) == 0.0  # empty
+        h.observe(0.5)
+        h.observe(100.0)  # overflow
+        # overflow samples report the last finite bound
+        assert h.quantile(1.0) == 2.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_snapshot_carries_p50_p99(self):
+        reg = MetricsRegistry()
+        for value in (1e-5, 2e-5, 3e-5):
+            reg.observe("lat", value)
+        snap = reg.snapshot()["histograms"]["lat"]
+        assert snap["p50"] == reg.histogram("lat").quantile(0.50)
+        assert snap["p99"] == reg.histogram("lat").quantile(0.99)
+
 
 class TestRegistry:
     def test_get_or_create(self):

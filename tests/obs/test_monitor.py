@@ -1,0 +1,210 @@
+"""Monitor gates: non-perturbation, two-run byte identity, windowed
+exact-sum attribution, trace replay, and the CLI scenario shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.loadline_sweep import arrival_process, default_workload
+from repro.cache.config import CacheConfig
+from repro.nvm.profiles import TINY_TEST
+from repro.obs.monitor import (Monitor, format_monitor, monitor_csv,
+                               monitor_json, monitor_prometheus)
+from repro.obs.report import SYSTEM_FACTORIES
+from repro.obs.slo import SloPolicy
+from repro.runtime.trace import TraceRecorder
+from repro.traffic.injector import OpenLoopInjector, TrafficStream
+
+SYSTEMS = ("baseline", "software-nds", "hardware-nds", "software-oracle")
+
+HORIZON = 0.02
+RATE = 3000.0
+
+
+def run_monitored(system_name: str = "software-nds", rate: float = RATE,
+                  horizon: float = HORIZON, windows: int = 8,
+                  slo: SloPolicy | None = None,
+                  cache: CacheConfig | None = None, devices: int = 1,
+                  seed: int = 97, trace: TraceRecorder | None = None,
+                  monitor: Monitor | None = None):
+    """One small monitored MMPP run; returns (monitor, trace, result)."""
+    kwargs = {}
+    if devices > 1:
+        kwargs["devices"] = devices
+    if cache is not None:
+        kwargs["cache"] = cache
+    system = SYSTEM_FACTORIES[system_name](TINY_TEST, **kwargs)
+    workload = default_workload(seed=seed)
+    if system_name == "software-oracle":
+        for ds in workload.datasets():
+            system.ingest(ds.name, ds.dims, ds.element_size,
+                          tile=(1, workload.embedding_dim))
+    else:
+        for ds in workload.datasets():
+            system.ingest(ds.name, ds.dims, ds.element_size)
+    system.reset_time()
+    system._reset_runtime()
+    if monitor is None:
+        monitor = Monitor(windows=windows, slo=slo, horizon=horizon)
+    stream = TrafficStream("serve", arrival_process("mmpp", rate, seed),
+                           workload.request_factory(), admission_queue=64)
+    injector = OpenLoopInjector(system, [stream], horizon=horizon,
+                                trace=trace, marks=windows if trace else 0,
+                                monitor=monitor)
+    result = injector.run()
+    return monitor, trace, result
+
+
+@pytest.mark.parametrize("system_name", SYSTEMS)
+def test_two_runs_are_byte_identical(system_name):
+    payloads = []
+    for _ in range(2):
+        trace = TraceRecorder()
+        monitor, trace, _ = run_monitored(
+            system_name, slo=SloPolicy(latency_target=500e-6),
+            trace=trace)
+        payloads.append(monitor_json(monitor.report(trace=trace)))
+    assert payloads[0] == payloads[1]
+
+
+@pytest.mark.parametrize("system_name", SYSTEMS)
+def test_monitor_does_not_perturb_timing(system_name):
+    """Every timed float of a monitored run must equal the unmonitored
+    run bit for bit — the monitor is an observer, not a participant."""
+    def timings(with_monitor: bool):
+        monitor = (Monitor(windows=8, horizon=HORIZON)
+                   if with_monitor else None)
+        _, _, result = run_monitored(system_name, monitor=monitor)
+        report = result.streams["serve"]
+        return ([lat.hex() for lat in report.latencies]
+                + [result.makespan.hex()])
+    assert timings(False) == timings(True)
+
+
+def test_series_shapes_and_counts():
+    monitor, _, result = run_monitored(windows=8)
+    series = monitor.series()
+    for key in ("completed", "offered", "shed", "goodput_rps",
+                "backlog_mean", "dirty_bytes", "cache_hit_rate"):
+        assert len(series[key]) == 8
+    for stat in ("p50", "p99", "mean"):
+        assert len(series["latency"][stat]) == 8
+    report = result.streams["serve"]
+    assert sum(series["offered"]) == report.offered
+    assert sum(series["completed"]) == len(report.latencies)
+    assert series["streams"]["serve"]["completed"] == series["completed"]
+
+
+def test_windowed_attribution_sums_exactly():
+    """Each window's layer seconds must sum *exactly* (float-equal) to
+    its attributed service time, and the grand total must match the
+    whole-run critical-path inventory."""
+    from repro.obs.critical_path import critical_path
+
+    trace = TraceRecorder()
+    monitor, trace, _ = run_monitored(trace=trace)
+    attribution = monitor.windowed_attribution(trace)
+    for row, total in zip(attribution["layers"],
+                          attribution["attributed_seconds"]):
+        assert sum(row[key] for key in sorted(row)) == total
+    analysis = critical_path(trace)
+    whole = sum(op.end - op.start for op in analysis.ops)
+    assert sum(attribution["attributed_seconds"]) == pytest.approx(whole)
+
+
+def test_slo_section_counts_sheds_as_bad():
+    monitor, _, result = run_monitored(
+        rate=12000.0, slo=SloPolicy(latency_target=200e-6))
+    section = monitor.slo_section()
+    report = result.streams["serve"]
+    shed = report.shed_throttled + report.shed_queue_full
+    assert sum(section["total"]) == len(report.latencies) + shed
+    assert sum(section["bad"]) >= shed
+
+
+def test_overload_fires_alert_with_diagnosis():
+    trace = TraceRecorder()
+    monitor, trace, _ = run_monitored(
+        rate=8000.0, slo=SloPolicy(latency_target=300e-6), trace=trace)
+    payload = monitor.report(trace=trace)
+    alerts = payload["slo"]["alerts"]
+    assert alerts, "overload scenario must fire at least one alert"
+    diagnoses = payload["diagnoses"]
+    assert len(diagnoses) == len(alerts)
+    for diagnosis in diagnoses:
+        assert diagnosis["summary"].startswith("latency SLO burn")
+        assert diagnosis["dominant_stream"] == "serve"
+    # alerts are also written into the trace as instant marks
+    marks = [m for m in trace.instants() if m.name == "slo_alert"]
+    assert len(marks) == len(alerts)
+
+
+def test_from_trace_replays_alerts():
+    trace = TraceRecorder()
+    policy = SloPolicy(latency_target=300e-6)
+    monitor, trace, _ = run_monitored(rate=8000.0, slo=policy,
+                                      trace=trace)
+    live = monitor.report(trace=trace)["slo"]["alerts"]
+    replay = Monitor.from_trace(trace, windows=monitor.windows,
+                                slo=policy, horizon=HORIZON)
+    replayed = replay.report()["slo"]["alerts"]
+    assert [(a["rule"], a["window"]) for a in live] == \
+        [(a["rule"], a["window"]) for a in replayed]
+
+
+def test_cache_series_and_dirty_bytes():
+    cache = CacheConfig(capacity_bytes=50 * 1024, write_back=True)
+    monitor, _, _ = run_monitored(cache=cache)
+    series = monitor.series()
+    assert sum(series["cache"]["hits"]) + \
+        sum(series["cache"]["misses"]) > 0
+    assert any(v >= 0 for v in series["dirty_bytes"])
+
+
+def test_device_series_covers_pool_members():
+    trace = TraceRecorder()
+    monitor, trace, _ = run_monitored(devices=3, trace=trace)
+    devices = monitor.device_series(trace)
+    assert set(devices["busy_seconds"]) >= {"d0", "d1", "d2"}
+    for values in devices["busy_seconds"].values():
+        assert len(values) == monitor.windows
+
+
+def test_window_of_clamps_overflow():
+    monitor = Monitor(windows=4, horizon=1.0)
+    assert monitor.window_of(0.0) == 0
+    assert monitor.window_of(0.26) == 1
+    assert monitor.window_of(99.0) == 3  # backlog tail past the horizon
+    assert monitor._window_ending_at(0.25) == 0
+    assert monitor._window_ending_at(1.0) == 3
+
+
+def test_monitor_requires_horizon():
+    monitor = Monitor(windows=4)
+    with pytest.raises(ValueError):
+        monitor.series()
+    with pytest.raises(ValueError):
+        monitor.attach(system=None)
+    with pytest.raises(ValueError):
+        Monitor(windows=0)
+    with pytest.raises(ValueError):
+        Monitor(windows=4, horizon=-1.0)
+
+
+def test_renderings_are_consistent():
+    trace = TraceRecorder()
+    monitor, trace, _ = run_monitored(
+        rate=8000.0, slo=SloPolicy(latency_target=300e-6), trace=trace)
+    payload = monitor.report(trace=trace)
+    text = format_monitor(payload)
+    assert "goodput rps" in text and "slo burn" in text
+    csv = monitor_csv(payload)
+    assert csv.startswith("window,window_start_s,series,value\n")
+    assert "goodput_rps" in csv and "burn" in csv
+    prom = monitor_prometheus(payload)
+    assert "# TYPE repro_monitor_goodput_rps gauge" in prom
+    # timestamps are the window right edges in model-time milliseconds
+    first_sample = [line for line in prom.splitlines()
+                    if line.startswith("repro_monitor_goodput_rps ")][0]
+    assert first_sample.split()[-1] == str(
+        int(round(monitor.window_seconds * 1000)))

@@ -1,0 +1,113 @@
+"""SLO policy and multi-window burn-rate alerting arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import (DEFAULT_BURN_RULES, AlertEvent, BurnRule,
+                           SloPolicy)
+
+
+class TestBurnRule:
+    def test_default_pair_is_fast_and_slow(self):
+        assert [r.name for r in DEFAULT_BURN_RULES] == ["fast", "slow"]
+        fast, slow = DEFAULT_BURN_RULES
+        assert fast.threshold > slow.threshold
+        assert fast.long_windows < slow.long_windows
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurnRule("r", long_windows=0, short_windows=1, threshold=1.0)
+        with pytest.raises(ValueError):
+            BurnRule("r", long_windows=2, short_windows=3, threshold=1.0)
+        with pytest.raises(ValueError):
+            BurnRule("r", long_windows=2, short_windows=1, threshold=0.0)
+
+
+class TestSloPolicy:
+    def test_error_budget(self):
+        policy = SloPolicy(latency_target=1e-3, target_fraction=0.999)
+        assert policy.error_budget == pytest.approx(0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloPolicy(latency_target=0.0)
+        with pytest.raises(ValueError):
+            SloPolicy(latency_target=1e-3, target_fraction=1.0)
+        with pytest.raises(ValueError):
+            SloPolicy(latency_target=1e-3, rules=())
+
+    def test_burn_rate_math(self):
+        policy = SloPolicy(latency_target=1e-3, target_fraction=0.999)
+        # 1% bad against a 0.1% budget burns 10x
+        assert policy.burn_rate(1, 100) == pytest.approx(10.0)
+        assert policy.burn_rate(0, 100) == 0.0
+        assert policy.burn_rate(0, 0) == 0.0  # idle window
+
+
+class TestEvaluate:
+    def policy(self):
+        return SloPolicy(
+            latency_target=1e-3, target_fraction=0.99,
+            rules=(BurnRule("fast", long_windows=2, short_windows=1,
+                            threshold=10.0),))
+
+    def test_rising_edge_fires_once(self):
+        # budget 1%; windows 2-4 are 50% bad = 50x burn
+        bad = [0, 0, 50, 50, 50, 0, 0, 0]
+        total = [100] * 8
+        out = self.policy().evaluate(bad, total, window_seconds=0.25)
+        firing = out["rules"]["fast"]["firing"]
+        # the short window drops the rule the moment the burst ends
+        assert firing == [False, False, True, True, True, False, False,
+                          False]
+        # one alert at the rising edge only, stamped at the right edge
+        assert len(out["alerts"]) == 1
+        alert = out["alerts"][0]
+        assert alert["window"] == 2
+        assert alert["time"] == pytest.approx(0.75)
+        assert alert["burn_long"] >= 10.0
+        assert alert["burn_short"] >= 10.0
+
+    def test_rearms_after_recovery(self):
+        bad = [50, 0, 0, 0, 50, 0]
+        total = [100] * 6
+        out = self.policy().evaluate(bad, total, window_seconds=1.0)
+        assert [a["window"] for a in out["alerts"]] == [0, 4]
+
+    def test_long_window_suppresses_blip(self):
+        # a single 12%-bad window: short burn 12x but the 2-window long
+        # burn is 6x — under the 10x threshold, no alert
+        bad = [0, 12, 0, 0]
+        total = [100] * 4
+        out = self.policy().evaluate(bad, total, window_seconds=1.0)
+        assert out["alerts"] == []
+
+    def test_alerts_sorted_by_window_then_rule(self):
+        policy = SloPolicy(
+            latency_target=1e-3, target_fraction=0.99,
+            rules=(BurnRule("b", 1, 1, 10.0), BurnRule("a", 1, 1, 10.0)))
+        out = policy.evaluate([50, 50], [100, 100], window_seconds=1.0)
+        assert [(a["window"], a["rule"]) for a in out["alerts"]] == \
+            [(0, "a"), (0, "b")]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            self.policy().evaluate([1], [1, 2], window_seconds=1.0)
+
+    def test_output_is_json_ready(self):
+        import json
+        out = self.policy().evaluate([0, 50], [100, 100],
+                                     window_seconds=0.5)
+        assert json.dumps(out, sort_keys=True)
+        assert out["error_budget"] == pytest.approx(0.01)
+        assert out["burn"] == [0.0, pytest.approx(50.0)]
+
+
+class TestAlertEvent:
+    def test_to_dict_round_trip(self):
+        event = AlertEvent(rule="fast", time=0.5, window=3,
+                           burn_long=12.0, burn_short=20.0, threshold=8.0)
+        assert event.to_dict() == {
+            "rule": "fast", "time": 0.5, "window": 3,
+            "burn_long": 12.0, "burn_short": 20.0, "threshold": 8.0}

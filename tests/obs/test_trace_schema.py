@@ -49,6 +49,10 @@ def test_schema_required_keys(traced_run):
                                      "thread_sort_index")
         elif event["ph"] == "i":
             assert "ts" in event and "s" in event
+        elif event["ph"] == "C":
+            assert {"cat", "ts", "args"} <= set(event)
+            assert event["cat"] == "counter"
+            assert event["args"]
         else:
             pytest.fail(f"unexpected phase {event['ph']!r}")
 
@@ -123,3 +127,40 @@ def test_loaded_trace_is_json(tmp_path, traced_run):
     path = traced_run.save(tmp_path / "trace.json")
     payload = json.loads(path.read_text())
     assert payload["traceEvents"]
+
+
+def test_counter_events_export_as_phase_c(traced_run):
+    traced_run.counter("counters", 0.001, "queue_depth", stream="t",
+                       depth=3)
+    events = traced_run.to_chrome()["traceEvents"]
+    counters = [e for e in events if e["ph"] == "C"]
+    assert len(counters) == 1
+    event = counters[0]
+    assert event["name"] == "queue_depth"
+    assert event["cat"] == "counter"
+    assert event["args"] == {"depth": 3}
+    assert event["ts"] == pytest.approx(1000.0)  # microseconds
+
+
+def test_counter_events_round_trip(traced_run, tmp_path):
+    traced_run.counter("counters", 0.001, "offered", stream="t",
+                       offered=7, shed=2)
+    path = traced_run.save(tmp_path / "trace.json")
+    loaded = TraceRecorder.load(path)
+    restored = loaded.counters("offered")
+    assert len(restored) == 1
+    span = restored[0]
+    assert span.counter and span.instant
+    assert dict(span.args) == {"offered": 7, "shed": 2}
+    # counters never appear in the instants() accessor
+    assert all(not s.counter for s in loaded.instants())
+
+
+def test_counter_events_excluded_from_busy_time():
+    trace = TraceRecorder()
+    trace.span("link", 0.0, 1.0, bytes=128)
+    trace.counter("link", 0.5, "depth", depth=10**9)
+    metrics = trace.resource_metrics()
+    assert metrics["link"]["busy_time"] == pytest.approx(1.0)
+    assert metrics["link"]["bytes"] == 128
+    assert metrics["link"]["spans"] == 1  # samples, not busy time
