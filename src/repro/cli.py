@@ -342,7 +342,20 @@ def _cmd_monitor(args: argparse.Namespace) -> None:
 def _cmd_bench(args: argparse.Namespace) -> None:
     from repro.analysis.bench import (bench_json, format_bench,
                                       run_hotpath_bench)
-    bench = run_hotpath_bench(max_tiles=args.tiles, repeats=args.repeats)
+    tuning = "scalar" if args.scalar else None
+    if args.profile:
+        import cProfile
+        import pstats
+        profiler = cProfile.Profile()
+        profiler.enable()
+        bench = run_hotpath_bench(max_tiles=args.tiles,
+                                  repeats=args.repeats, tuning=tuning)
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        bench = run_hotpath_bench(max_tiles=args.tiles,
+                                  repeats=args.repeats, tuning=tuning)
     print(format_bench(bench))
     if args.json:
         out = Path(args.json)
@@ -537,13 +550,22 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.set_defaults(fn=_cmd_monitor)
     bench = sub.add_parser(
         "bench", help="wall-clock hot-path benchmark (BENCH_sim.json)")
-    bench.add_argument("--json", default=None, metavar="PATH",
-                       help="write wall + simulated numbers to PATH")
+    bench.add_argument("--json", default="BENCH_sim.json", metavar="PATH",
+                       help="write wall + simulated numbers to PATH "
+                            "(default BENCH_sim.json; empty string "
+                            "disables)")
     bench.add_argument("--tiles", type=int, default=48,
                        help="max tile fetches per workload (default 48)")
     bench.add_argument("--repeats", type=int, default=1,
                        help="wall-time repeats, keep the fastest "
                             "(default 1)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top 20 "
+                            "functions by cumulative time")
+    bench.add_argument("--scalar", action="store_true",
+                       help="A/B switch: force the per-access scalar "
+                            "paths (no columnar chains, no epoch/fan-"
+                            "out batching) on every cell")
     bench.set_defaults(fn=_cmd_bench)
     sub.add_parser("overhead", help="Sec 7.3 overheads").set_defaults(
         fn=_cmd_overhead)

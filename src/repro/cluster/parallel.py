@@ -1,0 +1,201 @@
+"""Process-per-device parallel execution for a :class:`DevicePool`.
+
+Pool members are *independent* simulations: each device owns its flash
+array, link lane, STL and host window, and the only cross-device state
+(layouts, heat, GC round-robin, accounting) lives in the host
+translation layer. That makes the pool embarrassingly parallel at the
+sub-operation grain — every sub-op of one host-level op targets one
+device and issues at the same ready time.
+
+:class:`WorkerGroup` exploits that: it forks ``N`` worker processes,
+each owning the device systems (and host-side queue-depth windows) of a
+round-robin slice of the pool. The parent ships one *batch* of sub-op
+calls per involved worker per host-level op; workers execute their
+devices' calls in submission order (window semantics preserved) and
+return plain result records. The parent then applies all bookkeeping —
+accounting, heat, completion folding — in a deterministic order, so a
+parallel run's reports are byte-identical to the serial pool's
+regardless of worker scheduling.
+
+Workers are forked lazily on the first routed op, after every device
+system is fully constructed; from then on the children own the device
+state and the parent's member systems are stale mirrors (used only for
+structure checks). Fault injection, whole-device kill plans, parity,
+rebalancing, tracing and metrics all keep cross-device or observer
+state the fork would split — the translation layer refuses to route
+ops to workers when any of them is active.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["WorkerGroup", "merge_completions"]
+
+
+def merge_completions(records: Sequence[dict]) -> List[dict]:
+    """Deterministic completion order for parallel result folding:
+    stable sort by completion time, then device index, then submission
+    (op) id. Worker scheduling can return device batches in any order;
+    folding through this order makes every reduction reproducible."""
+    return sorted(records,
+                  key=lambda r: (r["end_time"], r["device"], r["op_id"]))
+
+
+def _result_record(device: int, op_id: int, res) -> dict:
+    """Wire form of one sub-op's :class:`SystemOpResult` (numpy payload
+    rides along for functional runs)."""
+    return {
+        "device": device,
+        "op_id": op_id,
+        "start_time": res.start_time,
+        "end_time": res.end_time,
+        "useful_bytes": res.useful_bytes,
+        "fetched_bytes": res.fetched_bytes,
+        "requests": res.requests,
+        "data": res.data,
+    }
+
+
+def _worker_main(conn, handles: Dict[int, object]) -> None:
+    """Child process loop: execute batches for the owned devices.
+
+    ``handles`` maps device id -> forked :class:`DeviceHandle`; the
+    child's copies of system and window are authoritative from the
+    fork on. Calls arrive per batch in submission order and run
+    sequentially, so each device's window sees exactly the serial
+    admission sequence.
+    """
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "batch":
+                out = []
+                for device, op_id, method, args, kwargs, ready in msg[1]:
+                    handle = handles[device]
+                    start = handle.window.earliest(ready)
+                    res = getattr(handle.system, method)(
+                        *args, start_time=start, **kwargs)
+                    handle.window.complete(res.end_time)
+                    out.append(_result_record(device, op_id, res))
+                conn.send(out)
+            elif kind == "gc_offer":
+                _kind, device, now, budget = msg
+                stl = getattr(handles[device].system, "stl", None)
+                gc = getattr(stl, "gc", None)
+                if gc is None:
+                    conn.send((False, 0))
+                else:
+                    result = gc.collect_background(now, budget)
+                    conn.send((bool(result.ran),
+                               int(result.blocks_erased)))
+            elif kind == "reset_time":
+                for handle in handles.values():
+                    handle.system.reset_time()
+                    handle.window.reset()
+                conn.send(True)
+            elif kind == "extras":
+                extras = {}
+                for device, handle in handles.items():
+                    entry = {}
+                    stl = getattr(handle.system, "stl", None)
+                    if stl is not None:
+                        gc = getattr(stl, "gc", None)
+                        if gc is not None:
+                            entry["gc_erased_blocks"] = gc.total_erased
+                        allocator = getattr(stl, "allocator", None)
+                        if allocator is not None:
+                            entry["free_pages"] = \
+                                allocator.total_free_pages()
+                    extras[device] = entry
+                conn.send(extras)
+            elif kind == "stop":
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol error
+                raise ValueError(f"unknown worker message {kind!r}")
+    except EOFError:  # parent went away
+        return
+
+
+class WorkerGroup:
+    """``N`` forked workers, each owning a round-robin slice of the
+    pool's devices."""
+
+    def __init__(self, devices: Sequence, count: int) -> None:
+        ctx = multiprocessing.get_context("fork")
+        count = max(1, min(int(count), len(devices)))
+        self.count = count
+        #: device id -> worker ordinal
+        self.assignment: Dict[int, int] = {
+            handle.device_id: index % count
+            for index, handle in enumerate(devices)}
+        self._conns = []
+        self._procs = []
+        for worker in range(count):
+            subset = {handle.device_id: handle for handle in devices
+                      if self.assignment[handle.device_id] == worker}
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, subset), daemon=True)
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    def run_batch(self, calls: Sequence[Tuple]) -> List[dict]:
+        """Execute ``calls`` (``(device, method, args, kwargs, ready)``
+        in submission order) across the workers; returns result records
+        indexed like ``calls``. Per-device order is preserved; devices
+        on different workers genuinely overlap."""
+        per_worker: Dict[int, List] = {}
+        for op_id, (device, method, args, kwargs, ready) in \
+                enumerate(calls):
+            worker = self.assignment[device]
+            per_worker.setdefault(worker, []).append(
+                (device, op_id, method, args, kwargs, ready))
+        for worker, batch in per_worker.items():
+            self._conns[worker].send(("batch", batch))
+        results: List[Optional[dict]] = [None] * len(calls)
+        for worker in per_worker:
+            for record in self._conns[worker].recv():
+                results[record["op_id"]] = record
+        return results  # type: ignore[return-value]
+
+    def gc_offer(self, device: int, now: float,
+                 budget: float) -> Tuple[bool, int]:
+        conn = self._conns[self.assignment[device]]
+        conn.send(("gc_offer", device, now, budget))
+        return conn.recv()
+
+    def reset_time(self) -> None:
+        for conn in self._conns:
+            conn.send(("reset_time",))
+        for conn in self._conns:
+            conn.recv()
+
+    def extras(self) -> Dict[int, dict]:
+        """Per-device report fields only the workers can know
+        (GC totals, free pages) — the parent's member systems are stale
+        mirrors once the workers own the state."""
+        merged: Dict[int, dict] = {}
+        for conn in self._conns:
+            conn.send(("extras",))
+        for conn in self._conns:
+            merged.update(conn.recv())
+        return merged
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        self._conns = []
+        self._procs = []

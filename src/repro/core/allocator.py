@@ -110,12 +110,39 @@ class NdsAllocator:
         channel = self._least_used_channel(entry, bank, allowed)
         return channel, bank
 
+    def _place_cols(self, entry: BlockEntry):
+        """The entry's columnar placement counters, built on first use.
+
+        ``key_grid[b]`` is one ``min``-able row per bank (combined
+        bank-use/channel-use sort key, see :class:`BlockEntry`);
+        ``bank_tot[b]`` is the bank's total unit count. BlockEntry keeps
+        both incrementally current across record_alloc/record_release,
+        so the dict walks below run once per block, not once per unit.
+        """
+        cols = entry.place_cols
+        if cols is None:
+            g = self.geometry
+            m = len(entry.pages) + 1
+            chan = [entry.channel_use.get(c, 0) for c in range(g.channels)]
+            key_grid = []
+            for b in range(g.banks_per_channel):
+                per = entry.bank_channels.get(b)
+                if per:
+                    key_grid.append([per.get(c, 0) * m + chan[c]
+                                     for c in range(g.channels)])
+                else:
+                    key_grid.append(list(chan))
+            bank_tot = [0] * g.banks_per_channel
+            for (_c, b), count in entry.bank_use.items():
+                bank_tot[b] += count
+            cols = (key_grid, bank_tot)
+            entry.place_cols = cols
+        return cols
+
     def _least_used_bank(self, entry: BlockEntry,
                          allowed: Optional[Planes] = None) -> int:
         if allowed is None:
-            usage = [0] * self.geometry.banks_per_channel
-            for (_c, b), count in entry.bank_use.items():
-                usage[b] += count
+            usage = self._place_cols(entry)[1]
             least = min(usage)
             candidates = [b for b, u in enumerate(usage) if u == least]
             return self.rng.choice(candidates)
@@ -131,11 +158,17 @@ class NdsAllocator:
     def _least_used_channel(self, entry: BlockEntry, bank: int,
                             allowed: Optional[Planes] = None) -> int:
         if allowed is None:
-            channels = range(self.geometry.channels)
-        else:
-            channels = sorted({c for (c, b) in allowed if b == bank})
-            if not channels:
-                channels = sorted({c for (c, _b) in allowed})
+            # Columnar fast path: one C-level min + index over the
+            # bank's combined-key row replaces the 2-dict-gets-per-
+            # channel Python scan below. The key packs (bank use,
+            # overall channel use) into one int, and index() returns
+            # the first minimum — the same lexicographic order and
+            # lowest-channel-id tie-break as the scan.
+            row = self._place_cols(entry)[0][bank]
+            return row.index(min(row))
+        channels = sorted({c for (c, b) in allowed if b == bank})
+        if not channels:
+            channels = sorted({c for (c, _b) in allowed})
         # Single pass, no list/sort churn (this runs once per allocated
         # unit): pick the least-used channel in the bank, tie-break on
         # overall per-channel use so blocks larger than one stripe still

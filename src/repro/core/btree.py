@@ -43,6 +43,15 @@ class BlockEntry:
     #: when the space is compressed (§5.3.4): stored bytes including the
     #: codec header; None = uncompressed block
     stored_bytes: Optional[int] = None
+    #: columnar mirror of the usage dicts for the allocator's placement
+    #: scans: ``(key_grid, bank_tot)`` where ``key_grid[b][c]`` is the
+    #: combined sort key ``bank_use[(c, b)] * M + channel_use[c]`` with
+    #: ``M = len(pages) + 1`` (channel_use never reaches M, so one
+    #: ``min`` over the row reproduces the lexicographic
+    #: least-bank-use-then-least-channel-use tie-break), and
+    #: ``bank_tot[b]`` sums ``bank_use`` over the bank. Built lazily by
+    #: the allocator; None until the first placement scan needs it.
+    place_cols: Optional[Tuple[List[List[int]], List[int]]] = None
 
     def record_alloc(self, ppa: PhysicalPageAddress, position: int) -> None:
         self.pages[position] = ppa
@@ -55,6 +64,14 @@ class BlockEntry:
             self.bank_channels[ppa.bank] = per_bank
         per_bank[ppa.channel] = per_bank.get(ppa.channel, 0) + 1
         self.last_alloc = ppa
+        cols = self.place_cols
+        if cols is not None:
+            key_grid, bank_tot = cols
+            c = ppa.channel
+            for row in key_grid:
+                row[c] += 1
+            key_grid[ppa.bank][c] += len(self.pages) + 1
+            bank_tot[ppa.bank] += 1
 
     def record_release(self, position: int) -> Optional[PhysicalPageAddress]:
         ppa = self.pages[position]
@@ -74,6 +91,14 @@ class BlockEntry:
             del per_bank[ppa.channel]
             if not per_bank:
                 del self.bank_channels[ppa.bank]
+        cols = self.place_cols
+        if cols is not None:
+            key_grid, bank_tot = cols
+            c = ppa.channel
+            for row in key_grid:
+                row[c] -= 1
+            key_grid[ppa.bank][c] -= len(self.pages) + 1
+            bank_tot[ppa.bank] -= 1
         return ppa
 
     def allocated_pages(self) -> List[PhysicalPageAddress]:

@@ -258,9 +258,24 @@ def _pages_vectorized(block_slice: Sequence[Tuple[int, int]],
     first = offsets // page_size_bytes
     last = (offsets + (run_bytes - 1)) // page_size_bytes
     if int((last - first).max()) == 0:
-        touched = np.unique(first)
+        touched = _sorted_unique(first)
     else:
         spans = [np.arange(f, l + 1, dtype=np.int64)
                  for f, l in zip(first.tolist(), last.tolist())]
-        touched = np.unique(np.concatenate(spans))
-    return [int(p) for p in touched]
+        touched = _sorted_unique(np.concatenate(spans))
+    return touched.tolist()
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an int array. Same result as
+    ``np.unique``, without it: ``np.unique`` drags in the lazily-imported
+    ``numpy.ma`` machinery (a ~30 ms one-time stall that lands on the
+    first translated region of a run) and carries masked/axis handling
+    this hot path never needs."""
+    if values.size == 0:
+        return values
+    ordered = np.sort(values)
+    keep = np.empty(ordered.shape, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]

@@ -131,6 +131,11 @@ class PlaneAllocator:
         self.blocks: Dict[int, BlockState] = {}
         self.free_blocks = _FreeBlockPool(geometry.blocks_per_bank)
         self.active_block: Optional[int] = None
+        #: cached BlockState of the active block. Only trusted when its
+        #: block_id still matches ``active_block`` — GC layers reset
+        #: ``active_block`` directly, and the guard makes that safe
+        #: without touching their call sites.
+        self._active_state: Optional[BlockState] = None
         self._fill_counter = 0
 
     def _state(self, block_id: int) -> BlockState:
@@ -145,7 +150,10 @@ class PlaneAllocator:
     def free_page_count(self) -> int:
         count = len(self.free_blocks) * self.geometry.pages_per_block
         if self.active_block is not None:
-            state = self._state(self.active_block)
+            state = self._active_state
+            if state is None or state.block_id != self.active_block:
+                state = self._state(self.active_block)
+                self._active_state = state
             count += self.geometry.pages_per_block - state.next_page
         return count
 
@@ -156,7 +164,13 @@ class PlaneAllocator:
                 raise OutOfSpaceError(
                     f"(ch{self.channel}, bk{self.bank}) has no free blocks")
             self.active_block = self.free_blocks.pop(0)
-        state = self._state(self.active_block)
+            state = self._state(self.active_block)
+            self._active_state = state
+        else:
+            state = self._active_state
+            if state is None or state.block_id != self.active_block:
+                state = self._state(self.active_block)
+                self._active_state = state
         ppa = PhysicalPageAddress(self.channel, self.bank,
                                   self.active_block, state.next_page)
         state.valid[state.next_page] = True
@@ -165,6 +179,7 @@ class PlaneAllocator:
             state.filled_seq = self._fill_counter
             self._fill_counter += 1
             self.active_block = None
+            self._active_state = None
         return ppa
 
     def invalidate(self, ppa: PhysicalPageAddress) -> None:

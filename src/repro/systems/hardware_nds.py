@@ -57,7 +57,8 @@ class HardwareNdsSystem(StorageSystem):
                  faults: Optional[FaultConfig] = None,
                  devices: int = 1, pool=None,
                  extents_per_device: int = 1, rebalance=None,
-                 cache: Optional[CacheConfig] = None) -> None:
+                 cache: Optional[CacheConfig] = None,
+                 parallel: int = 0) -> None:
         self.profile = profile
         self.store_data = store_data
         self.segment_bytes = segment_bytes
@@ -70,7 +71,8 @@ class HardwareNdsSystem(StorageSystem):
                     profile, store_data=store_data,
                     controller_timing=controller_timing,
                     segment_bytes=segment_bytes, bb_override=bb_override,
-                    cipher=cipher, faults=f, cache=cache)):
+                    cipher=cipher, faults=f, cache=cache),
+                parallel=parallel):
             return
         self.flash = FlashArray(profile.geometry, profile.timing,
                                 store_data=store_data)

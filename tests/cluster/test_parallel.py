@@ -1,0 +1,68 @@
+"""Process-per-device pool execution must be byte-identical to serial.
+
+``DevicePool(parallel=N)`` forks N workers that own the device systems;
+the host translation layer ships one sub-op batch per worker per op and
+folds results deterministically. Every observable — op timings,
+accounting, device reports (fetched over worker RPC), GC coordinator
+stats — must match the serial pool bit for bit, for any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.nvm import PAPER_PROTOTYPE
+from repro.systems import SoftwareNdsSystem
+from repro.workloads.gemm import GemmWorkload
+
+
+def _scenario_sig(parallel, devices=3):
+    system = SoftwareNdsSystem(PAPER_PROTOTYPE, store_data=False,
+                               devices=devices, parallel=parallel)
+    workload = GemmWorkload(n=512, tile=128, max_tiles=10)
+    for ds in workload.datasets():
+        system.ingest(ds.name, ds.dims, ds.element_size)
+    system.reset_time()
+    sigs = []
+    for fetch in workload.tile_plan():
+        res = system.read_tile(fetch.dataset, fetch.origin, fetch.extents)
+        sigs.append((res.start_time.hex(), res.end_time.hex(),
+                     res.useful_bytes, res.fetched_bytes, res.requests))
+    first = workload.tile_plan()[0]
+    wres = system.write_tile(first.dataset, first.origin, first.extents)
+    sigs.append((wres.start_time.hex(), wres.end_time.hex(),
+                 wres.useful_bytes, wres.fetched_bytes, wres.requests))
+    report = system.device_report()
+    gc_report = system.cluster.gc.gc_report()
+    system.cluster.pool.close_workers()
+    return json.dumps([sigs, report, gc_report], sort_keys=True,
+                      default=str)
+
+
+@pytest.mark.parametrize("parallel", [1, 2, 4])
+def test_parallel_pool_byte_identical(parallel):
+    assert _scenario_sig(parallel) == _scenario_sig(0)
+
+
+def test_parallel_refuses_rebalance():
+    system = SoftwareNdsSystem(PAPER_PROTOTYPE, devices=2, parallel=2)
+    system.cluster.rebalance = object()
+    with pytest.raises(RuntimeError, match="rebalanc"):
+        system.ingest("x", (256, 256), 4)
+
+
+def test_parallel_refuses_post_spawn_observers():
+    system = SoftwareNdsSystem(PAPER_PROTOTYPE, devices=2, parallel=2)
+    system.ingest("x", (256, 256), 4)
+    with pytest.raises(RuntimeError, match="trace"):
+        system.cluster.set_trace(object())
+    with pytest.raises(RuntimeError, match="metrics"):
+        system.cluster.set_metrics(object())
+    system.cluster.pool.close_workers()
+
+
+def test_parallel_refuses_kill_plans():
+    system = SoftwareNdsSystem(PAPER_PROTOTYPE, devices=2, parallel=2)
+    system.cluster.pool.schedule_kill(1, at=0.5)
+    with pytest.raises(RuntimeError, match="kill"):
+        system.ingest("x", (256, 256), 4)

@@ -1,0 +1,87 @@
+"""Columnar placement counters must reproduce the old dict scans.
+
+The allocator's least-used-bank / least-used-channel rules used to scan
+``BlockEntry``'s usage dicts per unit. The columnar mirror
+(``BlockEntry.place_cols``) packs both tie-break keys into one integer
+grid maintained incrementally by ``record_alloc``/``record_release``;
+one ``min`` per row must land on exactly the channel the old
+lexicographic scan picked, and the incrementally-maintained grid must
+equal a fresh rebuild at any point.
+"""
+
+import random
+
+from repro.core.allocator import NdsAllocator
+from repro.core.btree import BlockEntry
+from repro.nvm.address import PhysicalPageAddress
+from repro.nvm.geometry import Geometry
+
+
+def _old_least_used_channel(geometry, entry, bank):
+    bank_use = entry.bank_channels.get(bank) or {}
+    channel_use = entry.channel_use
+    best = None
+    best_bank_use = 0
+    best_channel_use = 0
+    for c in range(geometry.channels):
+        used = bank_use.get(c, 0)
+        if best is None or used < best_bank_use:
+            best = c
+            best_bank_use = used
+            best_channel_use = channel_use.get(c, 0)
+        elif used == best_bank_use:
+            overall = channel_use.get(c, 0)
+            if overall < best_channel_use:
+                best = c
+                best_channel_use = overall
+    return best
+
+
+def _old_bank_usage(geometry, entry):
+    usage = [0] * geometry.banks_per_channel
+    for (_c, b), count in entry.bank_use.items():
+        usage[b] += count
+    return usage
+
+
+def _run_trial(seed):
+    rng = random.Random(seed)
+    geo = Geometry(channels=rng.choice([4, 8, 32]),
+                   banks_per_channel=rng.choice([2, 4, 8]),
+                   blocks_per_bank=64, pages_per_block=64, page_size=4096)
+    alloc = NdsAllocator(geo, seed=seed)
+    npages = rng.choice([1, 4, 16, 64, 200])
+    entry = BlockEntry(coord=(0,), pages=[None] * npages)
+    live = []
+    for step in range(300):
+        op = rng.random()
+        if op < 0.55 or not live:
+            free = [i for i in range(npages) if entry.pages[i] is None]
+            if not free:
+                continue
+            pos = rng.choice(free)
+            ppa = PhysicalPageAddress(rng.randrange(geo.channels),
+                                      rng.randrange(geo.banks_per_channel),
+                                      rng.randrange(64), rng.randrange(64))
+            entry.record_alloc(ppa, pos)
+            live.append(pos)
+        elif op < 0.8:
+            pos = live.pop(rng.randrange(len(live)))
+            entry.record_release(pos)
+        else:
+            for bank in range(geo.banks_per_channel):
+                got = alloc._least_used_channel(entry, bank)
+                want = _old_least_used_channel(geo, entry, bank)
+                assert got == want, (seed, step, bank, got, want)
+            key_grid, bank_tot = alloc._place_cols(entry)
+            assert bank_tot == _old_bank_usage(geo, entry), (seed, step)
+            # incrementally-maintained grid == fresh rebuild
+            entry.place_cols = None
+            fresh = alloc._place_cols(entry)
+            assert fresh[0] == key_grid and fresh[1] == bank_tot, \
+                (seed, step)
+
+
+def test_placement_counters_match_old_scans():
+    for seed in range(40):
+        _run_trial(seed)

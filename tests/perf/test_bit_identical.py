@@ -96,12 +96,14 @@ def _disable_fast_paths(system):
     if flash is None:
         flash = system.ssd.flash
     flash.fast_path = False
+    flash.columnar = False
     engine = getattr(system, "engine", None)
     if engine is not None:
         engine.fast_path = False
     stl = getattr(system, "stl", None)
     if stl is not None:
         stl.batch_fanout = False
+        stl.batch_epochs = False
 
 
 @pytest.mark.parametrize("cls", SYSTEMS, ids=[c.name for c in SYSTEMS])

@@ -1,6 +1,11 @@
 """Tests for FCFS resource timelines."""
 
+import random
+
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim import MultiTimeline, Timeline
 
@@ -88,3 +93,142 @@ class TestMultiTimeline:
         pool.reserve(0.0, 4.0)
         pool.reset()
         assert pool.max_free_at() == 0.0
+
+    def test_refresh_after_direct_mutation(self):
+        pool = MultiTimeline(4, "p")
+        pool.servers[2].reserve(0.0, 7.0)
+        pool.refresh()
+        # the dispatch mirror now knows server 2 is busy
+        _s, _e, index = pool.reserve(0.0, 1.0)
+        assert index != 2
+
+
+class TestReserveMany:
+    def test_matches_sequential_bit_for_bit(self):
+        a, b = Timeline("a"), Timeline("b")
+        starts = [0.0, 0.0, 5.0, 5.0, 4.0, 20.0]
+        durs = [1.5, 0.25, 0.1, 3.0, 0.0, 1e-7]
+        got_s, got_e = a.reserve_many(starts, durs)
+        want = [b.reserve(s, d) for s, d in zip(starts, durs)]
+        assert [(s.hex(), e.hex()) for s, e in zip(got_s, got_e)] == \
+            [(s.hex(), e.hex()) for s, e in want]
+        assert a.free_at.hex() == b.free_at.hex()
+        assert a.busy_time.hex() == b.busy_time.hex()
+        assert a.ops == b.ops
+
+    def test_empty_batch(self):
+        line = Timeline("t")
+        got_s, got_e = line.reserve_many([], [])
+        assert got_s.size == 0 and got_e.size == 0
+        assert line.ops == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline("t").reserve_many([0.0, 1.0], [1.0])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline("t").reserve_many([0.0], [-1.0])
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=1e3),
+                  st.floats(min_value=0.0, max_value=10.0)),
+        min_size=1, max_size=64))
+    def test_property_matches_sequential(self, reservations):
+        """Bit-exactness for arbitrary idle/busy interleavings."""
+        starts = [s for s, _ in reservations]
+        durs = [d for _, d in reservations]
+        a, b = Timeline("a"), Timeline("b")
+        got_s, got_e = a.reserve_many(starts, durs)
+        want = [b.reserve(s, d) for s, d in zip(starts, durs)]
+        assert [(s.hex(), e.hex()) for s, e in zip(got_s, got_e)] == \
+            [(s.hex(), e.hex()) for s, e in want]
+        assert a.free_at.hex() == b.free_at.hex()
+        assert a.busy_time.hex() == b.busy_time.hex()
+
+
+class TestObserver:
+    def test_callback_order_and_args(self):
+        line = Timeline("ch0")
+        seen = []
+        line.observer = lambda name, start, end: seen.append(
+            (name, start, end))
+        line.reserve(0.0, 2.0)
+        line.reserve(0.0, 1.0)
+        assert seen == [("ch0", 0.0, 2.0), ("ch0", 2.0, 3.0)]
+
+    def test_reserve_many_keeps_callback_order(self):
+        """With an observer attached the scalar fallback runs, so the
+        per-reservation callbacks arrive in FCFS order."""
+        line = Timeline("ch0")
+        seen = []
+        line.observer = lambda name, start, end: seen.append((start, end))
+        starts = [0.0, 0.0, 10.0]
+        durs = [1.0, 2.0, 0.5]
+        got_s, got_e = line.reserve_many(starts, durs)
+        assert seen == list(zip(got_s.tolist(), got_e.tolist()))
+        assert seen == [(0.0, 1.0), (1.0, 3.0), (10.0, 10.5)]
+
+    def test_reset_keeps_observer(self):
+        line = Timeline("t")
+        seen = []
+        line.observer = lambda name, start, end: seen.append(start)
+        line.reserve(0.0, 1.0)
+        line.reset()
+        assert line.free_at == 0.0 and line.ops == 0
+        line.reserve(3.0, 1.0)
+        assert seen == [0.0, 3.0]
+
+
+class TestArgminDispatch:
+    def test_argmin_matches_plain_scan(self):
+        """Randomized regression: the numpy argmin dispatch (>= 16
+        servers) must pick the same server as a first-minimal Python
+        scan, for ties included."""
+        rng = random.Random(7)
+        for trial in range(50):
+            count = rng.choice([16, 24, 32, 256])
+            pool = MultiTimeline(count, "p")
+            mirror = [0.0] * count
+            for _op in range(40):
+                earliest = rng.random() * 5.0
+                duration = rng.choice([0.0, 1e-6, rng.random()])
+                want_index = min(range(count),
+                                 key=lambda i: (mirror[i], i))
+                start, end, index = pool.reserve(earliest, duration)
+                assert index == want_index, (trial, _op)
+                want_start = max(earliest, mirror[index])
+                assert start.hex() == want_start.hex()
+                assert end.hex() == (want_start + duration).hex()
+                mirror[index] = end
+
+    def test_fanout_matches_reserve_on(self):
+        rng = random.Random(11)
+        for _trial in range(30):
+            count = rng.choice([4, 16, 64])
+            a, b = MultiTimeline(count, "a"), MultiTimeline(count, "b")
+            n = rng.randrange(1, 100)
+            idx = [rng.randrange(count) for _ in range(n)]
+            starts = [rng.random() * 2.0 for _ in range(n)]
+            durs = [rng.random() * 0.1 for _ in range(n)]
+            got_s, got_e = a.reserve_fanout(
+                np.asarray(idx), np.asarray(starts), np.asarray(durs))
+            want = [b.reserve_on(i, s, d)
+                    for i, s, d in zip(idx, starts, durs)]
+            assert [(s.hex(), e.hex())
+                    for s, e in zip(got_s, got_e)] == \
+                [(s.hex(), e.hex()) for s, e in want]
+            assert [s.free_at.hex() for s in a.servers] == \
+                [s.free_at.hex() for s in b.servers]
+
+    def test_fanout_broadcasts_scalars(self):
+        a, b = MultiTimeline(4, "a"), MultiTimeline(4, "b")
+        got_s, got_e = a.reserve_fanout([1, 1, 3], 2.0, 0.5)
+        want = [b.reserve_on(i, 2.0, 0.5) for i in (1, 1, 3)]
+        assert list(zip(got_s, got_e)) == want
+
+    def test_fanout_empty(self):
+        pool = MultiTimeline(4, "p")
+        got_s, got_e = pool.reserve_fanout([], [], [])
+        assert got_s.size == 0 and got_e.size == 0
